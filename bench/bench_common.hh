@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benchmarks.
+ *
+ * Every binary in bench/ regenerates one table or figure from the
+ * paper: it first prints the paper's numbers next to ours (shape
+ * comparison), then runs google-benchmark timings for the kernels
+ * involved. Binaries accept google-benchmark's usual flags; pass
+ * --benchmark_filter=none to skip timings and only print the
+ * reproduction.
+ */
+
+#ifndef SBN_BENCH_BENCH_COMMON_HH
+#define SBN_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/config.hh"
+#include "core/experiment.hh"
+#include "util/table.hh"
+
+namespace sbn::bench {
+
+/** Print the banner identifying the reproduced artifact. */
+inline void
+banner(const std::string &artifact, const std::string &description)
+{
+    std::printf("\n================================================"
+                "====================\n");
+    std::printf("Reproduction: %s\n%s\n", artifact.c_str(),
+                description.c_str());
+    std::printf("=================================================="
+                "==================\n\n");
+}
+
+/** Standard simulation config used by the reproduction benches. */
+inline SystemConfig
+simConfig(int n, int m, int r, ArbitrationPolicy policy, bool buffered,
+          double p = 1.0)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = n;
+    cfg.numModules = m;
+    cfg.memoryRatio = r;
+    cfg.requestProbability = p;
+    cfg.policy = policy;
+    cfg.buffered = buffered;
+    cfg.warmupCycles = 20000;
+    cfg.measureCycles = 400000;
+    cfg.seed = 20260611;
+    return cfg;
+}
+
+/** Shorthand: run one config and return EBW. */
+inline double
+ebw(int n, int m, int r, ArbitrationPolicy policy, bool buffered,
+    double p = 1.0)
+{
+    return runEbw(simConfig(n, m, r, policy, buffered, p));
+}
+
+/**
+ * Print a relative-difference summary line for a paper-vs-ours pair
+ * series; used at the bottom of each table reproduction.
+ */
+class DiffTracker
+{
+  public:
+    void
+    add(double paper, double ours)
+    {
+        const double rel = std::abs(ours - paper) / paper;
+        sum_ += rel;
+        ++count_;
+        if (rel > worst_) {
+            worst_ = rel;
+            worstPaper_ = paper;
+            worstOurs_ = ours;
+        }
+    }
+
+    void
+    report(const char *what) const
+    {
+        if (!count_)
+            return;
+        std::printf("%s: mean |rel diff| = %.2f%%, worst = %.2f%% "
+                    "(paper %.3f vs ours %.3f) over %d cells\n",
+                    what, 100.0 * sum_ / count_, 100.0 * worst_,
+                    worstPaper_, worstOurs_, count_);
+    }
+
+  private:
+    double sum_ = 0.0;
+    double worst_ = 0.0;
+    double worstPaper_ = 0.0;
+    double worstOurs_ = 0.0;
+    int count_ = 0;
+};
+
+} // namespace sbn::bench
+
+/**
+ * Every bench defines printReproduction() and registers BENCHMARK
+ * cases, then uses this main: reproduction first, timings second.
+ */
+#define SBN_BENCH_MAIN(print_reproduction)                                 \
+    int main(int argc, char **argv)                                       \
+    {                                                                      \
+        print_reproduction();                                             \
+        ::benchmark::Initialize(&argc, argv);                             \
+        if (::benchmark::ReportUnrecognizedArguments(argc, argv))         \
+            return 1;                                                     \
+        ::benchmark::RunSpecifiedBenchmarks();                            \
+        ::benchmark::Shutdown();                                          \
+        return 0;                                                         \
+    }
+
+#endif // SBN_BENCH_BENCH_COMMON_HH

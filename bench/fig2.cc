@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Reproduces paper Figure 2: multiplexed single-bus effective
+ * bandwidth vs r (p = 1), for both bus-grant priorities and several
+ * n x m configurations, with the equivalent crossbar EBW (cycle
+ * (r+2)t, hence r-independent) as the flat comparison lines.
+ *
+ * Shape properties reported by the paper and checked here:
+ *  - EBW grows with r, toward the (r+2)/2 ceiling for small r;
+ *  - priority to processors (g') beats priority to memories (g'');
+ *  - as r grows the single-bus EBW approaches the crossbar value
+ *    from above, with the crossbar acting as the large-r floor.
+ */
+
+#include "bench_common.hh"
+
+#include "analytic/crossbar.hh"
+
+namespace {
+
+struct Config
+{
+    int n, m;
+};
+constexpr Config kConfigs[] = {{4, 4}, {8, 8}, {8, 16}, {16, 16}};
+constexpr int kRs[] = {2, 4, 6, 8, 12, 16, 20, 24};
+
+void
+printReproduction()
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+
+    banner("Figure 2",
+           "EBW vs r, p = 1: single-bus under g' (proc priority) and "
+           "g'' (mem priority)\nvs the crossbar with basic cycle "
+           "(r+2)t. One series pair per n x m.");
+
+    for (const auto &[n, m] : kConfigs) {
+        const double xbar = crossbarEbw(n, m);
+        TextTable table(std::to_string(n) + "x" + std::to_string(m) +
+                        " (crossbar EBW = " +
+                        TextTable::formatNumber(xbar, 3) + ")");
+        table.setHeader({"r", "g' proc-prio", "g'' mem-prio",
+                         "crossbar", "(r+2)/2 ceiling"});
+        for (int r : kRs) {
+            const double proc = ebw(
+                n, m, r, ArbitrationPolicy::ProcessorPriority, false);
+            const double mem = ebw(
+                n, m, r, ArbitrationPolicy::MemoryPriority, false);
+            table.addNumericRow(std::to_string(r),
+                                {proc, mem, xbar, (r + 2) / 2.0});
+        }
+        table.print(std::cout);
+
+        // Shape assertions echoed in the output.
+        const double proc_r4 =
+            ebw(n, m, 4, ArbitrationPolicy::ProcessorPriority, false);
+        const double mem_r4 =
+            ebw(n, m, 4, ArbitrationPolicy::MemoryPriority, false);
+        std::printf("  g' >= g'' at r=4: %.3f >= %.3f  %s\n\n", proc_r4,
+                    mem_r4, proc_r4 >= mem_r4 - 0.02 ? "OK" : "VIOLATED");
+    }
+}
+
+void
+BM_Fig2Point(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig cfg =
+            simConfig(8, 8, static_cast<int>(state.range(0)),
+                      ArbitrationPolicy::ProcessorPriority, false);
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 50000;
+        cfg.seed = seed++;
+        benchmark::DoNotOptimize(runEbw(cfg));
+    }
+}
+BENCHMARK(BM_Fig2Point)->Arg(4)->Arg(24)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+SBN_BENCH_MAIN(printReproduction)

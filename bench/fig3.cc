@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: processor utilization EBW/(n*p) vs the
+ * request probability p, for n = 8, m = 16 systems (unbuffered,
+ * priority to processors) at several memory/bus ratios r.
+ *
+ * Shape properties: utilization decreases as p grows (more
+ * contention) and increases with r (more bus capacity per processor
+ * cycle); at light load EBW/(n*p) -> 1.
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+constexpr int kRs[] = {4, 8, 12, 16};
+constexpr double kPs[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                          0.6, 0.7, 0.8, 0.9, 1.0};
+
+void
+printReproduction()
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+
+    banner("Figure 3",
+           "Processor utilization EBW/(n*p) vs p; n = 8, m = 16, "
+           "unbuffered, priority to processors.");
+
+    TextTable table;
+    std::vector<std::string> header{"p"};
+    for (int r : kRs)
+        header.push_back("r=" + std::to_string(r));
+    table.setHeader(header);
+
+    for (double p : kPs) {
+        std::vector<double> row;
+        for (int r : kRs) {
+            const double e = ebw(
+                8, 16, r, ArbitrationPolicy::ProcessorPriority, false, p);
+            row.push_back(e / (8.0 * p));
+        }
+        table.addNumericRow(TextTable::formatNumber(p, 1), row);
+    }
+    table.print(std::cout);
+
+    std::printf("shape: columns decrease in p and increase in r; "
+                "p=0.1 row ~ 1.0 (no contention).\n");
+}
+
+void
+BM_Fig3Point(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig cfg =
+            simConfig(8, 16, 8, ArbitrationPolicy::ProcessorPriority,
+                      false, 0.5);
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 50000;
+        cfg.seed = seed++;
+        benchmark::DoNotOptimize(runEbw(cfg));
+    }
+}
+BENCHMARK(BM_Fig3Point)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+SBN_BENCH_MAIN(printReproduction)

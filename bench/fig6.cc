@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: processor utilization EBW/(n*p) vs p for
+ * the BUFFERED system, n = 8, m = 16, several r values, alongside the
+ * unbuffered utilization so the buffering benefit under partial load
+ * is visible (Section 7: the benefit shrinks as p decreases).
+ */
+
+#include "bench_common.hh"
+
+namespace {
+
+constexpr int kRs[] = {4, 8, 12, 16};
+constexpr double kPs[] = {0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+
+void
+printReproduction()
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+
+    banner("Figure 6",
+           "Processor utilization EBW/(n*p) vs p for the buffered "
+           "system; n = 8, m = 16,\npriority to processors. Cells: "
+           "buffered (unbuffered).");
+
+    TextTable table;
+    std::vector<std::string> header{"p"};
+    for (int r : kRs)
+        header.push_back("r=" + std::to_string(r));
+    table.setHeader(header);
+
+    for (double p : kPs) {
+        std::vector<std::string> row{TextTable::formatNumber(p, 1)};
+        for (int r : kRs) {
+            const double buf =
+                ebw(8, 16, r, ArbitrationPolicy::ProcessorPriority,
+                    true, p) /
+                (8.0 * p);
+            const double plain =
+                ebw(8, 16, r, ArbitrationPolicy::ProcessorPriority,
+                    false, p) /
+                (8.0 * p);
+            row.push_back(TextTable::formatNumber(buf, 3) + " (" +
+                          TextTable::formatNumber(plain, 3) + ")");
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::printf("shape: buffered >= unbuffered everywhere; the gap "
+                "narrows as p decreases\n(less interference to "
+                "remove), matching Section 7.\n");
+}
+
+void
+BM_Fig6Point(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig cfg = simConfig(
+            8, 16, 12, ArbitrationPolicy::ProcessorPriority, true, 0.5);
+        cfg.warmupCycles = 1000;
+        cfg.measureCycles = 50000;
+        cfg.seed = seed++;
+        benchmark::DoNotOptimize(runEbw(cfg));
+    }
+}
+BENCHMARK(BM_Fig6Point)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+SBN_BENCH_MAIN(printReproduction)

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Performance benchmarks of the library itself (not a paper artifact):
+ * simulator event throughput across system shapes, kernel scheduling
+ * cost, and analytic-model solve times. Regressions here mean the
+ * reproduction benches get slower to run.
+ */
+
+#include "bench_common.hh"
+
+#include "analytic/crossbar.hh"
+#include "analytic/occupancy_chain.hh"
+#include "analytic/procprio.hh"
+#include "baselines/multibus_sim.hh"
+#include "desim/simulation.hh"
+
+namespace {
+
+void
+printReproduction()
+{
+    sbn::bench::banner(
+        "Library performance",
+        "Not a paper artifact: throughput/latency of the simulator, "
+        "kernel and solvers.");
+}
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    const int n = static_cast<int>(state.range(0));
+    const int m = static_cast<int>(state.range(1));
+    const bool buffered = state.range(2) != 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig cfg = simConfig(
+            n, m, 8, ArbitrationPolicy::ProcessorPriority, buffered);
+        cfg.warmupCycles = 0;
+        cfg.measureCycles = 200000;
+        cfg.seed = seed++;
+        benchmark::DoNotOptimize(runEbw(cfg));
+        cycles += cfg.measureCycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorThroughput)
+    ->Args({4, 4, 0})
+    ->Args({8, 16, 0})
+    ->Args({8, 16, 1})
+    ->Args({32, 32, 0})
+    ->Args({32, 32, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EventKernelScheduleRun(benchmark::State &state)
+{
+    using namespace sbn;
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        Simulation sim;
+        std::vector<std::unique_ptr<EventFunction>> pool;
+        pool.reserve(depth);
+        for (std::size_t i = 0; i < depth; ++i) {
+            pool.push_back(std::make_unique<EventFunction>([] {}));
+            sim.queue().schedule(*pool.back(), i % 97);
+        }
+        events += sim.runAll();
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventKernelScheduleRun)->Arg(1024)->Arg(65536);
+
+void
+BM_OccupancyChainBuild(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sbn::OccupancyChain chain(n, n, n);
+        benchmark::DoNotOptimize(chain.solve().meanBusy);
+    }
+}
+BENCHMARK(BM_OccupancyChainBuild)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ProcPrioChainBuild(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sbn::ProcPrioChain chain(8, m, 12);
+        benchmark::DoNotOptimize(chain.ebw());
+    }
+}
+BENCHMARK(BM_ProcPrioChainBuild)->Arg(8)->Arg(16);
+
+void
+BM_BaselineCrossbarSim(benchmark::State &state)
+{
+    std::uint64_t slots = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sbn::runCrossbarSim(16, 16, 1.0, seed++, 0, 100000));
+        slots += 100000;
+    }
+    state.counters["slots/s"] = benchmark::Counter(
+        static_cast<double>(slots), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BaselineCrossbarSim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+SBN_BENCH_MAIN(printReproduction)

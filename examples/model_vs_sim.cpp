@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Model-validation workflow: for one system shape, line up every
+ * analytical model in the library against the cycle-accurate
+ * simulator - the workflow Sections 3-6 of the paper go through.
+ *
+ *   ./model_vs_sim --n=8 --m=8 --r=8
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analytic/crossbar.hh"
+#include "analytic/memprio.hh"
+#include "analytic/multibus.hh"
+#include "analytic/mva.hh"
+#include "analytic/procprio.hh"
+#include "core/experiment.hh"
+#include "util/cli.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sbn;
+
+    const CommandLine cli(
+        argc, argv,
+        {{"n", "processors (default 8)"},
+         {"m", "memory modules (default 8)"},
+         {"r", "memory/bus cycle ratio (default 8)"},
+         {"reps", "simulation replications (default 5)"}});
+
+    const int n = static_cast<int>(cli.getInt("n", 8));
+    const int m = static_cast<int>(cli.getInt("m", 8));
+    const int r = static_cast<int>(cli.getInt("r", 8));
+    const auto reps = static_cast<unsigned>(cli.getInt("reps", 5));
+
+    std::printf("model vs simulation, %dx%d, r=%d, p=1\n\n", n, m, r);
+
+    auto simulate = [&](ArbitrationPolicy policy, bool buffered) {
+        SystemConfig cfg;
+        cfg.numProcessors = n;
+        cfg.numModules = m;
+        cfg.memoryRatio = r;
+        cfg.policy = policy;
+        cfg.buffered = buffered;
+        cfg.measureCycles = 200000;
+        return replicateEbw(cfg, reps);
+    };
+
+    TextTable table;
+    table.setHeader({"quantity", "model", "simulation (95% CI)",
+                     "rel err %"});
+    auto row = [&](const char *what, double model, const Estimate &sim) {
+        table.addRow(
+            {what, TextTable::formatNumber(model, 3),
+             TextTable::formatNumber(sim.mean, 3) + " +/- " +
+                 TextTable::formatNumber(sim.halfWidth, 3),
+             TextTable::formatNumber(
+                 100.0 * (model - sim.mean) / sim.mean, 2)});
+    };
+
+    const auto sim_mem =
+        simulate(ArbitrationPolicy::MemoryPriority, false);
+    row("EBW, mem priority (S3.1.1 exact chain)",
+        memprioExactEbw(n, m, r), sim_mem);
+    row("EBW, mem priority (S3.2 approximation)",
+        memprioApproxEbw(n, m, r), sim_mem);
+
+    const auto sim_proc =
+        simulate(ArbitrationPolicy::ProcessorPriority, false);
+    const ProcPrioChain chain(n, m, r);
+    row("EBW, proc priority (S4 reduced chain)", chain.ebw(), sim_proc);
+
+    const auto sim_buf =
+        simulate(ArbitrationPolicy::ProcessorPriority, true);
+    row("EBW, buffered (S6 exponential MVA)", mvaBufferedBus(n, m, r).ebw,
+        sim_buf);
+
+    table.print(std::cout);
+
+    std::printf("\ncontext: crossbar(%d,%d) EBW = %.3f; bus ceiling "
+                "(r+2)/2 = %.1f\n",
+                n, m, crossbarEbw(n, m), (r + 2) / 2.0);
+    std::printf("\nexpected: the S3.1.1 chain is within a couple of "
+                "percent (exact under its own\nround abstraction); S3.2 "
+                "and S4 are approximations (<9%%); the exponential "
+                "MVA\nunderestimates sharply in congested regions - "
+                "that mismatch is the paper's\nSection 6 argument for "
+                "simulating constant service times.\n");
+    return 0;
+}

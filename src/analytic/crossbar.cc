@@ -1,0 +1,37 @@
+#include "analytic/crossbar.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/occupancy_chain.hh"
+#include "util/combinatorics.hh"
+
+namespace sbn {
+
+double
+crossbarExactBandwidth(int n, int m)
+{
+    // With a full crossbar every busy module services one request per
+    // cycle: the cap never binds at b = min(n, m) (x <= min(n, m)).
+    OccupancyChain chain(n, m, std::min(n, m));
+    return chain.solve().meanBusy;
+}
+
+double
+crossbarStreckerBandwidth(int n, int m)
+{
+    const double miss = std::pow(1.0 - 1.0 / static_cast<double>(m), n);
+    return static_cast<double>(m) * (1.0 - miss);
+}
+
+double
+crossbarApproxBandwidth(int n, int m)
+{
+    const auto pmf = distinctTargetPmf(n, m);
+    double bw = 0.0;
+    for (std::size_t x = 0; x < pmf.size(); ++x)
+        bw += static_cast<double>(x) * pmf[x];
+    return bw;
+}
+
+} // namespace sbn

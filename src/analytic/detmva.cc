@@ -1,0 +1,56 @@
+#include "analytic/detmva.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+MvaResult
+mvaBufferedBusDeterministic(int n, int m, int r, double p)
+{
+    sbn_assert(n >= 1 && m >= 1 && r >= 1, "detmva needs n, m, r >= 1");
+    sbn_assert(p > 0.0 && p <= 1.0, "detmva needs p in (0, 1]");
+
+    const double s_bus = 1.0;
+    const double v_bus = 2.0;
+    const double s_mem = static_cast<double>(r);
+    const double v_mem = 1.0 / static_cast<double>(m);
+    const double think = (1.0 - p) / p * static_cast<double>(r + 2);
+
+    // Deterministic capacity ceilings on the transaction throughput.
+    const double x_cap = std::min(
+        1.0 / (v_bus * s_bus),
+        static_cast<double>(m) / (static_cast<double>(m) * v_mem * s_mem));
+
+    double q_bus = 0.0, u_bus = 0.0;
+    double q_mem = 0.0, u_mem = 0.0;
+
+    double x = 0.0;
+    double resp = 0.0;
+    for (int k = 1; k <= n; ++k) {
+        const double r_bus =
+            s_bus * (1.0 + q_bus) - 0.5 * s_bus * u_bus;
+        const double r_mem =
+            s_mem * (1.0 + q_mem) - 0.5 * s_mem * u_mem;
+        resp = v_bus * r_bus + static_cast<double>(m) * v_mem * r_mem;
+        x = static_cast<double>(k) / (think + resp);
+        x = std::min(x, x_cap);
+        q_bus = x * v_bus * r_bus;
+        q_mem = x * v_mem * r_mem;
+        u_bus = std::min(x * v_bus * s_bus, 1.0);
+        u_mem = std::min(x * v_mem * s_mem, 1.0);
+    }
+
+    MvaResult result;
+    result.throughput = x;
+    result.ebw = x * static_cast<double>(r + 2);
+    result.busUtilization = u_bus;
+    result.moduleUtilization = u_mem;
+    result.busQueueLength = q_bus;
+    result.moduleQueueLength = q_mem;
+    result.responseTime = resp;
+    return result;
+}
+
+} // namespace sbn

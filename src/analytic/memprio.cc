@@ -1,0 +1,54 @@
+#include "analytic/memprio.hh"
+
+#include <algorithm>
+
+#include "analytic/occupancy_chain.hh"
+#include "util/combinatorics.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+double
+memprioUsefulEbw(int x, int r)
+{
+    sbn_assert(x >= 0 && r >= 1, "usefulEbw needs x >= 0, r >= 1");
+    if (x == 0)
+        return 0.0;
+    const double cycle = static_cast<double>(r + 2);
+    if (x <= r + 1)
+        return static_cast<double>(x) * cycle /
+               static_cast<double>(r + 1 + x);
+    return cycle / 2.0;
+}
+
+double
+memprioExactEbw(int n, int m, int r)
+{
+    sbn_assert(r >= 1, "memory/bus cycle ratio r must be >= 1");
+    OccupancyChain chain(n, m, r + 1);
+    const auto result = chain.solve();
+
+    double ebw = 0.0;
+    for (std::size_t x = 0; x < result.busyPmf.size(); ++x)
+        ebw += result.busyPmf[x] * memprioUsefulEbw(static_cast<int>(x), r);
+    return ebw;
+}
+
+double
+memprioApproxEbw(int n, int m, int r)
+{
+    sbn_assert(r >= 1, "memory/bus cycle ratio r must be >= 1");
+    const auto pmf = distinctTargetPmf(n, m);
+    double ebw = 0.0;
+    for (std::size_t x = 0; x < pmf.size(); ++x)
+        ebw += pmf[x] * memprioUsefulEbw(static_cast<int>(x), r);
+    return ebw;
+}
+
+double
+memprioApproxSymmetricEbw(int n, int m, int r)
+{
+    return memprioApproxEbw(std::min(n, m), std::max(n, m), r);
+}
+
+} // namespace sbn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytical EBW models for the multiplexed single bus with priority
+ * to memory modules and p = 1 (paper Sections 3.1.1 and 3.2).
+ *
+ * Under memory priority the request-occupancy vector n fully defines
+ * the system state, and the bus can inject at most r+1 new requests
+ * per processor cycle, so the occupancy chain with cap b = r+1
+ * applies. The EBW weights each state by the useful-cycle fraction:
+ * with x busy modules and x <= r+1, a service round spans r+1+x bus
+ * cycles (x request transfers pipelined under the first access's r
+ * cycles, then x response transfers), servicing x requests; for
+ * x > r+1 the bus saturates at one service per 2 cycles.
+ */
+
+#ifndef SBN_ANALYTIC_MEMPRIO_HH
+#define SBN_ANALYTIC_MEMPRIO_HH
+
+namespace sbn {
+
+/**
+ * Per-state EBW contribution for x busy modules and memory-cycle
+ * ratio r:
+ *
+ *   x <= r+1 :  x * (r+2) / (r+1+x)
+ *   x >  r+1 :  (r+2) / 2          (bus saturated)
+ */
+double memprioUsefulEbw(int x, int r);
+
+/**
+ * Exact EBW of the memory-priority multiplexed single bus (Section
+ * 3.1.1): occupancy chain with cap r+1, EBW = E[usefulEbw(x, r)].
+ * Requests serviced per processor cycle; symmetric in n and m.
+ */
+double memprioExactEbw(int n, int m, int r);
+
+/**
+ * Combinational approximation (Section 3.2): memoryless request
+ * pattern, EBW = sum_x P(x) * usefulEbw(x, r).
+ */
+double memprioApproxEbw(int n, int m, int r);
+
+/**
+ * Symmetrized approximation suggested by the exact model's n/m
+ * symmetry (Section 5): evaluate the approximation at
+ * n* = min(n, m), m* = max(n, m).
+ */
+double memprioApproxSymmetricEbw(int n, int m, int r);
+
+} // namespace sbn
+
+#endif // SBN_ANALYTIC_MEMPRIO_HH

@@ -1,0 +1,30 @@
+#include "analytic/multibus.hh"
+
+#include <algorithm>
+
+#include "analytic/occupancy_chain.hh"
+#include "util/combinatorics.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+double
+multibusExactBandwidth(int n, int m, int b)
+{
+    sbn_assert(b >= 1, "multiple-bus model needs b >= 1");
+    OccupancyChain chain(n, m, b);
+    return chain.solve().meanServiced;
+}
+
+double
+multibusApproxBandwidth(int n, int m, int b)
+{
+    sbn_assert(b >= 1, "multiple-bus model needs b >= 1");
+    const auto pmf = distinctTargetPmf(n, m);
+    double bw = 0.0;
+    for (std::size_t x = 0; x < pmf.size(); ++x)
+        bw += std::min(static_cast<int>(x), b) * pmf[x];
+    return bw;
+}
+
+} // namespace sbn

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Multiple-bus interconnection bandwidth models (Valero, Llaberia et
+ * al., SIGMETRICS 1983 - reference [5] of the paper).
+ *
+ * n processors and m modules connected by b parallel buses: per memory
+ * cycle at most b of the busy modules can be serviced. The paper's
+ * Section 3.1.1 exact single-bus model reuses exactly this machinery
+ * with b = r + 1, and its conclusions compare the single-bus design
+ * against a 4-bus multiple-bus network.
+ */
+
+#ifndef SBN_ANALYTIC_MULTIBUS_HH
+#define SBN_ANALYTIC_MULTIBUS_HH
+
+namespace sbn {
+
+/**
+ * Exact bandwidth E[min(x, b)] (requests serviced per memory cycle)
+ * of an n x m system with b buses, via the occupancy Markov chain.
+ */
+double multibusExactBandwidth(int n, int m, int b);
+
+/**
+ * Memoryless combinational approximation:
+ * sum_x min(x, b) * P(x) with P(x) the distinct-target pmf.
+ */
+double multibusApproxBandwidth(int n, int m, int b);
+
+} // namespace sbn
+
+#endif // SBN_ANALYTIC_MULTIBUS_HH

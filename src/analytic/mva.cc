@@ -1,0 +1,47 @@
+#include "analytic/mva.hh"
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+MvaResult
+mvaBufferedBus(int n, int m, int r, double p)
+{
+    sbn_assert(n >= 1 && m >= 1 && r >= 1, "mva needs n, m, r >= 1");
+    sbn_assert(p > 0.0 && p <= 1.0, "mva needs p in (0, 1]");
+
+    const double s_bus = 1.0;                 // bus mean service
+    const double v_bus = 2.0;                 // visits per transaction
+    const double s_mem = static_cast<double>(r);
+    const double v_mem = 1.0 / static_cast<double>(m);
+    const double think =
+        (1.0 - p) / p * static_cast<double>(r + 2);
+
+    double q_bus = 0.0; // mean queue at the bus
+    double q_mem = 0.0; // mean queue at one memory station
+
+    double x = 0.0;
+    double resp = 0.0;
+    for (int k = 1; k <= n; ++k) {
+        const double r_bus = s_bus * (1.0 + q_bus);
+        const double r_mem = s_mem * (1.0 + q_mem);
+        // Residence = visits * per-visit response, summed over the
+        // bus and the m identical memory stations.
+        resp = v_bus * r_bus + static_cast<double>(m) * v_mem * r_mem;
+        x = static_cast<double>(k) / (think + resp);
+        q_bus = x * v_bus * r_bus;
+        q_mem = x * v_mem * r_mem;
+    }
+
+    MvaResult result;
+    result.throughput = x;
+    result.ebw = x * static_cast<double>(r + 2);
+    result.busUtilization = x * v_bus * s_bus;
+    result.moduleUtilization = x * v_mem * s_mem;
+    result.busQueueLength = q_bus;
+    result.moduleQueueLength = q_mem;
+    result.responseTime = resp;
+    return result;
+}
+
+} // namespace sbn

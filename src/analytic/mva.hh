@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exact Mean Value Analysis of the product-form model of the buffered
+ * system (paper Section 6).
+ *
+ * If bus and memory service times were exponential, the buffered
+ * single-bus system would be a closed BCMP network (Baskett et al.
+ * [18]) solvable with standard algorithms (Buzen [19], Reiser &
+ * Lavenberg MVA [20]). The paper evaluates that model to show it
+ * mispredicts the constant-service system by more than 25%
+ * (pessimistically). This module implements the exact MVA solution of
+ * that network so the discrepancy experiment can be reproduced:
+ *
+ *   - one FIFO bus station, mean service 1 bus cycle, visited twice
+ *     per memory transaction (request + response transfer);
+ *   - m identical FIFO memory stations, mean service r, visit ratio
+ *     1/m each (uniform addressing);
+ *   - a delay (think) stage Z = (1-p)/p * (r+2) modelling internal
+ *     processing cycles (Z = 0 at p = 1);
+ *   - n circulating customers (one outstanding request per processor).
+ */
+
+#ifndef SBN_ANALYTIC_MVA_HH
+#define SBN_ANALYTIC_MVA_HH
+
+namespace sbn {
+
+/** Solved network metrics (all times in bus cycles). */
+struct MvaResult
+{
+    double throughput = 0.0;      //!< transactions per bus cycle
+    double ebw = 0.0;             //!< throughput * (r+2)
+    double busUtilization = 0.0;  //!< 2 * throughput
+    double moduleUtilization = 0.0; //!< r * throughput / m, per module
+    double busQueueLength = 0.0;  //!< mean customers at the bus
+    double moduleQueueLength = 0.0; //!< mean customers per module
+    double responseTime = 0.0;    //!< mean cycle residence (no think)
+};
+
+/**
+ * Exact MVA for the exponential buffered-bus network.
+ *
+ * @param n processors (customers), @param m modules, @param r memory
+ * service mean in bus cycles, @param p re-request probability (think
+ * stage (1-p)/p*(r+2); p in (0, 1]).
+ */
+MvaResult mvaBufferedBus(int n, int m, int r, double p = 1.0);
+
+} // namespace sbn
+
+#endif // SBN_ANALYTIC_MVA_HH

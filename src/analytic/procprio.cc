@@ -1,0 +1,188 @@
+#include "analytic/procprio.hh"
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "markov/dtmc.hh"
+#include "util/combinatorics.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+bool
+ProcPrioState::operator<(const ProcPrioState &o) const
+{
+    return std::tie(i, c, e, b) < std::tie(o.i, o.c, o.e, o.b);
+}
+
+bool
+ProcPrioState::operator==(const ProcPrioState &o) const
+{
+    return std::tie(i, c, e, b) == std::tie(o.i, o.c, o.e, o.b);
+}
+
+double
+ProcPrioChain::p1(int i) const
+{
+    if (i == 0)
+        return 0.0;
+    if (options_.constant_p1)
+        return 1.0 / static_cast<double>(r_);
+    return static_cast<double>(i) / static_cast<double>(r_);
+}
+
+double
+ProcPrioChain::p2(int c) const
+{
+    // Probability that the just-served request was the only one
+    // directed to its module, given c distinct demanded modules and
+    // n-1 other outstanding requests covering either the other c-1
+    // modules only (served module had 1 request) or all c.
+    const double alone = surjections(n_ - 1, c - 1);
+    const double shared = surjections(n_ - 1, c);
+    const double denom = alone + shared;
+    sbn_assert(denom > 0.0, "P2 undefined for n=", n_, " c=", c);
+    return alone / denom;
+}
+
+double
+ProcPrioChain::p3(int c) const
+{
+    return static_cast<double>(c - 1) / static_cast<double>(m_);
+}
+
+double
+ProcPrioChain::p4(int c) const
+{
+    return static_cast<double>(c) / static_cast<double>(m_);
+}
+
+std::vector<ProcPrioChain::Transition>
+ProcPrioChain::transitionsFrom(const ProcPrioState &s) const
+{
+    std::vector<Transition> out;
+    auto add = [&](int i, int c, int e, int b, double prob) {
+        if (prob <= 0.0)
+            return;
+        sbn_assert(i >= 0 && c >= 1 && e >= 0, "negative lumped state");
+        sbn_assert(c <= std::min(n_, m_), "c exceeded min(n, m)");
+        out.push_back(Transition{ProcPrioState{i, c, e, b}, prob});
+    };
+
+    const double P1 = p1(s.i);
+
+    if (s.b == 2) {
+        // Class 0: bus idle, all demanded modules mid-access (i = c).
+        add(s.i - 1, s.c, 0, 0, P1);
+        add(s.i, s.c, 0, 2, 1.0 - P1);
+        return out;
+    }
+
+    if (s.b == 0) {
+        // Class 1: a response transfer completes this cycle; the
+        // served processor immediately re-issues (p = 1).
+        const double P2 = p2(s.c);
+        const double P3 = p3(s.c);
+        const double P4 = p4(s.c);
+
+        // Probability that the next bus tenant is a request: either
+        // the served module empties and the fresh request targets an
+        // idle module, or the served module still has queued requests
+        // (one becomes eligible as it falls idle).
+        const double to_request = P2 * (1.0 - P3) + (1.0 - P2) * P4;
+
+        // A completion also occurred (P1 branches): the completing
+        // module's response joins the waiting pool.
+        add(s.i - 1, s.c - 1, s.e, 0, P1 * P2 * P3);
+        add(s.i - 1, s.c, s.e + 1, 1, P1 * to_request);
+        add(s.i - 1, s.c + 1, s.e + 1, 1,
+            P1 * (1.0 - P2) * (1.0 - P4));
+
+        // No completion (1-P1 branches).
+        if (s.e > 0)
+            add(s.i, s.c - 1, s.e - 1, 0, (1.0 - P1) * P2 * P3);
+        else
+            add(s.i, s.c - 1, 0, 2, (1.0 - P1) * P2 * P3);
+        add(s.i, s.c, s.e, 1, (1.0 - P1) * to_request);
+        add(s.i, s.c + 1, s.e, 1,
+            (1.0 - P1) * (1.0 - P2) * (1.0 - P4));
+        return out;
+    }
+
+    // b == 1: request transfer; its target module starts its access
+    // next cycle.
+    const bool extra_eligible = (1 + s.i + s.e) < s.c;
+
+    if (!extra_eligible) {
+        // Class 2: no other eligible request is waiting.
+        add(s.i, s.c, s.e, 0, P1);
+        if (s.e > 0)
+            add(s.i + 1, s.c, s.e - 1, 0, 1.0 - P1);
+        else
+            add(s.i + 1, s.c, 0, 2, 1.0 - P1);
+        return out;
+    }
+
+    // Class 3: further eligible requests wait for the bus. Under
+    // processor priority they take the bus ahead of any response.
+    if (options_.literal_class3) {
+        add(s.i, s.c, s.e, 0, P1);
+    } else {
+        add(s.i, s.c, s.e + 1, 1, P1);
+    }
+    add(s.i + 1, s.c, s.e, 1, 1.0 - P1);
+    return out;
+}
+
+ProcPrioChain::ProcPrioChain(int n, int m, int r, Options options)
+    : n_(n), m_(m), r_(r), options_(options)
+{
+    sbn_assert(n >= 1 && m >= 1 && r >= 1,
+               "procprio chain needs n, m, r >= 1");
+
+    // Breadth-first reachability from the cold-start state: all
+    // processors have just issued; the first request wins the bus
+    // with one module demanded.
+    const ProcPrioState start{0, 1, 0, 1};
+    std::map<ProcPrioState, std::size_t> index;
+    states_.push_back(start);
+    index[start] = 0;
+
+    for (std::size_t head = 0; head < states_.size(); ++head) {
+        const ProcPrioState s = states_[head];
+        for (const auto &t : transitionsFrom(s)) {
+            if (!index.count(t.to)) {
+                index[t.to] = states_.size();
+                states_.push_back(t.to);
+            }
+        }
+    }
+
+    Dtmc dtmc(states_.size());
+    for (std::size_t si = 0; si < states_.size(); ++si) {
+        double total = 0.0;
+        for (const auto &t : transitionsFrom(states_[si])) {
+            dtmc.addTransition(si, index.at(t.to), t.prob);
+            total += t.prob;
+        }
+        sbn_assert(std::abs(total - 1.0) < 1e-9,
+                   "procprio row ", si, " sums to ", total);
+    }
+    dtmc.validate();
+    pi_ = dtmc.stationaryDirect();
+
+    for (std::size_t si = 0; si < states_.size(); ++si)
+        if (states_[si].b != 2)
+            busUtilization_ += pi_[si];
+    ebw_ = busUtilization_ * static_cast<double>(r_ + 2) / 2.0;
+}
+
+std::size_t
+ProcPrioChain::paperStateCount(int n, int m)
+{
+    const auto v = static_cast<std::size_t>(std::min(n, m));
+    return (3 * v * v + 3 * v - 2) / 2;
+}
+
+} // namespace sbn

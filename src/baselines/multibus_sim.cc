@@ -1,0 +1,129 @@
+#include "baselines/multibus_sim.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace sbn {
+
+void
+MultibusSimConfig::validate() const
+{
+    if (numProcessors < 1 || numModules < 1 || buses < 1)
+        sbn_fatal("multibus sim needs n, m, b >= 1");
+    if (requestProbability < 0.0 || requestProbability > 1.0)
+        sbn_fatal("requestProbability must be in [0, 1]");
+    if (measureSlots < 1)
+        sbn_fatal("measureSlots must be >= 1");
+}
+
+MultibusSimResult
+runMultibusSim(const MultibusSimConfig &config)
+{
+    config.validate();
+    RandomGenerator rng(config.seed);
+
+    const int n = config.numProcessors;
+    const int m = config.numModules;
+    const int b = config.buses;
+    const std::uint64_t total = config.warmupSlots + config.measureSlots;
+
+    // Per-module bags of waiting processor ids (service order is
+    // random, so a bag not a queue).
+    std::vector<std::vector<int>> waiting(m);
+    std::vector<char> ready(n, 1); // ready to draw at slot start
+
+    std::vector<int> busy;
+    busy.reserve(m);
+    std::vector<std::size_t> order(m);
+
+    MultibusSimResult result;
+    result.busyPmf.assign(std::min(n, m) + 1, 0.0);
+    std::uint64_t completions = 0;
+
+    std::vector<int> next_ready;
+    next_ready.reserve(n);
+
+    for (std::uint64_t slot = 0; slot < total; ++slot) {
+        const bool measured = slot >= config.warmupSlots;
+
+        // 1. Ready processors draw: issue or think one slot.
+        for (int p = 0; p < n; ++p) {
+            if (!ready[p])
+                continue;
+            if (rng.bernoulli(config.requestProbability)) {
+                const int target =
+                    static_cast<int>(rng.uniformInt(m));
+                waiting[target].push_back(p);
+                ready[p] = 0;
+            }
+            // else: stays ready, draws again next slot.
+        }
+
+        // 2. Arbitration: modules with work, capped at b buses chosen
+        //    uniformly at random.
+        busy.clear();
+        for (int mod = 0; mod < m; ++mod)
+            if (!waiting[mod].empty())
+                busy.push_back(mod);
+
+        if (measured)
+            result.busyPmf[busy.size()] += 1.0;
+
+        int serviced = static_cast<int>(busy.size());
+        if (serviced > b) {
+            // Partial Fisher-Yates: the first b entries become a
+            // uniform random subset.
+            for (int i = 0; i < b; ++i) {
+                const auto j =
+                    i + static_cast<int>(
+                            rng.uniformInt(busy.size() - i));
+                std::swap(busy[i], busy[j]);
+            }
+            serviced = b;
+        }
+
+        // 3. Service one random request at each granted module.
+        next_ready.clear();
+        for (int i = 0; i < serviced; ++i) {
+            auto &bag = waiting[busy[i]];
+            const auto pick = rng.pickIndex(bag.size());
+            const int proc = bag[pick];
+            bag[pick] = bag.back();
+            bag.pop_back();
+            next_ready.push_back(proc);
+            if (measured)
+                ++completions;
+        }
+        for (int proc : next_ready)
+            ready[proc] = 1;
+    }
+
+    result.measuredSlots = config.measureSlots;
+    result.completions = completions;
+    result.bandwidth = static_cast<double>(completions) /
+                       static_cast<double>(config.measureSlots);
+    result.processorEfficiency =
+        result.bandwidth / static_cast<double>(n);
+    for (auto &v : result.busyPmf)
+        v /= static_cast<double>(config.measureSlots);
+    return result;
+}
+
+MultibusSimResult
+runCrossbarSim(int n, int m, double p, std::uint64_t seed,
+               std::uint64_t warmup_slots, std::uint64_t measure_slots)
+{
+    MultibusSimConfig config;
+    config.numProcessors = n;
+    config.numModules = m;
+    config.buses = std::min(n, m);
+    config.requestProbability = p;
+    config.seed = seed;
+    config.warmupSlots = warmup_slots;
+    config.measureSlots = measure_slots;
+    return runMultibusSim(config);
+}
+
+} // namespace sbn

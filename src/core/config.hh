@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Configuration of the multiplexed single-bus system simulator.
+ */
+
+#ifndef SBN_CORE_CONFIG_HH
+#define SBN_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "desim/event.hh"
+
+namespace sbn {
+
+class TraceSink;
+
+/**
+ * Bus-grant policy when both processor requests and memory responses
+ * compete for the next bus cycle (paper hypothesis (g)).
+ */
+enum class ArbitrationPolicy
+{
+    ProcessorPriority, //!< g'  - processor requests win
+    MemoryPriority,    //!< g'' - memory responses win
+};
+
+/**
+ * Tie-break rule among candidates of the winning class. The paper
+ * specifies Random (hypothesis (h)); OldestFirst is an extension used
+ * by the arbitration ablation study.
+ */
+enum class SelectionRule
+{
+    Random,
+    OldestFirst,
+};
+
+/**
+ * Full parameter set of one simulated system.
+ *
+ * Times are in bus cycles (the paper's unit t): memory access takes
+ * memoryRatio cycles, a processor cycle is memoryRatio + 2 (one
+ * request transfer, the access, one response transfer).
+ */
+struct SystemConfig
+{
+    int numProcessors = 8; //!< n
+    int numModules = 8;    //!< m
+    int memoryRatio = 8;   //!< r = memory cycle / bus cycle, >= 1
+
+    /**
+     * Probability p that a processor issues a new request immediately
+     * after its previous service; with 1-p it spends one processor
+     * cycle on internal processing and draws again (hypothesis (f)).
+     */
+    double requestProbability = 1.0;
+
+    ArbitrationPolicy policy = ArbitrationPolicy::ProcessorPriority;
+    SelectionRule selection = SelectionRule::Random;
+
+    /**
+     * Enable the Section 6 organization: per-module input/output
+     * buffers; requests may be bused to busy modules and a module
+     * starts its next buffered request in the cycle after completing
+     * the previous one.
+     */
+    bool buffered = false;
+
+    /**
+     * Buffer capacities when buffered; 0 means unbounded (the paper's
+     * configuration - with single-outstanding-request processors a
+     * queue never exceeds n anyway). A finite input capacity makes
+     * requests to a full module ineligible for the bus, like the
+     * unbuffered idle-module rule; a finite output capacity blocks the
+     * module from starting a new access until a response drains.
+     */
+    int inputCapacity = 0;
+    int outputCapacity = 0;
+
+    /**
+     * Optional non-uniform memory-reference weights (extension; the
+     * paper's hypothesis (e) is uniform). Empty = uniform. Size must
+     * equal numModules; entries are relative weights > 0.
+     */
+    std::vector<double> moduleWeights;
+
+    std::uint64_t seed = 1;    //!< RNG seed; fixed seed == fixed run
+    Tick warmupCycles = 20000; //!< cycles discarded before measuring
+    Tick measureCycles = 200000; //!< measured window length
+
+    /** Collect a waiting-time histogram (costs a little time). */
+    bool collectWaitHistogram = false;
+
+    /**
+     * Optional event tracing (categories: "proc", "bus", "mem").
+     * Not owned; must outlive the system. nullptr disables tracing.
+     */
+    TraceSink *trace = nullptr;
+
+    /** Processor cycle length r + 2 in bus cycles. */
+    int processorCycle() const { return memoryRatio + 2; }
+
+    /** The theoretical EBW ceiling (r+2)/2. */
+    double maxEbw() const { return (memoryRatio + 2) / 2.0; }
+
+    /** Abort with a message if any parameter is out of range. */
+    void validate() const;
+};
+
+} // namespace sbn
+
+#endif // SBN_CORE_CONFIG_HH

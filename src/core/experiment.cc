@@ -1,0 +1,40 @@
+#include "core/experiment.hh"
+
+#include "stats/replication.hh"
+
+namespace sbn {
+
+Metrics
+runOnce(const SystemConfig &config)
+{
+    SingleBusSystem system(config);
+    return system.run();
+}
+
+double
+runEbw(const SystemConfig &config)
+{
+    return runOnce(config).ebw;
+}
+
+Estimate
+replicate(const SystemConfig &config, unsigned replications,
+          const std::function<double(const Metrics &)> &metric)
+{
+    return runReplications(
+        [&](std::uint64_t seed) {
+            SystemConfig c = config;
+            c.seed = seed;
+            return metric(runOnce(c));
+        },
+        replications, config.seed);
+}
+
+Estimate
+replicateEbw(const SystemConfig &config, unsigned replications)
+{
+    return replicate(config, replications,
+                     [](const Metrics &m) { return m.ebw; });
+}
+
+} // namespace sbn

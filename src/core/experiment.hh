@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Convenience runners for simulation experiments: single runs and
+ * independent-replication confidence intervals over any Metrics
+ * field.
+ */
+
+#ifndef SBN_CORE_EXPERIMENT_HH
+#define SBN_CORE_EXPERIMENT_HH
+
+#include <functional>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/system.hh"
+#include "stats/batch_means.hh"
+
+namespace sbn {
+
+/** Run one system to completion and return its metrics. */
+Metrics runOnce(const SystemConfig &config);
+
+/** Run one system and return only its EBW (common case). */
+double runEbw(const SystemConfig &config);
+
+/**
+ * Run @p replications independent copies of @p config (seeds derived
+ * deterministically from config.seed) and summarize the chosen metric
+ * with a Student-t confidence interval.
+ *
+ * @param metric  extractor, e.g. [](const Metrics &m){ return m.ebw; }
+ */
+Estimate replicate(const SystemConfig &config, unsigned replications,
+                   const std::function<double(const Metrics &)> &metric);
+
+/** replicate() specialized to EBW. */
+Estimate replicateEbw(const SystemConfig &config,
+                      unsigned replications = 5);
+
+} // namespace sbn
+
+#endif // SBN_CORE_EXPERIMENT_HH

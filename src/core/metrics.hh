@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Measured outputs of one simulation run.
+ */
+
+#ifndef SBN_CORE_METRICS_HH
+#define SBN_CORE_METRICS_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stats/accumulator.hh"
+#include "stats/histogram.hh"
+
+namespace sbn {
+
+/**
+ * Steady-state metrics over the measurement window. All "per
+ * processor cycle" figures use the paper's (r+2)-bus-cycle processor
+ * cycle as the unit.
+ */
+struct Metrics
+{
+    std::uint64_t measuredCycles = 0;     //!< window length (bus cycles)
+    std::uint64_t completedRequests = 0;  //!< services delivered
+    std::uint64_t issuedRequests = 0;     //!< requests issued
+    std::uint64_t busBusyCycles = 0;      //!< cycles the bus transferred
+
+    /**
+     * Effective bandwidth: requests serviced per processor cycle,
+     * completedRequests / (measuredCycles / (r+2)). The paper's
+     * primary figure of merit.
+     */
+    double ebw = 0.0;
+
+    /** EBW via the identity Pb*(r+2)/2; equals ebw asymptotically. */
+    double ebwFromBusUtilization = 0.0;
+
+    /** Pb: fraction of bus cycles carrying a transfer. */
+    double busUtilization = 0.0;
+
+    /** Mean fraction of time a module spends accessing. */
+    double meanModuleUtilization = 0.0;
+
+    /**
+     * EBW / n: average fraction of time a processor's current request
+     * is in its minimal (r+2)-cycle service pattern. Figure 3 plots
+     * this divided by p.
+     */
+    double processorEfficiency = 0.0;
+
+    /** Mean queueing delay: service span minus the minimal r+2. */
+    double meanWaitCycles = 0.0;
+
+    /** Mean issue-to-delivery span in bus cycles. */
+    double meanServiceCycles = 0.0;
+
+    /** Waiting time spread (same samples as meanWaitCycles). */
+    Accumulator waitStats;
+
+    /** Completions per processor, for fairness checks. */
+    std::vector<std::uint64_t> perProcessorCompletions;
+
+    /** Optional waiting-time histogram (config.collectWaitHistogram). */
+    std::optional<Histogram> waitHistogram;
+};
+
+} // namespace sbn
+
+#endif // SBN_CORE_METRICS_HH

@@ -1,0 +1,444 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+/** Compose "proc 3 -> module 5"-style trace text. */
+template <typename... Args>
+std::string
+traceText(Args &&...args)
+{
+    return detail::composeMessage(std::forward<Args>(args)...);
+}
+
+} // namespace
+
+SingleBusSystem::SingleBusSystem(const SystemConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    cfg_.validate();
+
+    procs_.resize(cfg_.numProcessors);
+    for (int p = 0; p < cfg_.numProcessors; ++p) {
+        procs_[p].readyEvent = std::make_unique<EventFunction>(
+            [this, p] { processorReady(p); }, event_priority::kUpdate,
+            "proc-ready");
+    }
+
+    mods_.resize(cfg_.numModules);
+    for (int m = 0; m < cfg_.numModules; ++m) {
+        mods_[m].completionEvent = std::make_unique<EventFunction>(
+            [this, m] { memoryCompletion(m); }, event_priority::kUpdate,
+            "mem-complete");
+    }
+
+    transferDoneEvent_ = std::make_unique<EventFunction>(
+        [this] { transferDone(); }, event_priority::kUpdate,
+        "bus-transfer-done");
+    arbitrationEvent_ = std::make_unique<EventFunction>(
+        [this] { arbitrate(); }, event_priority::kDecide, "bus-arbitrate");
+
+    if (!cfg_.moduleWeights.empty()) {
+        weightCdf_.resize(cfg_.moduleWeights.size());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < cfg_.moduleWeights.size(); ++i) {
+            acc += cfg_.moduleWeights[i];
+            weightCdf_[i] = acc;
+        }
+        for (auto &v : weightCdf_)
+            v /= acc;
+    }
+
+    windowStart_ = cfg_.warmupCycles;
+    windowEnd_ = cfg_.warmupCycles + cfg_.measureCycles;
+    perProcCompleted_.assign(cfg_.numProcessors, 0);
+    if (cfg_.collectWaitHistogram) {
+        waitHist_.emplace(0.0,
+                          20.0 * static_cast<double>(cfg_.processorCycle()),
+                          200);
+    }
+}
+
+int
+SingleBusSystem::pickTargetModule()
+{
+    if (weightCdf_.empty())
+        return static_cast<int>(rng_.uniformInt(cfg_.numModules));
+    const double u = rng_.uniformReal();
+    const auto it =
+        std::upper_bound(weightCdf_.begin(), weightCdf_.end(), u);
+    return static_cast<int>(
+        std::min<std::size_t>(it - weightCdf_.begin(),
+                              weightCdf_.size() - 1));
+}
+
+bool
+SingleBusSystem::moduleCanAcceptRequest(const Module &mod) const
+{
+    if (!cfg_.buffered)
+        return mod.state == ModState::Idle;
+
+    // A request heading to an idle, empty module occupies the server,
+    // not a buffer slot; otherwise it needs a free input slot.
+    const int occupied =
+        static_cast<int>(mod.inputQueue.size()) + mod.reservedInput;
+    if (cfg_.inputCapacity == 0)
+        return true;
+    if (!mod.accessing && occupied == 0)
+        return true;
+    return occupied < cfg_.inputCapacity;
+}
+
+bool
+SingleBusSystem::moduleHasResponse(const Module &mod) const
+{
+    if (!cfg_.buffered)
+        return mod.state == ModState::HoldingResponse;
+    return !mod.outputQueue.empty();
+}
+
+void
+SingleBusSystem::requestArbitration(Tick at)
+{
+    // While arbitrate() itself runs (granting), candidates surfacing
+    // from its side effects are covered by the post-grant arbitration
+    // at the next cycle; scheduling here would double-grant the bus
+    // within one cycle.
+    if (inArbitration_ || arbitrationEvent_->scheduled())
+        return;
+    sim_.queue().schedule(*arbitrationEvent_, at);
+}
+
+void
+SingleBusSystem::processorReady(int proc)
+{
+    const Tick now = sim_.now();
+    Processor &p = procs_[proc];
+
+    if (rng_.bernoulli(cfg_.requestProbability)) {
+        p.state = ProcState::WaitingGrant;
+        p.target = pickTargetModule();
+        p.issueTick = now;
+        if (cfg_.trace) {
+            cfg_.trace->record(now, "proc",
+                               traceText("proc ", proc, " issues to module ",
+                                         p.target));
+        }
+        if (inWindow(now))
+            ++issued_;
+        if (moduleCanAcceptRequest(mods_[p.target]))
+            requestArbitration(now);
+    } else {
+        // One processor cycle of internal work, then draw again
+        // (hypothesis (f): requests only start on processor-cycle
+        // boundaries).
+        p.state = ProcState::Thinking;
+        if (cfg_.trace) {
+            cfg_.trace->record(
+                now, "proc",
+                traceText("proc ", proc, " thinks until ",
+                          now + static_cast<Tick>(cfg_.processorCycle())));
+        }
+        sim_.queue().schedule(
+            *p.readyEvent,
+            now + static_cast<Tick>(cfg_.processorCycle()));
+    }
+}
+
+void
+SingleBusSystem::memoryCompletion(int module)
+{
+    const Tick now = sim_.now();
+    Module &mod = mods_[module];
+
+    if (cfg_.trace) {
+        cfg_.trace->record(now, "mem",
+                           traceText("module ", module,
+                                     " completes access for proc ",
+                                     mod.servingProc));
+    }
+    if (!cfg_.buffered) {
+        sbn_assert(mod.state == ModState::Accessing,
+                   "completion on non-accessing module");
+        mod.state = ModState::HoldingResponse;
+        recordAccessSpan(mod.accessStart, now);
+        requestArbitration(now);
+        return;
+    }
+
+    mod.outputQueue.push_back(Response{mod.servingProc, now});
+    mod.accessing = false;
+    mod.servingProc = -1;
+    recordAccessSpan(mod.accessStart, now);
+    maybeStartBufferedAccess(module);
+    requestArbitration(now);
+}
+
+void
+SingleBusSystem::maybeStartBufferedAccess(int module)
+{
+    Module &mod = mods_[module];
+    if (mod.accessing || mod.inputQueue.empty())
+        return;
+    if (cfg_.outputCapacity > 0 &&
+        static_cast<int>(mod.outputQueue.size()) >= cfg_.outputCapacity)
+        return; // blocked until a response drains
+
+    const Tick now = sim_.now();
+    mod.servingProc = mod.inputQueue.front();
+    mod.inputQueue.pop_front();
+    mod.accessing = true;
+    mod.accessStart = now;
+    if (cfg_.trace) {
+        cfg_.trace->record(now, "mem",
+                           traceText("module ", module,
+                                     " starts access for proc ",
+                                     mod.servingProc));
+    }
+    sim_.queue().schedule(*mod.completionEvent,
+                          now + static_cast<Tick>(cfg_.memoryRatio));
+    // An input slot freed: a waiting processor may now be eligible.
+    requestArbitration(now);
+}
+
+void
+SingleBusSystem::transferDone()
+{
+    const Tick now = sim_.now();
+    const BusTransfer xfer = busTransfer_;
+    busTransfer_ = BusTransfer{};
+
+    if (xfer.kind == BusTransfer::Kind::Request) {
+        Module &mod = mods_[xfer.module];
+        if (!cfg_.buffered) {
+            sbn_assert(mod.state == ModState::RequestInFlight,
+                       "request arrived at module in wrong state");
+            mod.state = ModState::Accessing;
+            mod.servingProc = xfer.proc;
+            mod.accessStart = now;
+            if (cfg_.trace) {
+                cfg_.trace->record(now, "mem",
+                                   traceText("module ", xfer.module,
+                                             " starts access for proc ",
+                                             xfer.proc));
+            }
+            sim_.queue().schedule(
+                *mod.completionEvent,
+                now + static_cast<Tick>(cfg_.memoryRatio));
+        } else {
+            --mod.reservedInput;
+            sbn_assert(mod.reservedInput >= 0, "reservation underflow");
+            mod.inputQueue.push_back(xfer.proc);
+            maybeStartBufferedAccess(xfer.module);
+        }
+        return;
+    }
+
+    sbn_assert(xfer.kind == BusTransfer::Kind::Response,
+               "transfer-done with idle bus");
+
+    if (!cfg_.buffered) {
+        Module &mod = mods_[xfer.module];
+        sbn_assert(mod.state == ModState::ResponseInFlight,
+                   "response finished from module in wrong state");
+        mod.state = ModState::Idle;
+        mod.servingProc = -1;
+        // Requests queued for this module become eligible.
+        requestArbitration(now);
+    }
+
+    // Deliver to the processor; it immediately starts its next
+    // processor cycle (issue or think).
+    if (cfg_.trace) {
+        cfg_.trace->record(now, "proc",
+                           traceText("proc ", xfer.proc,
+                                     " receives response from module ",
+                                     xfer.module));
+    }
+    processorReady(xfer.proc);
+}
+
+void
+SingleBusSystem::arbitrate()
+{
+    const Tick now = sim_.now();
+    sbn_assert(busTransfer_.kind == BusTransfer::Kind::None,
+               "arbitrating while the bus is busy");
+    inArbitration_ = true;
+
+    candProcs_.clear();
+    for (int p = 0; p < cfg_.numProcessors; ++p) {
+        if (procs_[p].state == ProcState::WaitingGrant &&
+            moduleCanAcceptRequest(mods_[procs_[p].target]))
+            candProcs_.push_back(p);
+    }
+    candMods_.clear();
+    for (int m = 0; m < cfg_.numModules; ++m) {
+        if (moduleHasResponse(mods_[m]))
+            candMods_.push_back(m);
+    }
+
+    if (candProcs_.empty() && candMods_.empty()) {
+        // Bus goes idle; a future state change reschedules us.
+        inArbitration_ = false;
+        return;
+    }
+
+    const bool procs_first =
+        cfg_.policy == ArbitrationPolicy::ProcessorPriority;
+    const bool grant_proc =
+        !candProcs_.empty() && (procs_first || candMods_.empty());
+
+    if (grant_proc) {
+        int chosen = candProcs_.front();
+        if (cfg_.selection == SelectionRule::Random) {
+            chosen = candProcs_[rng_.pickIndex(candProcs_.size())];
+        } else {
+            for (int p : candProcs_)
+                if (procs_[p].issueTick < procs_[chosen].issueTick)
+                    chosen = p;
+        }
+        grantRequest(chosen);
+    } else {
+        int chosen = candMods_.front();
+        if (cfg_.selection == SelectionRule::Random) {
+            chosen = candMods_[rng_.pickIndex(candMods_.size())];
+        } else {
+            auto ready = [&](int m) {
+                const Module &mod = mods_[m];
+                return cfg_.buffered ? mod.outputQueue.front().readyTick
+                                     : mod.accessStart +
+                                           static_cast<Tick>(
+                                               cfg_.memoryRatio);
+            };
+            for (int m : candMods_)
+                if (ready(m) < ready(chosen))
+                    chosen = m;
+        }
+        grantResponse(chosen);
+    }
+
+    if (inWindow(now))
+        ++busBusy_;
+    sim_.queue().schedule(*transferDoneEvent_, now + 1);
+    inArbitration_ = false;
+    sim_.queue().schedule(*arbitrationEvent_, now + 1);
+}
+
+void
+SingleBusSystem::grantRequest(int proc)
+{
+    Processor &p = procs_[proc];
+    Module &mod = mods_[p.target];
+    p.state = ProcState::WaitingResponse;
+
+    if (!cfg_.buffered) {
+        sbn_assert(mod.state == ModState::Idle,
+                   "request granted to a non-idle module");
+        mod.state = ModState::RequestInFlight;
+    } else {
+        ++mod.reservedInput;
+    }
+
+    busTransfer_ = BusTransfer{BusTransfer::Kind::Request, proc, p.target};
+    if (cfg_.trace) {
+        cfg_.trace->record(sim_.now(), "bus",
+                           traceText("grant request proc ", proc,
+                                     " -> module ", p.target));
+    }
+}
+
+void
+SingleBusSystem::grantResponse(int module)
+{
+    const Tick now = sim_.now();
+    Module &mod = mods_[module];
+    int proc = -1;
+
+    if (!cfg_.buffered) {
+        sbn_assert(mod.state == ModState::HoldingResponse,
+                   "response granted from module in wrong state");
+        proc = mod.servingProc;
+        mod.state = ModState::ResponseInFlight;
+    } else {
+        proc = mod.outputQueue.front().proc;
+        mod.outputQueue.pop_front();
+        // The output slot freed; a blocked module can resume.
+        maybeStartBufferedAccess(module);
+    }
+
+    busTransfer_ = BusTransfer{BusTransfer::Kind::Response, proc, module};
+    if (cfg_.trace) {
+        cfg_.trace->record(now, "bus",
+                           traceText("grant response module ", module,
+                                     " -> proc ", proc));
+    }
+    recordCompletion(proc, now);
+}
+
+void
+SingleBusSystem::recordCompletion(int proc, Tick grant_tick)
+{
+    if (!inWindow(grant_tick))
+        return;
+    ++completed_;
+    ++perProcCompleted_[proc];
+    const Tick delivery = grant_tick + 1;
+    const double service =
+        static_cast<double>(delivery - procs_[proc].issueTick);
+    const double wait =
+        service - static_cast<double>(cfg_.processorCycle());
+    serviceStats_.add(service);
+    waitStats_.add(wait);
+    if (waitHist_)
+        waitHist_->add(wait);
+}
+
+void
+SingleBusSystem::recordAccessSpan(Tick start, Tick end)
+{
+    const Tick lo = std::max(start, windowStart_);
+    const Tick hi = std::min(end, windowEnd_);
+    if (hi > lo)
+        accessCycles_ += static_cast<double>(hi - lo);
+}
+
+Metrics
+SingleBusSystem::run()
+{
+    sbn_assert(!ran_, "SingleBusSystem::run may only be called once");
+    ran_ = true;
+
+    for (auto &p : procs_)
+        sim_.queue().schedule(*p.readyEvent, 0);
+    sim_.run(windowEnd_);
+
+    Metrics out;
+    out.measuredCycles = windowEnd_ - windowStart_;
+    out.completedRequests = completed_;
+    out.issuedRequests = issued_;
+    out.busBusyCycles = busBusy_;
+
+    const auto cycles = static_cast<double>(out.measuredCycles);
+    const auto pc = static_cast<double>(cfg_.processorCycle());
+    out.ebw = static_cast<double>(completed_) * pc / cycles;
+    out.busUtilization = static_cast<double>(busBusy_) / cycles;
+    out.ebwFromBusUtilization = out.busUtilization * pc / 2.0;
+    out.meanModuleUtilization =
+        accessCycles_ / (cycles * static_cast<double>(cfg_.numModules));
+    out.processorEfficiency =
+        out.ebw / static_cast<double>(cfg_.numProcessors);
+    out.meanWaitCycles = waitStats_.mean();
+    out.meanServiceCycles = serviceStats_.mean();
+    out.waitStats = waitStats_;
+    out.perProcessorCompletions = perProcCompleted_;
+    out.waitHistogram = waitHist_;
+    return out;
+}
+
+} // namespace sbn

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Event-driven model of the multiplexed single-bus multiprocessor.
+ *
+ * One kernel tick is one bus cycle (the paper's basic cycle t). The
+ * bus carries exactly one transfer per cycle: a processor request on
+ * its way to a module, or a module response on its way back. Memory
+ * accesses take r cycles; an uncontended request therefore completes
+ * a processor cycle in r+2 bus cycles.
+ *
+ * The model is event-driven rather than cycle-stepped: arbitration
+ * runs only in cycles where a grant could happen, and quiescent spans
+ * (all processors thinking / all modules accessing) are skipped.
+ *
+ * Event schedule within one tick:
+ *   priority kUpdate: transfer deliveries, memory completions,
+ *                     processor think-expiries -- all state updates;
+ *   priority kDecide: bus arbitration, which therefore observes a
+ *                     consistent end-of-cycle state.
+ */
+
+#ifndef SBN_CORE_SYSTEM_HH
+#define SBN_CORE_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "desim/simulation.hh"
+#include "desim/trace.hh"
+#include "util/random.hh"
+
+namespace sbn {
+
+/**
+ * A complete simulated system: n processors, m memory modules, the
+ * multiplexed bus and its arbiter. Construct with a SystemConfig and
+ * call run() once to obtain Metrics.
+ */
+class SingleBusSystem
+{
+  public:
+    explicit SingleBusSystem(const SystemConfig &config);
+
+    /** Run warmup + measurement and return the collected metrics. */
+    Metrics run();
+
+    /** The configuration this system was built with. */
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Current simulated bus cycle (exposed for tests). */
+    Tick now() const { return sim_.now(); }
+
+  private:
+    /** What a processor is doing. */
+    enum class ProcState
+    {
+        Thinking,        //!< internal processing, no request
+        WaitingGrant,    //!< request issued, waiting for the bus
+        WaitingResponse, //!< request in the memory subsystem
+    };
+
+    struct Processor
+    {
+        ProcState state = ProcState::Thinking;
+        int target = -1;  //!< module of the outstanding request
+        Tick issueTick = 0;
+        std::unique_ptr<EventFunction> readyEvent;
+    };
+
+    /** Unbuffered module service stages. */
+    enum class ModState
+    {
+        Idle,
+        RequestInFlight, //!< granted request still on the bus
+        Accessing,
+        HoldingResponse, //!< done, response waiting for the bus
+        ResponseInFlight //!< response on the bus
+    };
+
+    struct Response
+    {
+        int proc;
+        Tick readyTick;
+    };
+
+    struct Module
+    {
+        // Unbuffered state machine.
+        ModState state = ModState::Idle;
+        int servingProc = -1;
+
+        // Buffered organization (config.buffered).
+        bool accessing = false;
+        std::deque<int> inputQueue;      //!< waiting request procs
+        std::deque<Response> outputQueue; //!< waiting responses
+        int reservedInput = 0; //!< granted requests still on the bus
+
+        Tick accessStart = 0;
+        std::unique_ptr<EventFunction> completionEvent;
+    };
+
+    /** The transfer currently occupying the bus. */
+    struct BusTransfer
+    {
+        enum class Kind { None, Request, Response } kind = Kind::None;
+        int proc = -1;
+        int module = -1;
+    };
+
+    // --- behaviour ---------------------------------------------------
+    void processorReady(int proc);
+    void memoryCompletion(int module);
+    void transferDone();
+    void arbitrate();
+
+    void requestArbitration(Tick at);
+    bool moduleCanAcceptRequest(const Module &mod) const;
+    bool moduleHasResponse(const Module &mod) const;
+    void maybeStartBufferedAccess(int module);
+    int pickTargetModule();
+
+    void grantRequest(int proc);
+    void grantResponse(int module);
+
+    // --- bookkeeping --------------------------------------------------
+    bool inWindow(Tick t) const
+    {
+        return t >= windowStart_ && t < windowEnd_;
+    }
+    void recordCompletion(int proc, Tick grant_tick);
+    void recordAccessSpan(Tick start, Tick end);
+
+    SystemConfig cfg_;
+    Simulation sim_;
+    RandomGenerator rng_;
+
+    std::vector<Processor> procs_;
+    std::vector<Module> mods_;
+
+    BusTransfer busTransfer_;
+    std::unique_ptr<EventFunction> transferDoneEvent_;
+    std::unique_ptr<EventFunction> arbitrationEvent_;
+    bool inArbitration_ = false; //!< guards re-entrant rescheduling
+
+    std::vector<double> weightCdf_; //!< non-uniform reference, optional
+
+    // Measurement window and counters.
+    Tick windowStart_ = 0;
+    Tick windowEnd_ = 0;
+    std::uint64_t busBusy_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t issued_ = 0;
+    double accessCycles_ = 0.0;
+    Accumulator waitStats_;
+    Accumulator serviceStats_;
+    std::vector<std::uint64_t> perProcCompleted_;
+    std::optional<Histogram> waitHist_;
+
+    // Scratch buffers reused by arbitrate() to avoid allocation.
+    std::vector<int> candProcs_;
+    std::vector<int> candMods_;
+
+    bool ran_ = false;
+};
+
+} // namespace sbn
+
+#endif // SBN_CORE_SYSTEM_HH

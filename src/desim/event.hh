@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Event types for the discrete-event simulation kernel.
+ *
+ * Ticks are integral (the paper's systems are synchronous to the bus
+ * cycle t, so one tick == one bus cycle in the bus simulators; the
+ * kernel itself is agnostic). Events scheduled at the same tick fire
+ * in (priority, insertion-order) sequence, which components use to
+ * guarantee that, e.g., all state-updating events of a cycle run
+ * before that cycle's arbitration decision.
+ */
+
+#ifndef SBN_DESIM_EVENT_HH
+#define SBN_DESIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sbn {
+
+/** Simulated time in kernel ticks. */
+using Tick = std::uint64_t;
+
+/** Scheduling priority inside one tick; lower runs earlier. */
+using EventPriority = std::int32_t;
+
+/** Well-known priorities used by the bus simulators. */
+namespace event_priority {
+
+/** State updates: transfer completions, memory completions, wakeups. */
+constexpr EventPriority kUpdate = 0;
+
+/** Decisions that must observe all same-tick updates (arbitration). */
+constexpr EventPriority kDecide = 100;
+
+} // namespace event_priority
+
+/**
+ * A scheduled piece of work. Events are owned by the scheduler from
+ * schedule() until they fire or are descheduled; components normally
+ * use EventFunction (a callback wrapper) rather than subclassing.
+ */
+class Event
+{
+  public:
+    explicit Event(EventPriority priority = event_priority::kUpdate,
+                   std::string name = "event")
+        : priority_(priority), name_(std::move(name))
+    {}
+
+    virtual ~Event() = default;
+
+    /** Invoked by the kernel when simulated time reaches the event. */
+    virtual void process() = 0;
+
+    /** Priority within a tick (lower first). */
+    EventPriority priority() const { return priority_; }
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+    /** True while the event sits in an EventQueue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick the event is scheduled for (valid while scheduled()). */
+    Tick when() const { return when_; }
+
+  private:
+    friend class EventQueue;
+
+    EventPriority priority_;
+    std::string name_;
+    bool scheduled_ = false;
+    Tick when_ = 0;
+    std::uint64_t sequence_ = 0;
+};
+
+/** Event that runs a std::function; the common case. */
+class EventFunction : public Event
+{
+  public:
+    EventFunction(std::function<void()> callback,
+                  EventPriority priority = event_priority::kUpdate,
+                  std::string name = "lambda-event")
+        : Event(priority, std::move(name)),
+          callback_(std::move(callback))
+    {}
+
+    void process() override { callback_(); }
+
+  private:
+    std::function<void()> callback_;
+};
+
+} // namespace sbn
+
+#endif // SBN_DESIM_EVENT_HH

@@ -1,0 +1,121 @@
+#include "desim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+void
+EventQueue::schedule(Event &event, Tick when)
+{
+    sbn_assert(!event.scheduled_, "event '", event.name(),
+               "' already scheduled");
+    sbn_assert(when >= now_, "scheduling event '", event.name(),
+               "' in the past: ", when, " < now ", now_);
+
+    event.scheduled_ = true;
+    event.when_ = when;
+    event.sequence_ = nextSequence_++;
+
+    heap_.push_back(Entry{when, event.priority(), event.sequence_, &event});
+    siftUp(heap_.size() - 1);
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event &event)
+{
+    sbn_assert(event.scheduled_, "descheduling unscheduled event '",
+               event.name(), "'");
+    event.scheduled_ = false;
+    // Lazy removal: find the heap entry and null it; it is skipped on
+    // pop. Linear scan is acceptable because deschedule is rare in the
+    // bus models (only used when draining a simulation early).
+    for (auto &entry : heap_) {
+        if (entry.event == &event && entry.sequence == event.sequence_) {
+            entry.event = nullptr;
+            --live_;
+            return;
+        }
+    }
+    sbn_panic("scheduled event '", event.name(), "' missing from heap");
+}
+
+const EventQueue::Entry &
+EventQueue::top() const
+{
+    sbn_assert(!heap_.empty(), "peeking an empty event queue");
+    return heap_.front();
+}
+
+void
+EventQueue::popTop()
+{
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+}
+
+void
+EventQueue::purgeDead()
+{
+    while (!heap_.empty() && heap_.front().event == nullptr)
+        popTop();
+}
+
+Tick
+EventQueue::nextTick()
+{
+    sbn_assert(live_ > 0, "nextTick on an empty event queue");
+    purgeDead();
+    return top().when;
+}
+
+Tick
+EventQueue::runOne()
+{
+    sbn_assert(live_ > 0, "running an empty event queue");
+    purgeDead();
+    Entry entry = top();
+    popTop();
+    Event &event = *entry.event;
+    event.scheduled_ = false;
+    --live_;
+    now_ = entry.when;
+    ++executed_;
+    event.process();
+    return entry.when;
+}
+
+void
+EventQueue::siftUp(std::size_t idx)
+{
+    while (idx > 0) {
+        const std::size_t parent = (idx - 1) / 2;
+        if (!(heap_[parent] > heap_[idx]))
+            break;
+        std::swap(heap_[parent], heap_[idx]);
+        idx = parent;
+    }
+}
+
+void
+EventQueue::siftDown(std::size_t idx)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        const std::size_t left = 2 * idx + 1;
+        const std::size_t right = left + 1;
+        std::size_t smallest = idx;
+        if (left < n && heap_[smallest] > heap_[left])
+            smallest = left;
+        if (right < n && heap_[smallest] > heap_[right])
+            smallest = right;
+        if (smallest == idx)
+            break;
+        std::swap(heap_[idx], heap_[smallest]);
+        idx = smallest;
+    }
+}
+
+} // namespace sbn

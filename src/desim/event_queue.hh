@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Priority queue of events ordered by (tick, priority, schedule order).
+ */
+
+#ifndef SBN_DESIM_EVENT_QUEUE_HH
+#define SBN_DESIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "desim/event.hh"
+
+namespace sbn {
+
+/**
+ * The kernel's pending-event set.
+ *
+ * A binary heap keyed by (when, priority, sequence). The sequence
+ * number makes ordering total and deterministic: two events scheduled
+ * for the same tick and priority fire in the order they were
+ * scheduled, so simulations are exactly reproducible.
+ *
+ * Events are referenced, not owned; a scheduled event must outlive its
+ * execution or be descheduled first. Descheduling is lazy: the entry
+ * is invalidated and skipped on pop, which keeps deschedule O(1).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Insert @p event to fire at tick @p when.
+     * @pre !event.scheduled() and when >= now()
+     */
+    void schedule(Event &event, Tick when);
+
+    /** Remove a scheduled event without running it. */
+    void deschedule(Event &event);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-descheduled) events. */
+    std::uint64_t size() const { return live_; }
+
+    /** Tick of the earliest live event. @pre !empty() */
+    Tick nextTick();
+
+    /**
+     * Pop and run the earliest event; advances now() to its tick.
+     * @return the tick that was serviced. @pre !empty()
+     */
+    Tick runOne();
+
+    /** Current simulated time (tick of the last serviced event). */
+    Tick now() const { return now_; }
+
+    /** Total events executed (for perf reporting). */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        EventPriority priority;
+        std::uint64_t sequence;
+        Event *event; // nullptr once descheduled
+
+        bool operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (priority != o.priority)
+                return priority > o.priority;
+            return sequence > o.sequence;
+        }
+    };
+
+    void siftUp(std::size_t idx);
+    void siftDown(std::size_t idx);
+    const Entry &top() const;
+    void popTop();
+    void purgeDead();
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSequence_ = 0;
+    std::uint64_t live_ = 0;
+    std::uint64_t executed_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace sbn
+
+#endif // SBN_DESIM_EVENT_QUEUE_HH

@@ -1,0 +1,36 @@
+#include "desim/simulation.hh"
+
+namespace sbn {
+
+std::uint64_t
+Simulation::run(Tick limit)
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty() && queue_.nextTick() < limit) {
+        queue_.runOne();
+        ++executed;
+    }
+    return executed;
+}
+
+std::uint64_t
+Simulation::runAll()
+{
+    std::uint64_t executed = 0;
+    while (!queue_.empty()) {
+        queue_.runOne();
+        ++executed;
+    }
+    return executed;
+}
+
+bool
+Simulation::step()
+{
+    if (queue_.empty())
+        return false;
+    queue_.runOne();
+    return true;
+}
+
+} // namespace sbn

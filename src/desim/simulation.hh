@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Simulation driver: owns an EventQueue and runs it to a limit.
+ */
+
+#ifndef SBN_DESIM_SIMULATION_HH
+#define SBN_DESIM_SIMULATION_HH
+
+#include <cstdint>
+
+#include "desim/event_queue.hh"
+
+namespace sbn {
+
+/**
+ * Thin driver around EventQueue providing run-to-tick and run-to-empty
+ * loops. Simulator models hold a Simulation and schedule against its
+ * queue; tests drive it directly.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    /** The underlying pending-event set. */
+    EventQueue &queue() { return queue_; }
+    const EventQueue &queue() const { return queue_; }
+
+    /** Current simulated tick. */
+    Tick now() const { return queue_.now(); }
+
+    /**
+     * Execute events until the queue drains or the next event would
+     * fire at or after @p limit. Events exactly at limit are NOT run,
+     * so consecutive run(limit) calls partition time into [a, b)
+     * windows.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit);
+
+    /** Execute until the queue is empty. @return events executed. */
+    std::uint64_t runAll();
+
+    /** Execute exactly one event if available. @return true if run. */
+    bool step();
+
+  private:
+    EventQueue queue_;
+};
+
+} // namespace sbn
+
+#endif // SBN_DESIM_SIMULATION_HH

@@ -1,0 +1,46 @@
+#include "desim/trace.hh"
+
+namespace sbn {
+
+TraceSink::TraceSink(std::ostream *stream, std::size_t capacity)
+    : stream_(stream), capacity_(capacity)
+{
+}
+
+void
+TraceSink::enableOnly(std::set<std::string> categories)
+{
+    filterActive_ = true;
+    enabled_ = std::move(categories);
+}
+
+void
+TraceSink::enableAll()
+{
+    filterActive_ = false;
+    enabled_.clear();
+}
+
+bool
+TraceSink::wants(const std::string &category) const
+{
+    return !filterActive_ || enabled_.count(category) > 0;
+}
+
+void
+TraceSink::record(Tick tick, const std::string &category,
+                  std::string message)
+{
+    if (!wants(category))
+        return;
+    ++emitted_;
+    if (stream_) {
+        *stream_ << tick << ": [" << category << "] " << message
+                 << '\n';
+    }
+    records_.push_back(TraceRecord{tick, category, std::move(message)});
+    if (records_.size() > capacity_)
+        records_.pop_front();
+}
+
+} // namespace sbn

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Umbrella header for the sbn library: multiplexed single-bus network
+ * analysis & simulation (reproduction of Llaberia, Valero, Herrada,
+ * Labarta, ISCA 1985).
+ *
+ * Pulls in the full public API:
+ *  - core/      the cycle-accurate single-bus simulator
+ *  - analytic/  the paper's analytical models + baselines + extensions
+ *  - baselines/ synchronous crossbar / multiple-bus simulators
+ *  - stats/     estimation utilities
+ *  - desim/     the discrete-event kernel (for building new models)
+ *
+ * Include the individual headers instead when compile time matters.
+ */
+
+#ifndef SBN_SBN_HH
+#define SBN_SBN_HH
+
+#include "analytic/crossbar.hh"
+#include "analytic/detmva.hh"
+#include "analytic/memprio.hh"
+#include "analytic/multibus.hh"
+#include "analytic/mva.hh"
+#include "analytic/occupancy_chain.hh"
+#include "analytic/procprio.hh"
+#include "baselines/multibus_sim.hh"
+#include "core/config.hh"
+#include "core/experiment.hh"
+#include "core/metrics.hh"
+#include "core/system.hh"
+#include "desim/event.hh"
+#include "desim/event_queue.hh"
+#include "desim/simulation.hh"
+#include "desim/trace.hh"
+#include "markov/dtmc.hh"
+#include "stats/accumulator.hh"
+#include "stats/batch_means.hh"
+#include "stats/histogram.hh"
+#include "stats/replication.hh"
+#include "util/cli.hh"
+#include "util/combinatorics.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+#endif // SBN_SBN_HH

@@ -1,0 +1,49 @@
+#include "stats/batch_means.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+bool
+Estimate::covers(double value, double slack) const
+{
+    return std::abs(value - mean) <= halfWidth + slack;
+}
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batchSize_(batch_size)
+{
+    sbn_assert(batch_size >= 1, "batch size must be >= 1");
+}
+
+void
+BatchMeans::add(double sample)
+{
+    batchSum_ += sample;
+    if (++inBatch_ == batchSize_) {
+        batchStats_.add(batchSum_ / static_cast<double>(batchSize_));
+        batchSum_ = 0.0;
+        inBatch_ = 0;
+    }
+}
+
+Estimate
+BatchMeans::estimate(double level) const
+{
+    Estimate e;
+    e.mean = batchStats_.mean();
+    e.halfWidth = batchStats_.confidenceHalfWidth(level);
+    e.samples = batchStats_.count();
+    return e;
+}
+
+void
+BatchMeans::reset()
+{
+    inBatch_ = 0;
+    batchSum_ = 0.0;
+    batchStats_.reset();
+}
+
+} // namespace sbn

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Batch-means estimator for steady-state simulation output analysis.
+ *
+ * Correlated per-cycle observations are grouped into fixed-size
+ * batches; batch averages are approximately independent for large
+ * batches, so a Student-t confidence interval on their mean is a
+ * defensible steady-state interval (law of large numbers for
+ * regenerative-ish processes). This is the classical method used for
+ * single-run steady-state estimation.
+ */
+
+#ifndef SBN_STATS_BATCH_MEANS_HH
+#define SBN_STATS_BATCH_MEANS_HH
+
+#include <cstdint>
+
+#include "stats/accumulator.hh"
+
+namespace sbn {
+
+/** Confidence interval summary produced by estimators. */
+struct Estimate
+{
+    double mean = 0.0;      //!< point estimate
+    double halfWidth = 0.0; //!< CI half width at the requested level
+    std::uint64_t samples = 0;
+
+    double lower() const { return mean - halfWidth; }
+    double upper() const { return mean + halfWidth; }
+
+    /** True if |other - mean| <= halfWidth + slack. */
+    bool covers(double value, double slack = 0.0) const;
+};
+
+/** Fixed-batch-size batch-means accumulator. */
+class BatchMeans
+{
+  public:
+    /** @param batch_size observations per batch (>= 1). */
+    explicit BatchMeans(std::uint64_t batch_size);
+
+    /** Add one raw (possibly autocorrelated) observation. */
+    void add(double sample);
+
+    /** Number of completed batches. */
+    std::uint64_t batches() const { return batchStats_.count(); }
+
+    /** Grand mean over completed batches. */
+    double mean() const { return batchStats_.mean(); }
+
+    /** Confidence interval over batch averages. */
+    Estimate estimate(double level = 0.95) const;
+
+    /** Drop all state. */
+    void reset();
+
+  private:
+    std::uint64_t batchSize_;
+    std::uint64_t inBatch_ = 0;
+    double batchSum_ = 0.0;
+    Accumulator batchStats_;
+};
+
+} // namespace sbn
+
+#endif // SBN_STATS_BATCH_MEANS_HH

@@ -1,0 +1,99 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      bins_(bins, 0)
+{
+    sbn_assert(hi > lo, "histogram range must be non-empty");
+    sbn_assert(bins >= 1, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    if (sample < lo_) {
+        ++underflow_;
+    } else if (sample >= hi_) {
+        ++overflow_;
+    } else {
+        auto idx = static_cast<std::size_t>((sample - lo_) / width_);
+        idx = std::min(idx, bins_.size() - 1);
+        ++bins_[idx];
+    }
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    sbn_assert(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+    if (count_ == 0)
+        return lo_;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return binLow(i) + width_;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : bins_)
+        peak = std::max(peak, c);
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (!bins_[i])
+            continue;
+        const auto bar = static_cast<std::size_t>(
+            static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        os << '[' << binLow(i) << ", " << binLow(i) + width_ << ") "
+           << std::string(std::max<std::size_t>(bar, 1), '#') << ' '
+           << bins_[i] << '\n';
+    }
+    if (underflow_)
+        os << "underflow " << underflow_ << '\n';
+    if (overflow_)
+        os << "overflow " << overflow_ << '\n';
+    return os.str();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    underflow_ = overflow_ = count_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace sbn

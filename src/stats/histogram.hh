@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fixed-bin histogram for latency/waiting-time distributions.
+ */
+
+#ifndef SBN_STATS_HISTOGRAM_HH
+#define SBN_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbn {
+
+/**
+ * Histogram over [lo, hi) with uniform bins plus underflow/overflow
+ * counters. Also tracks exact mean via an Accumulator-style running
+ * sum so the histogram can double as a summary statistic.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo    inclusive lower bound of the tracked range
+     * @param hi    exclusive upper bound
+     * @param bins  number of uniform bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double sample);
+
+    /** Total samples including under/overflow. */
+    std::uint64_t count() const { return count_; }
+
+    /** Mean of all samples. */
+    double mean() const;
+
+    /** Count in bin i. */
+    std::uint64_t binCount(std::size_t i) const { return bins_.at(i); }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return bins_.size(); }
+
+    /** Inclusive lower edge of bin i. */
+    double binLow(std::size_t i) const;
+
+    /** Samples below lo / at-or-above hi. */
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+
+    /**
+     * Smallest x such that at least quantile*count samples are < x
+     * (resolved to bin granularity; under/overflow map to range ends).
+     */
+    double quantile(double q) const;
+
+    /** Multi-line ASCII rendering (one row per non-empty bin). */
+    std::string render(std::size_t width = 50) const;
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace sbn
+
+#endif // SBN_STATS_HISTOGRAM_HH

@@ -1,0 +1,28 @@
+#include "stats/replication.hh"
+
+#include "stats/accumulator.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace sbn {
+
+Estimate
+runReplications(const std::function<double(std::uint64_t)> &experiment,
+                unsigned replications, std::uint64_t master_seed,
+                double level)
+{
+    sbn_assert(replications >= 1, "need at least one replication");
+
+    RandomGenerator seeder(master_seed);
+    Accumulator acc;
+    for (unsigned i = 0; i < replications; ++i)
+        acc.add(experiment(seeder.deriveSeed()));
+
+    Estimate e;
+    e.mean = acc.mean();
+    e.halfWidth = replications >= 2 ? acc.confidenceHalfWidth(level) : 0.0;
+    e.samples = acc.count();
+    return e;
+}
+
+} // namespace sbn

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Independent-replications estimator.
+ *
+ * Runs a seeded experiment K times with derived seeds and reports a
+ * Student-t confidence interval across the replication results. This
+ * complements BatchMeans: replications remove initialization bias
+ * concerns at the cost of repeated warmups.
+ */
+
+#ifndef SBN_STATS_REPLICATION_HH
+#define SBN_STATS_REPLICATION_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/batch_means.hh"
+
+namespace sbn {
+
+/**
+ * Run @p experiment once per replication with a deterministic derived
+ * seed and summarize the scalar results.
+ *
+ * @param experiment    callable mapping a seed to a scalar result
+ * @param replications  number of independent runs (>= 2 for a CI)
+ * @param master_seed   seed for the seed-derivation stream
+ * @param level         confidence level for the interval
+ */
+Estimate runReplications(
+    const std::function<double(std::uint64_t)> &experiment,
+    unsigned replications, std::uint64_t master_seed = 1,
+    double level = 0.95);
+
+} // namespace sbn
+
+#endif // SBN_STATS_REPLICATION_HH

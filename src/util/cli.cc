@@ -1,0 +1,138 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+CommandLine::CommandLine(int argc, const char *const *argv,
+                         const std::map<std::string, std::string> &known)
+    : program_(argc > 0 ? argv[0] : "sbn")
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            sbn_fatal("unexpected positional argument '", arg,
+                      "' (options start with --)");
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            value = argv[++i];
+            have_value = true;
+        }
+
+        if (name == "help")
+            printHelpAndExit(known);
+        if (!known.count(name))
+            sbn_fatal("unknown option --", name,
+                      " (try --help for the option list)");
+        values_[name] = have_value ? value : "true";
+    }
+}
+
+void
+CommandLine::printHelpAndExit(
+    const std::map<std::string, std::string> &known) const
+{
+    std::printf("usage: %s [--option=value ...]\n\noptions:\n",
+                program_.c_str());
+    for (const auto &[name, help] : known)
+        std::printf("  --%-18s %s\n", name.c_str(), help.c_str());
+    std::printf("  --%-18s %s\n", "help", "show this message");
+    std::exit(0);
+}
+
+bool
+CommandLine::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+CommandLine::getString(const std::string &name, const std::string &def) const
+{
+    const auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+std::int64_t
+CommandLine::getInt(const std::string &name, std::int64_t def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        sbn_fatal("option --", name, " expects an integer, got '",
+                  it->second, "'");
+    return v;
+}
+
+double
+CommandLine::getDouble(const std::string &name, double def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        sbn_fatal("option --", name, " expects a number, got '",
+                  it->second, "'");
+    return v;
+}
+
+bool
+CommandLine::getBool(const std::string &name, bool def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    sbn_fatal("option --", name, " expects a boolean, got '", v, "'");
+}
+
+std::vector<std::int64_t>
+CommandLine::getIntList(const std::string &name,
+                        const std::vector<std::int64_t> &def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    std::vector<std::int64_t> out;
+    std::string cur;
+    auto flush = [&] {
+        if (cur.empty())
+            return;
+        char *end = nullptr;
+        out.push_back(std::strtoll(cur.c_str(), &end, 10));
+        if (end == cur.c_str() || *end != '\0')
+            sbn_fatal("option --", name, ": bad list element '", cur, "'");
+        cur.clear();
+    };
+    for (char c : it->second) {
+        if (c == ',')
+            flush();
+        else
+            cur.push_back(c);
+    }
+    flush();
+    return out;
+}
+
+} // namespace sbn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tiny command-line option parser for the example programs.
+ *
+ * Supports --name=value and --name value forms plus boolean flags
+ * (--name). Unknown options abort with a usage message so examples
+ * fail loudly on typos.
+ */
+
+#ifndef SBN_UTIL_CLI_HH
+#define SBN_UTIL_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbn {
+
+/** Parsed command line with typed accessors and defaults. */
+class CommandLine
+{
+  public:
+    /**
+     * Parse argv. @p known maps option name -> help text; options not
+     * in the map cause fatal(). "help" is always known.
+     */
+    CommandLine(int argc, const char *const *argv,
+                const std::map<std::string, std::string> &known);
+
+    /** True if --name was supplied (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &name,
+                          const std::string &def) const;
+
+    /** Integer option with default. Fatal on non-numeric values. */
+    std::int64_t getInt(const std::string &name, std::int64_t def) const;
+
+    /** Floating-point option with default. */
+    double getDouble(const std::string &name, double def) const;
+
+    /** Boolean flag: present without value, or =true/=false. */
+    bool getBool(const std::string &name, bool def) const;
+
+    /** Comma-separated list of integers, e.g. --r=2,4,8. */
+    std::vector<std::int64_t> getIntList(
+        const std::string &name, const std::vector<std::int64_t> &def) const;
+
+    /** Program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    void printHelpAndExit(
+        const std::map<std::string, std::string> &known) const;
+
+    std::string program_;
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace sbn
+
+#endif // SBN_UTIL_CLI_HH

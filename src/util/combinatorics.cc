@@ -1,0 +1,211 @@
+#include "util/combinatorics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+double
+factorial(int k)
+{
+    sbn_assert(k >= 0 && k <= 170, "factorial out of double range: ", k);
+    static const auto table = [] {
+        std::vector<double> t(171, 1.0);
+        for (int i = 1; i <= 170; ++i)
+            t[i] = t[i - 1] * i;
+        return t;
+    }();
+    return table[k];
+}
+
+double
+logFactorial(int k)
+{
+    sbn_assert(k >= 0, "logFactorial of negative value: ", k);
+    return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double
+binomial(int n, int k)
+{
+    if (k < 0 || k > n || n < 0)
+        return 0.0;
+    if (n <= 170)
+        return factorial(n) / (factorial(k) * factorial(n - k));
+    return std::exp(logFactorial(n) - logFactorial(k) -
+                    logFactorial(n - k));
+}
+
+double
+stirling2(int n, int k)
+{
+    sbn_assert(n >= 0 && k >= 0, "stirling2 requires non-negative args");
+    if (k > n)
+        return 0.0;
+    if (n == 0)
+        return k == 0 ? 1.0 : 0.0;
+    if (k == 0)
+        return 0.0;
+
+    // Cache rows of the recurrence S2(n,k) = k*S2(n-1,k) + S2(n-1,k-1).
+    static std::map<int, std::vector<double>> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+        std::vector<double> prev{1.0}; // row 0: S2(0,0) = 1
+        for (int row = 1; row <= n; ++row) {
+            std::vector<double> cur(row + 1, 0.0);
+            for (int col = 1; col <= row; ++col) {
+                const double carry =
+                    col < static_cast<int>(prev.size()) ? prev[col] : 0.0;
+                cur[col] = col * carry + prev[col - 1];
+            }
+            cache[row] = cur;
+            prev = std::move(cur);
+        }
+        it = cache.find(n);
+    }
+    const auto &row = it->second;
+    return k < static_cast<int>(row.size()) ? row[k] : 0.0;
+}
+
+double
+surjections(int n, int k)
+{
+    if (n == 0 && k == 0)
+        return 1.0;
+    if (k > n || k < 0)
+        return 0.0;
+    return factorial(k) * stirling2(n, k);
+}
+
+double
+multinomial(int n, const std::vector<int> &parts)
+{
+    int sum = 0;
+    double denom = 1.0;
+    for (int part : parts) {
+        sbn_assert(part >= 0, "multinomial part must be >= 0");
+        sum += part;
+        denom *= factorial(part);
+    }
+    sbn_assert(sum == n, "multinomial parts must sum to n");
+    return factorial(n) / denom;
+}
+
+std::vector<double>
+distinctTargetPmf(int n, int m)
+{
+    sbn_assert(n >= 0 && m >= 1, "distinctTargetPmf needs n>=0, m>=1");
+    const int x_max = std::min(n, m);
+    std::vector<double> pmf(x_max + 1, 0.0);
+    const double denom = std::pow(static_cast<double>(m), n);
+    for (int x = 0; x <= x_max; ++x)
+        pmf[x] = binomial(m, x) * surjections(n, x) / denom;
+    return pmf;
+}
+
+namespace {
+
+void
+partitionRecurse(int remaining, int max_parts, int max_value,
+                 std::vector<int> &prefix,
+                 const std::function<void(const std::vector<int> &)> &visit)
+{
+    if (remaining == 0) {
+        visit(prefix);
+        return;
+    }
+    if (max_parts == 0)
+        return;
+    const int hi = std::min(remaining, max_value);
+    for (int part = hi; part >= 1; --part) {
+        prefix.push_back(part);
+        partitionRecurse(remaining - part, max_parts - 1, part, prefix,
+                         visit);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+void
+forEachPartition(int total, int max_parts,
+                 const std::function<void(const std::vector<int> &)> &visit)
+{
+    forEachBoundedPartition(total, max_parts, total, visit);
+}
+
+void
+forEachBoundedPartition(int total, int max_parts, int max_value,
+                        const std::function<void(
+                            const std::vector<int> &)> &visit)
+{
+    sbn_assert(total >= 0 && max_parts >= 0,
+               "partition enumeration needs non-negative inputs");
+    std::vector<int> prefix;
+    if (total == 0) {
+        visit(prefix);
+        return;
+    }
+    if (max_value <= 0)
+        return;
+    partitionRecurse(total, max_parts, max_value, prefix, visit);
+}
+
+namespace {
+
+void
+compositionRecurse(int remaining, int bins, std::vector<int> &prefix,
+                   const std::function<void(
+                       const std::vector<int> &)> &visit)
+{
+    if (bins == 1) {
+        prefix.push_back(remaining);
+        visit(prefix);
+        prefix.pop_back();
+        return;
+    }
+    for (int part = 0; part <= remaining; ++part) {
+        prefix.push_back(part);
+        compositionRecurse(remaining - part, bins - 1, prefix, visit);
+        prefix.pop_back();
+    }
+}
+
+} // namespace
+
+void
+forEachComposition(int total, int bins,
+                   const std::function<void(const std::vector<int> &)> &visit)
+{
+    sbn_assert(total >= 0 && bins >= 1,
+               "composition enumeration needs total>=0, bins>=1");
+    std::vector<int> prefix;
+    compositionRecurse(total, bins, prefix, visit);
+}
+
+double
+assignmentsOntoCells(const std::vector<int> &parts, int cells)
+{
+    const int len = static_cast<int>(parts.size());
+    sbn_assert(len <= cells, "more parts than cells");
+
+    double denom = factorial(cells - len);
+    std::vector<int> sorted(parts);
+    std::sort(sorted.begin(), sorted.end());
+    int run = 1;
+    for (int i = 1; i <= len; ++i) {
+        if (i < len && sorted[i] == sorted[i - 1]) {
+            ++run;
+        } else {
+            denom *= factorial(run);
+            run = 1;
+        }
+    }
+    return factorial(cells) / denom;
+}
+
+} // namespace sbn

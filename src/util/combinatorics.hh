@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Combinatorial primitives shared by the analytical models.
+ *
+ * All counting functions return double. The models in this library
+ * operate on systems with n, m <= 64, for which every intermediate
+ * count fits a double exactly or to full 53-bit precision (factorials
+ * up to 170! are representable; we additionally expose log-space
+ * variants for ratio computations that would overflow).
+ */
+
+#ifndef SBN_UTIL_COMBINATORICS_HH
+#define SBN_UTIL_COMBINATORICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sbn {
+
+/** k! as a double. @pre 0 <= k <= 170 */
+double factorial(int k);
+
+/** ln(k!) via lgamma. @pre k >= 0 */
+double logFactorial(int k);
+
+/** Binomial coefficient C(n, k); 0 when k < 0 or k > n. */
+double binomial(int n, int k);
+
+/**
+ * Stirling number of the second kind S2(n, k): the number of ways to
+ * partition n labeled items into k unlabeled non-empty cells.
+ */
+double stirling2(int n, int k);
+
+/**
+ * Number of surjections from n labeled items onto k labeled cells:
+ * Surj(n, k) = k! * S2(n, k). Surj(0, 0) = 1 by convention.
+ */
+double surjections(int n, int k);
+
+/**
+ * Multinomial coefficient n! / (parts[0]! * parts[1]! * ...).
+ * @pre sum(parts) == n and all parts >= 0
+ */
+double multinomial(int n, const std::vector<int> &parts);
+
+/**
+ * Distribution of the number of distinct targets when n independent
+ * requesters each pick uniformly among m targets:
+ *
+ *     P(x) = C(m, x) * Surj(n, x) / m^n,  x = 0..min(n, m)
+ *
+ * This is the memoryless request pattern of Strecker/Bhandarkar used
+ * by the paper's Section 3.2 combinational approximation. The returned
+ * vector has min(n, m)+1 entries (index = x) and sums to 1.
+ */
+std::vector<double> distinctTargetPmf(int n, int m);
+
+/**
+ * Enumerate all partitions of @p total into at most @p max_parts
+ * positive parts, in descending order within each partition. The
+ * callback receives each partition; the empty partition is produced
+ * for total == 0.
+ *
+ * Used to enumerate the canonical occupancy states of the exact
+ * memory-interference Markov chains (n requests over m modules).
+ */
+void forEachPartition(int total, int max_parts,
+                      const std::function<void(
+                          const std::vector<int> &)> &visit);
+
+/**
+ * Enumerate all partitions of @p total into at most @p max_parts
+ * positive parts with every part <= @p max_value.
+ */
+void forEachBoundedPartition(int total, int max_parts, int max_value,
+                             const std::function<void(
+                                 const std::vector<int> &)> &visit);
+
+/**
+ * Enumerate the compositions of @p total into exactly @p bins
+ * non-negative ordered parts. Exponential in bins; intended for small
+ * cross-checks in tests, not for model construction.
+ */
+void forEachComposition(int total, int bins,
+                        const std::function<void(
+                            const std::vector<int> &)> &visit);
+
+/**
+ * Number of distinct assignments of the addition-multiset @p parts
+ * (positive values, any order) onto @p cells labeled cells, i.e. the
+ * number of distinct vectors of length @p cells whose non-zero entries
+ * form exactly this multiset:
+ *
+ *     cells! / (prod_over_distinct_values mult_v! * (cells - len)!)
+ *
+ * @pre parts.size() <= cells
+ */
+double assignmentsOntoCells(const std::vector<int> &parts, int cells);
+
+} // namespace sbn
+
+#endif // SBN_UTIL_COMBINATORICS_HH

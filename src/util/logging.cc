@@ -1,0 +1,51 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace sbn {
+
+namespace detail {
+
+void
+emitLog(const char *level, const std::string &msg, const char *file,
+        int line)
+{
+    if (file) {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", level, msg.c_str(),
+                     file, line);
+    } else {
+        std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    }
+    std::fflush(stderr);
+}
+
+} // namespace detail
+
+void
+panicImpl(const std::string &msg, const char *file, int line)
+{
+    detail::emitLog("panic", msg, file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg, const char *file, int line)
+{
+    detail::emitLog("fatal", msg, file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg, const char *file, int line)
+{
+    detail::emitLog("warn", msg, file, line);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace sbn

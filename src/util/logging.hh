@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal status/error reporting helpers in the spirit of gem5's
+ * logging.hh.
+ *
+ * Two error levels are provided:
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              aborts so a debugger/core dump can capture the state.
+ *  - fatal():  the caller supplied an invalid configuration; exits
+ *              with an error code after printing a message.
+ *
+ * Two informational levels:
+ *  - warn():   something is suspicious but the run can continue.
+ *  - inform(): plain status output.
+ */
+
+#ifndef SBN_UTIL_LOGGING_HH
+#define SBN_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sbn {
+
+namespace detail {
+
+/** Format and emit one log record to stderr. */
+void emitLog(const char *level, const std::string &msg,
+             const char *file, int line);
+
+/** Stream-compose a message from a parameter pack. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort after reporting an internal error. Never returns. */
+[[noreturn]] void panicImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Exit(1) after reporting a usage/configuration error. Never returns. */
+[[noreturn]] void fatalImpl(const std::string &msg, const char *file,
+                            int line);
+
+/** Report a recoverable anomaly. */
+void warnImpl(const std::string &msg, const char *file, int line);
+
+/** Report plain status. */
+void informImpl(const std::string &msg);
+
+} // namespace sbn
+
+#define sbn_panic(...)                                                      \
+    ::sbn::panicImpl(::sbn::detail::composeMessage(__VA_ARGS__),            \
+                     __FILE__, __LINE__)
+
+#define sbn_fatal(...)                                                      \
+    ::sbn::fatalImpl(::sbn::detail::composeMessage(__VA_ARGS__),            \
+                     __FILE__, __LINE__)
+
+#define sbn_warn(...)                                                       \
+    ::sbn::warnImpl(::sbn::detail::composeMessage(__VA_ARGS__),             \
+                    __FILE__, __LINE__)
+
+#define sbn_inform(...)                                                     \
+    ::sbn::informImpl(::sbn::detail::composeMessage(__VA_ARGS__))
+
+/**
+ * Invariant check that is active in all build types (unlike assert).
+ * Use for conditions that must hold regardless of NDEBUG.
+ */
+#define sbn_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::sbn::panicImpl(                                               \
+                ::sbn::detail::composeMessage(                              \
+                    "assertion '", #cond, "' failed: ",                     \
+                    ::sbn::detail::composeMessage(__VA_ARGS__)),            \
+                __FILE__, __LINE__);                                        \
+        }                                                                   \
+    } while (0)
+
+#endif // SBN_UTIL_LOGGING_HH

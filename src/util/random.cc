@@ -1,0 +1,147 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+/** SplitMix64 step, used to expand a single seed into generator state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+RandomGenerator::RandomGenerator(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+RandomGenerator::seed(std::uint64_t seed_value)
+{
+    std::uint64_t x = seed_value;
+    for (auto &word : s_)
+        word = splitMix64(x);
+}
+
+std::uint64_t
+RandomGenerator::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+RandomGenerator::uniformInt(std::uint64_t bound)
+{
+    sbn_assert(bound > 0, "uniformInt bound must be positive");
+
+    // Lemire's nearly-divisionless method with rejection.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+RandomGenerator::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    sbn_assert(lo <= hi, "uniformRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+RandomGenerator::uniformReal()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+RandomGenerator::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+double
+RandomGenerator::exponential(double mean)
+{
+    sbn_assert(mean > 0.0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniformReal();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+std::uint64_t
+RandomGenerator::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    sbn_assert(p > 0.0, "geometric requires p in (0, 1]");
+    std::uint64_t failures = 0;
+    while (!bernoulli(p))
+        ++failures;
+    return failures;
+}
+
+std::size_t
+RandomGenerator::pickIndex(std::size_t size)
+{
+    return static_cast<std::size_t>(uniformInt(size));
+}
+
+void
+RandomGenerator::shuffle(std::vector<std::size_t> &values)
+{
+    for (std::size_t i = values.size(); i > 1; --i) {
+        const std::size_t j = pickIndex(i);
+        std::swap(values[i - 1], values[j]);
+    }
+}
+
+std::uint64_t
+RandomGenerator::deriveSeed()
+{
+    return next();
+}
+
+} // namespace sbn

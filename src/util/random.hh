@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * The generator is xoshiro256** (Blackman & Vigna), seeded through
+ * SplitMix64 so that any 64-bit seed yields a well-mixed state. It is
+ * small, fast, and fully reproducible across platforms, which the test
+ * suite relies on (fixed seed => identical simulation trajectories).
+ */
+
+#ifndef SBN_UTIL_RANDOM_HH
+#define SBN_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sbn {
+
+/**
+ * xoshiro256** pseudo-random generator with convenience draws used by
+ * the simulators (uniform integers for arbitration, Bernoulli for the
+ * re-request probability p, exponential for queueing-model
+ * cross-checks).
+ */
+class RandomGenerator
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0). */
+    explicit RandomGenerator(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, resetting its trajectory. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /**
+     * Uniform integer in [0, bound).
+     *
+     * Uses Lemire's multiply-shift rejection method, so the result is
+     * exactly uniform for any bound.
+     *
+     * @pre bound > 0
+     */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1) with 53 random bits. */
+    double uniformReal();
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Exponential draw with the given mean. @pre mean > 0 */
+    double exponential(double mean);
+
+    /**
+     * Geometric draw: number of failures before the first success of
+     * a Bernoulli(p) sequence. Returns 0 for p >= 1.
+     */
+    std::uint64_t geometric(double p);
+
+    /**
+     * Pick an index uniformly from [0, size). Convenience alias for
+     * uniformInt used by the random-arbitration policies.
+     */
+    std::size_t pickIndex(std::size_t size);
+
+    /** In-place Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<std::size_t> &values);
+
+    /**
+     * Derive an independent child seed, e.g. one per replication.
+     * Deterministic: the i-th call after construction/seed always
+     * returns the same value.
+     */
+    std::uint64_t deriveSeed();
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace sbn
+
+#endif // SBN_UTIL_RANDOM_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the synchronous crossbar / multiple-bus baseline
+ * simulators, cross-validated against the exact occupancy chains.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analytic/crossbar.hh"
+#include "analytic/multibus.hh"
+#include "analytic/occupancy_chain.hh"
+#include "baselines/multibus_sim.hh"
+
+namespace sbn {
+namespace {
+
+TEST(BaselineSim, CrossbarMatchesExactChainAtFullLoad)
+{
+    for (int n : {2, 4, 8}) {
+        for (int m : {2, 4, 8, 16}) {
+            const auto res = runCrossbarSim(n, m, 1.0, 7);
+            const double exact = crossbarExactBandwidth(n, m);
+            EXPECT_NEAR(res.bandwidth / exact, 1.0, 0.02)
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(BaselineSim, MultibusMatchesExactChainAtFullLoad)
+{
+    for (int b : {1, 2, 3, 4}) {
+        const auto config = [&] {
+            MultibusSimConfig c;
+            c.numProcessors = 8;
+            c.numModules = 8;
+            c.buses = b;
+            c.seed = 11;
+            return c;
+        }();
+        const auto res = runMultibusSim(config);
+        const double exact = multibusExactBandwidth(8, 8, b);
+        EXPECT_NEAR(res.bandwidth / exact, 1.0, 0.02) << "b=" << b;
+    }
+}
+
+TEST(BaselineSim, BusyPmfMatchesExactChain)
+{
+    MultibusSimConfig config;
+    config.numProcessors = 6;
+    config.numModules = 4;
+    config.buses = 2;
+    config.measureSlots = 200000;
+    const auto res = runMultibusSim(config);
+
+    OccupancyChain chain(6, 4, 2);
+    const auto exact = chain.solve().busyPmf;
+    ASSERT_EQ(res.busyPmf.size(), exact.size());
+    for (std::size_t x = 0; x < exact.size(); ++x)
+        EXPECT_NEAR(res.busyPmf[x], exact[x], 0.01) << "x=" << x;
+}
+
+TEST(BaselineSim, LightLoadBandwidthIsNP)
+{
+    // With p small there is almost no interference: BW ~= n*p.
+    const auto res = runCrossbarSim(8, 16, 0.05, 3, 5000, 200000);
+    EXPECT_NEAR(res.bandwidth / (8 * 0.05), 1.0, 0.05);
+}
+
+TEST(BaselineSim, BandwidthMonotoneInP)
+{
+    double prev = 0.0;
+    for (double p : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+        const auto res = runCrossbarSim(8, 8, p, 5);
+        EXPECT_GE(res.bandwidth, prev - 0.05) << "p=" << p;
+        prev = res.bandwidth;
+    }
+}
+
+TEST(BaselineSim, Deterministic)
+{
+    MultibusSimConfig config;
+    config.numProcessors = 5;
+    config.numModules = 3;
+    config.buses = 2;
+    config.requestProbability = 0.7;
+    config.seed = 42;
+    const auto a = runMultibusSim(config);
+    const auto b = runMultibusSim(config);
+    EXPECT_EQ(a.completions, b.completions);
+}
+
+TEST(BaselineSim, EfficiencyBounds)
+{
+    const auto res = runCrossbarSim(8, 8, 1.0, 1);
+    EXPECT_GT(res.processorEfficiency, 0.0);
+    EXPECT_LE(res.processorEfficiency, 1.0);
+    EXPECT_EQ(res.measuredSlots, 50000u);
+}
+
+TEST(BaselineSim, DegenerateSingleModule)
+{
+    const auto res = runCrossbarSim(6, 1, 1.0, 9);
+    EXPECT_NEAR(res.bandwidth, 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace sbn

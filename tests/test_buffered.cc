@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests specific to the Section 6 buffered-memory organization:
+ * back-to-back service, finite buffer capacities, blocking, and the
+ * r -> infinity convergence toward the crossbar.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/crossbar.hh"
+#include "core/experiment.hh"
+
+namespace sbn {
+namespace {
+
+SystemConfig
+bufferedConfig(int n, int m, int r)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = n;
+    cfg.numModules = m;
+    cfg.memoryRatio = r;
+    cfg.buffered = true;
+    cfg.policy = ArbitrationPolicy::ProcessorPriority;
+    cfg.warmupCycles = 10000;
+    cfg.measureCycles = 200000;
+    return cfg;
+}
+
+TEST(Buffered, BackToBackServiceSaturatesModule)
+{
+    // One module, many processors: the module must never idle, so its
+    // utilization approaches 1 (vs (r)/(r+2) unbuffered).
+    SystemConfig cfg = bufferedConfig(6, 1, 8);
+    const Metrics m = runOnce(cfg);
+    EXPECT_GT(m.meanModuleUtilization, 0.98);
+
+    cfg.buffered = false;
+    cfg.inputCapacity = 0;
+    cfg.outputCapacity = 0;
+    const Metrics plain = runOnce(cfg);
+    EXPECT_NEAR(plain.meanModuleUtilization, 8.0 / 10.0, 0.02);
+}
+
+TEST(Buffered, UnboundedEqualsCapacityN)
+{
+    // With one outstanding request per processor, capacity n can
+    // never fill: identical trajectories to unbounded buffers.
+    SystemConfig unbounded = bufferedConfig(8, 4, 8);
+    SystemConfig capped = bufferedConfig(8, 4, 8);
+    capped.inputCapacity = 8;
+    capped.outputCapacity = 8;
+    const Metrics a = runOnce(unbounded);
+    const Metrics b = runOnce(capped);
+    EXPECT_EQ(a.completedRequests, b.completedRequests);
+    EXPECT_EQ(a.busBusyCycles, b.busBusyCycles);
+}
+
+TEST(Buffered, TinyInputBuffersDegradeTowardUnbuffered)
+{
+    // Shrinking the input buffer monotonically (within noise) lowers
+    // EBW; capacity-1 sits between unbuffered and unbounded.
+    SystemConfig cfg = bufferedConfig(8, 4, 12);
+    const double unbounded = runEbw(cfg);
+
+    cfg.inputCapacity = 1;
+    const double one_slot = runEbw(cfg);
+
+    cfg.inputCapacity = 0;
+    cfg.buffered = false;
+    const double plain = runEbw(cfg);
+
+    EXPECT_GE(unbounded, one_slot - 0.02);
+    EXPECT_GE(one_slot, plain - 0.02);
+    EXPECT_GT(unbounded, plain);
+}
+
+TEST(Buffered, OutputBlockingThrottles)
+{
+    // A 1-deep output buffer forces the module to stall until the
+    // bus drains its response; EBW must not exceed the unbounded
+    // case and the system must stay deadlock-free.
+    SystemConfig cfg = bufferedConfig(8, 4, 8);
+    const double unbounded = runEbw(cfg);
+    cfg.outputCapacity = 1;
+    const double blocked = runEbw(cfg);
+    EXPECT_GT(blocked, 0.5);
+    EXPECT_LE(blocked, unbounded + 0.02);
+}
+
+TEST(Buffered, ConvergesToCrossbarForLargeR)
+{
+    // Section 6: "when r increases, the buffered single-bus EBW tends
+    // to the crossbar corresponding values".
+    const double crossbar = crossbarExactBandwidth(8, 8);
+    const double near = runEbw(bufferedConfig(8, 8, 32));
+    EXPECT_NEAR(near / crossbar, 1.0, 0.06);
+
+    // And from above through the mid range: at moderate r the
+    // buffered bus beats the crossbar (the Fig. 5 crossing).
+    const double mid = runEbw(bufferedConfig(8, 8, 10));
+    EXPECT_GT(mid, crossbar);
+}
+
+TEST(Buffered, GainGrowsWithProcessorExcess)
+{
+    // Section 6: "the effect of buffering is proportionally larger as
+    // the difference (n-m) increases". This holds in the unsaturated
+    // regime (r >= 2m here); at small r both organizations pin to the
+    // bus ceiling and the gain is masked.
+    auto gain = [](int n, int m, int r) {
+        SystemConfig buffered = bufferedConfig(n, m, r);
+        SystemConfig plain = buffered;
+        plain.buffered = false;
+        return runEbw(buffered) / runEbw(plain);
+    };
+    EXPECT_GT(gain(16, 8, 16), gain(8, 8, 16));
+    EXPECT_GT(gain(16, 4, 8), gain(16, 8, 8));
+}
+
+TEST(Buffered, BufferingGainShrinksWithLowP)
+{
+    // Section 7: "the positive influence of buffering becomes less
+    // effective as p decreases" (less interference to remove).
+    SystemConfig hi = bufferedConfig(8, 16, 12);
+    SystemConfig hi_plain = hi;
+    hi_plain.buffered = false;
+
+    SystemConfig lo = bufferedConfig(8, 16, 12);
+    lo.requestProbability = 0.3;
+    SystemConfig lo_plain = lo;
+    lo_plain.buffered = false;
+
+    const double gain_hi = runEbw(hi) / runEbw(hi_plain);
+    const double gain_lo = runEbw(lo) / runEbw(lo_plain);
+    EXPECT_GE(gain_hi, gain_lo - 0.01);
+}
+
+TEST(Buffered, MemoryPriorityAlsoSupported)
+{
+    // The paper evaluates buffered systems under g' only; the library
+    // supports g'' too - check it runs and respects bounds.
+    SystemConfig cfg = bufferedConfig(8, 8, 8);
+    cfg.policy = ArbitrationPolicy::MemoryPriority;
+    const Metrics m = runOnce(cfg);
+    EXPECT_GT(m.ebw, 1.0);
+    EXPECT_LE(m.ebw, cfg.maxEbw() * 1.01);
+}
+
+TEST(Buffered, WaitsExceedUnbufferedUnderSaturation)
+{
+    // Buffering trades waiting location: requests queue inside the
+    // modules. Mean service span must still be >= the minimal r+2.
+    const Metrics m = runOnce(bufferedConfig(16, 4, 8));
+    EXPECT_GE(m.meanServiceCycles, 10.0);
+    EXPECT_GT(m.meanWaitCycles, 1.0);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the combinatorics toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/combinatorics.hh"
+
+namespace sbn {
+namespace {
+
+TEST(Factorial, SmallValues)
+{
+    EXPECT_DOUBLE_EQ(factorial(0), 1.0);
+    EXPECT_DOUBLE_EQ(factorial(1), 1.0);
+    EXPECT_DOUBLE_EQ(factorial(5), 120.0);
+    EXPECT_DOUBLE_EQ(factorial(12), 479001600.0);
+}
+
+TEST(Factorial, MatchesLogFactorial)
+{
+    for (int k = 0; k <= 40; ++k)
+        EXPECT_NEAR(std::log(factorial(k)), logFactorial(k), 1e-9)
+            << "k=" << k;
+}
+
+TEST(Binomial, PascalIdentity)
+{
+    for (int n = 1; n <= 30; ++n)
+        for (int k = 1; k <= n; ++k)
+            EXPECT_DOUBLE_EQ(binomial(n, k),
+                             binomial(n - 1, k - 1) + binomial(n - 1, k))
+                << "n=" << n << " k=" << k;
+}
+
+TEST(Binomial, EdgeCases)
+{
+    EXPECT_DOUBLE_EQ(binomial(5, 0), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 5), 1.0);
+    EXPECT_DOUBLE_EQ(binomial(5, 6), 0.0);
+    EXPECT_DOUBLE_EQ(binomial(5, -1), 0.0);
+    EXPECT_DOUBLE_EQ(binomial(8, 4), 70.0);
+}
+
+TEST(Stirling2, KnownValues)
+{
+    // Triangle rows from standard references.
+    EXPECT_DOUBLE_EQ(stirling2(4, 2), 7.0);
+    EXPECT_DOUBLE_EQ(stirling2(5, 3), 25.0);
+    EXPECT_DOUBLE_EQ(stirling2(6, 3), 90.0);
+    EXPECT_DOUBLE_EQ(stirling2(7, 4), 350.0);
+    EXPECT_DOUBLE_EQ(stirling2(9, 9), 1.0);
+    EXPECT_DOUBLE_EQ(stirling2(9, 1), 1.0);
+    EXPECT_DOUBLE_EQ(stirling2(3, 5), 0.0);
+}
+
+TEST(Stirling2, RowSumIsBellNumber)
+{
+    // Bell numbers B_0..B_8.
+    const double bell[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140};
+    for (int n = 0; n <= 8; ++n) {
+        double row = 0.0;
+        for (int k = 0; k <= n; ++k)
+            row += stirling2(n, k);
+        EXPECT_DOUBLE_EQ(row, bell[n]) << "n=" << n;
+    }
+}
+
+TEST(Surjections, DefinitionMatchesInclusionExclusion)
+{
+    for (int n = 0; n <= 10; ++n) {
+        for (int k = 0; k <= 10; ++k) {
+            double expect = 0.0;
+            for (int j = 0; j <= k; ++j) {
+                const double sign = (j % 2 == 0) ? 1.0 : -1.0;
+                expect += sign * binomial(k, j) *
+                          std::pow(static_cast<double>(k - j), n);
+            }
+            if (n == 0 && k == 0)
+                expect = 1.0;
+            EXPECT_NEAR(surjections(n, k), expect,
+                        1e-6 * std::max(1.0, expect))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+TEST(Multinomial, Basics)
+{
+    EXPECT_DOUBLE_EQ(multinomial(4, {2, 2}), 6.0);
+    EXPECT_DOUBLE_EQ(multinomial(6, {1, 2, 3}), 60.0);
+    EXPECT_DOUBLE_EQ(multinomial(3, {3}), 1.0);
+    EXPECT_DOUBLE_EQ(multinomial(0, {}), 1.0);
+}
+
+TEST(DistinctTargetPmf, SumsToOne)
+{
+    for (int n = 1; n <= 12; ++n) {
+        for (int m : {1, 2, 4, 7, 16}) {
+            const auto pmf = distinctTargetPmf(n, m);
+            const double total =
+                std::accumulate(pmf.begin(), pmf.end(), 0.0);
+            EXPECT_NEAR(total, 1.0, 1e-12) << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(DistinctTargetPmf, MeanIsStreckerBandwidth)
+{
+    for (int n : {2, 4, 8, 16}) {
+        for (int m : {2, 4, 8, 16}) {
+            const auto pmf = distinctTargetPmf(n, m);
+            double mean = 0.0;
+            for (std::size_t x = 0; x < pmf.size(); ++x)
+                mean += static_cast<double>(x) * pmf[x];
+            const double strecker =
+                m * (1.0 - std::pow(1.0 - 1.0 / m, n));
+            EXPECT_NEAR(mean, strecker, 1e-9) << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(DistinctTargetPmf, TwoProcessorsClosedForm)
+{
+    // Two requesters on m modules collide with probability 1/m.
+    for (int m : {1, 2, 3, 8}) {
+        const auto pmf = distinctTargetPmf(2, m);
+        EXPECT_NEAR(pmf[1], 1.0 / m, 1e-12);
+        if (m >= 2) {
+            EXPECT_NEAR(pmf[2], 1.0 - 1.0 / m, 1e-12);
+        }
+    }
+}
+
+TEST(Partitions, CountsMatchPartitionFunction)
+{
+    // p(n) for n = 0..10 with unlimited parts.
+    const int expect[] = {1, 1, 2, 3, 5, 7, 11, 15, 22, 30, 42};
+    for (int n = 0; n <= 10; ++n) {
+        int count = 0;
+        forEachPartition(n, n, [&](const std::vector<int> &) { ++count; });
+        EXPECT_EQ(count, expect[n]) << "n=" << n;
+    }
+}
+
+TEST(Partitions, RespectsMaxParts)
+{
+    // Partitions of 6 into at most 2 parts: 6, 5+1, 4+2, 3+3.
+    std::set<std::vector<int>> seen;
+    forEachPartition(6, 2,
+                     [&](const std::vector<int> &p) { seen.insert(p); });
+    EXPECT_EQ(seen.size(), 4u);
+    EXPECT_TRUE(seen.count({6}));
+    EXPECT_TRUE(seen.count({5, 1}));
+    EXPECT_TRUE(seen.count({4, 2}));
+    EXPECT_TRUE(seen.count({3, 3}));
+}
+
+TEST(Partitions, PartsAreDescendingAndSumCorrect)
+{
+    forEachPartition(9, 4, [&](const std::vector<int> &p) {
+        EXPECT_LE(p.size(), 4u);
+        int sum = 0;
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            EXPECT_GE(p[i], 1);
+            if (i) {
+                EXPECT_LE(p[i], p[i - 1]);
+            }
+            sum += p[i];
+        }
+        EXPECT_EQ(sum, 9);
+    });
+}
+
+TEST(BoundedPartitions, RespectsMaxValue)
+{
+    // Partitions of 5 with parts <= 2, at most 5 parts:
+    // 2+2+1, 2+1+1+1, 1+1+1+1+1.
+    int count = 0;
+    forEachBoundedPartition(5, 5, 2, [&](const std::vector<int> &p) {
+        ++count;
+        for (int part : p)
+            EXPECT_LE(part, 2);
+    });
+    EXPECT_EQ(count, 3);
+}
+
+TEST(Compositions, CountIsStarsAndBars)
+{
+    for (int total = 0; total <= 6; ++total) {
+        for (int bins = 1; bins <= 4; ++bins) {
+            int count = 0;
+            forEachComposition(total, bins,
+                               [&](const std::vector<int> &) { ++count; });
+            EXPECT_DOUBLE_EQ(static_cast<double>(count),
+                             binomial(total + bins - 1, bins - 1))
+                << "total=" << total << " bins=" << bins;
+        }
+    }
+}
+
+TEST(AssignmentsOntoCells, MatchesBruteForce)
+{
+    // parts {2,1} onto 3 cells: vectors with one 2, one 1, one 0 in
+    // any order = 3! = 6.
+    EXPECT_DOUBLE_EQ(assignmentsOntoCells({2, 1}, 3), 6.0);
+    // parts {1,1} onto 3 cells: choose 2 of 3 cells = 3.
+    EXPECT_DOUBLE_EQ(assignmentsOntoCells({1, 1}, 3), 3.0);
+    // parts {} onto 4 cells: exactly one (all-zero) vector.
+    EXPECT_DOUBLE_EQ(assignmentsOntoCells({}, 4), 1.0);
+    // parts {3,3,1} onto 5 cells: 5!/ (2! * 1! * 2!) = 30.
+    EXPECT_DOUBLE_EQ(assignmentsOntoCells({3, 3, 1}, 5), 30.0);
+}
+
+TEST(AssignmentsOntoCells, TotalBallPlacementIdentity)
+{
+    // Summing A(mu, c) * k!/prod(part!) over all partitions mu of k
+    // into at most c parts must give c^k (every placement counted).
+    for (int k = 0; k <= 6; ++k) {
+        for (int c = 1; c <= 5; ++c) {
+            double total = 0.0;
+            forEachBoundedPartition(
+                k, c, std::max(k, 1), [&](const std::vector<int> &mu) {
+                    double w = assignmentsOntoCells(mu, c);
+                    for (int part : mu)
+                        w /= factorial(part);
+                    total += w * factorial(k);
+                });
+            EXPECT_NEAR(total, std::pow(static_cast<double>(c), k), 1e-6)
+                << "k=" << k << " c=" << c;
+        }
+    }
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the crossbar bandwidth models: closed forms, symmetry,
+ * literature values and the relation between exact and approximate
+ * figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/crossbar.hh"
+
+namespace sbn {
+namespace {
+
+TEST(Crossbar, TwoByTwoClosedForm)
+{
+    // Hand-solved: pi({2}) = pi({1,1}) = 1/2, E[x] = 1.5.
+    EXPECT_NEAR(crossbarExactBandwidth(2, 2), 1.5, 1e-12);
+}
+
+TEST(Crossbar, ApproximatelySymmetricInNandM)
+{
+    // BW(n, m) ~= BW(m, n) to about three decimals -- the symmetry the
+    // literature (and the paper's Table 1) reports at printed
+    // precision. It is NOT exact: e.g. BW(3,4) = 2.26923... vs
+    // BW(4,3) = 2.27007..., both verified against an independent
+    // brute-force transition enumeration in test_occupancy_chain.
+    for (int n : {2, 3, 5, 8}) {
+        for (int m : {2, 4, 7}) {
+            EXPECT_NEAR(crossbarExactBandwidth(n, m),
+                        crossbarExactBandwidth(m, n), 1.5e-3)
+                << "n=" << n << " m=" << m;
+        }
+    }
+    // And the asymmetry is real (regression-pins the exact values).
+    EXPECT_NEAR(crossbarExactBandwidth(3, 4), 2.2692307692, 1e-9);
+    EXPECT_NEAR(crossbarExactBandwidth(4, 3), 2.2700729927, 1e-9);
+}
+
+TEST(Crossbar, StreckerEqualsPmfMean)
+{
+    for (int n : {1, 2, 4, 8, 16}) {
+        for (int m : {1, 2, 4, 8, 16}) {
+            EXPECT_NEAR(crossbarStreckerBandwidth(n, m),
+                        crossbarApproxBandwidth(n, m), 1e-9)
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(Crossbar, StreckerOverestimatesExact)
+{
+    // The memoryless approximation ignores request persistence, which
+    // spreads requests more evenly than the real dynamics, so it
+    // overestimates bandwidth (classic observation).
+    for (int n : {2, 4, 8}) {
+        for (int m : {2, 4, 8}) {
+            EXPECT_GE(crossbarStreckerBandwidth(n, m) + 1e-12,
+                      crossbarExactBandwidth(n, m))
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(Crossbar, KnownSquareValues)
+{
+    // 8x8 exact bandwidth: the paper's conclusions use 4.947 (the
+    // single-bus m=14, r=8 cell of Table 3a "attains" it).
+    EXPECT_NEAR(crossbarExactBandwidth(8, 8), 4.947, 2e-3);
+    // Large square systems approach 0.586*n (known asymptote ~0.6n).
+    const double bw16 = crossbarExactBandwidth(16, 16);
+    EXPECT_GT(bw16 / 16.0, 0.55);
+    EXPECT_LT(bw16 / 16.0, 0.65);
+}
+
+TEST(Crossbar, BoundsAndMonotonicity)
+{
+    // BW <= min(n, m); BW grows with m at fixed n.
+    double prev = 0.0;
+    for (int m = 1; m <= 12; ++m) {
+        const double bw = crossbarExactBandwidth(6, m);
+        EXPECT_LE(bw, std::min(6, m) + 1e-12);
+        EXPECT_GE(bw, prev - 1e-12) << "m=" << m;
+        prev = bw;
+    }
+}
+
+TEST(Crossbar, DegenerateCases)
+{
+    // One module: always exactly one request serviced.
+    EXPECT_NEAR(crossbarExactBandwidth(5, 1), 1.0, 1e-12);
+    // One processor: never any conflict.
+    EXPECT_NEAR(crossbarExactBandwidth(1, 7), 1.0, 1e-12);
+    EXPECT_NEAR(crossbarStreckerBandwidth(1, 7), 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering guarantees,
+ * priorities, deschedule semantics and the simulation driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "desim/event.hh"
+#include "desim/event_queue.hh"
+#include "desim/simulation.hh"
+
+namespace sbn {
+namespace {
+
+TEST(EventQueue, FiresInTickOrder)
+{
+    Simulation sim;
+    std::vector<int> order;
+    EventFunction a([&] { order.push_back(1); });
+    EventFunction b([&] { order.push_back(2); });
+    EventFunction c([&] { order.push_back(3); });
+
+    sim.queue().schedule(c, 30);
+    sim.queue().schedule(a, 10);
+    sim.queue().schedule(b, 20);
+    sim.runAll();
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPriorityOrder)
+{
+    Simulation sim;
+    std::vector<std::string> order;
+    EventFunction decide([&] { order.push_back("decide"); },
+                         event_priority::kDecide);
+    EventFunction update([&] { order.push_back("update"); },
+                         event_priority::kUpdate);
+
+    // Schedule the decision first; the update must still run first.
+    sim.queue().schedule(decide, 5);
+    sim.queue().schedule(update, 5);
+    sim.runAll();
+
+    EXPECT_EQ(order, (std::vector<std::string>{"update", "decide"}));
+}
+
+TEST(EventQueue, SameTickSamePriorityIsFifo)
+{
+    Simulation sim;
+    std::vector<int> order;
+    std::vector<std::unique_ptr<EventFunction>> events;
+    for (int i = 0; i < 16; ++i) {
+        events.push_back(std::make_unique<EventFunction>(
+            [&order, i] { order.push_back(i); }));
+        sim.queue().schedule(*events.back(), 7);
+    }
+    sim.runAll();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduledFlagLifecycle)
+{
+    Simulation sim;
+    EventFunction e([] {});
+    EXPECT_FALSE(e.scheduled());
+    sim.queue().schedule(e, 3);
+    EXPECT_TRUE(e.scheduled());
+    EXPECT_EQ(e.when(), 3u);
+    sim.runAll();
+    EXPECT_FALSE(e.scheduled());
+}
+
+TEST(EventQueue, RescheduleFromInsideCallback)
+{
+    Simulation sim;
+    int fires = 0;
+    EventFunction e([&] {
+        ++fires;
+        if (fires < 5) {
+            // Self-reschedule: the kernel clears 'scheduled' before
+            // process(), so this must work.
+            sim.queue().schedule(e, sim.now() + 2);
+        }
+    });
+    sim.queue().schedule(e, 0);
+    sim.runAll();
+    EXPECT_EQ(fires, 5);
+    EXPECT_EQ(sim.now(), 8u);
+}
+
+TEST(EventQueue, DescheduleSkipsEvent)
+{
+    Simulation sim;
+    int fired = 0;
+    EventFunction a([&] { ++fired; });
+    EventFunction b([&] { ++fired; });
+    sim.queue().schedule(a, 1);
+    sim.queue().schedule(b, 2);
+    EXPECT_EQ(sim.queue().size(), 2u);
+    sim.queue().deschedule(a);
+    EXPECT_FALSE(a.scheduled());
+    EXPECT_EQ(sim.queue().size(), 1u);
+    sim.runAll();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, DescheduleThenRescheduleSameEvent)
+{
+    Simulation sim;
+    int fired = 0;
+    EventFunction a([&] { ++fired; });
+    sim.queue().schedule(a, 5);
+    sim.queue().deschedule(a);
+    sim.queue().schedule(a, 9);
+    sim.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 9u);
+}
+
+TEST(EventQueue, NextTickSkipsDescheduled)
+{
+    Simulation sim;
+    EventFunction a([] {});
+    EventFunction b([] {});
+    sim.queue().schedule(a, 1);
+    sim.queue().schedule(b, 4);
+    sim.queue().deschedule(a);
+    EXPECT_EQ(sim.queue().nextTick(), 4u);
+}
+
+TEST(Simulation, RunLimitIsExclusive)
+{
+    Simulation sim;
+    std::vector<Tick> fired;
+    std::vector<std::unique_ptr<EventFunction>> events;
+    for (Tick t : {1u, 5u, 10u, 15u}) {
+        events.push_back(std::make_unique<EventFunction>(
+            [&fired, &sim] { fired.push_back(sim.now()); }));
+        sim.queue().schedule(*events.back(), t);
+    }
+
+    sim.run(10); // events at tick >= 10 must not run
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 5}));
+    sim.run(11);
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 5, 10}));
+    sim.runAll();
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 5, 10, 15}));
+}
+
+TEST(Simulation, StepRunsExactlyOne)
+{
+    Simulation sim;
+    int fired = 0;
+    EventFunction a([&] { ++fired; });
+    EventFunction b([&] { ++fired; });
+    sim.queue().schedule(a, 1);
+    sim.queue().schedule(b, 2);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(sim.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, ExecutedCounter)
+{
+    Simulation sim;
+    std::vector<std::unique_ptr<EventFunction>> events;
+    for (int i = 0; i < 7; ++i) {
+        events.push_back(std::make_unique<EventFunction>([] {}));
+        sim.queue().schedule(*events.back(), i);
+    }
+    sim.runAll();
+    EXPECT_EQ(sim.queue().executed(), 7u);
+}
+
+TEST(Simulation, CascadedScheduling)
+{
+    // An event chain where each event schedules the next models the
+    // simulator's self-sustaining behaviour.
+    Simulation sim;
+    Tick hops = 0;
+    EventFunction hop([&] {
+        if (++hops < 1000)
+            sim.queue().schedule(hop, sim.now() + 1);
+    });
+    sim.queue().schedule(hop, 0);
+    sim.runAll();
+    EXPECT_EQ(hops, 1000u);
+    EXPECT_EQ(sim.now(), 999u);
+}
+
+} // namespace
+} // namespace sbn

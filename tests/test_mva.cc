@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the exact MVA solver of the exponential (product-form)
+ * model of the buffered bus (paper Section 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytic/mva.hh"
+
+namespace sbn {
+namespace {
+
+TEST(Mva, SingleCustomerClosedForm)
+{
+    // One customer never queues: cycle = 2*1 + r, X = 1/(r+2),
+    // EBW = 1 for any m.
+    for (int r : {1, 4, 16}) {
+        for (int m : {1, 4, 8}) {
+            const auto res = mvaBufferedBus(1, m, r);
+            EXPECT_NEAR(res.throughput, 1.0 / (r + 2), 1e-12);
+            EXPECT_NEAR(res.ebw, 1.0, 1e-12);
+            EXPECT_NEAR(res.responseTime, r + 2.0, 1e-12);
+        }
+    }
+}
+
+TEST(Mva, UtilizationLaws)
+{
+    // Utilization must follow from throughput by the utilization law
+    // and stay below 1 at every station.
+    for (int n : {1, 4, 8, 16}) {
+        const auto res = mvaBufferedBus(n, 8, 10);
+        EXPECT_NEAR(res.busUtilization, 2.0 * res.throughput, 1e-12);
+        EXPECT_NEAR(res.moduleUtilization, 10.0 * res.throughput / 8.0,
+                    1e-12);
+        EXPECT_LT(res.busUtilization, 1.0 + 1e-9);
+        EXPECT_LT(res.moduleUtilization, 1.0 + 1e-9);
+    }
+}
+
+TEST(Mva, LittleLawAtTheBus)
+{
+    const auto res = mvaBufferedBus(6, 4, 8);
+    // Q_bus = X * V_bus * R_bus and response aggregates consistently:
+    // N = X * (response) since think time is zero at p=1.
+    EXPECT_NEAR(res.throughput * res.responseTime, 6.0, 1e-9);
+}
+
+TEST(Mva, ThroughputMonotoneInCustomers)
+{
+    double prev = 0.0;
+    for (int n = 1; n <= 20; ++n) {
+        const auto res = mvaBufferedBus(n, 6, 9);
+        EXPECT_GE(res.throughput, prev - 1e-12) << "n=" << n;
+        prev = res.throughput;
+    }
+}
+
+TEST(Mva, BottleneckAsymptotes)
+{
+    // Large population: throughput saturates at the bottleneck
+    // service rate: min(bus 1/2, memory m/r).
+    {
+        // Memory-bound: m/r = 4/40 << 1/2. Convergence is slow in n
+        // because the load spreads over 4 memory queues.
+        const auto res = mvaBufferedBus(256, 4, 40);
+        EXPECT_NEAR(res.throughput, 4.0 / 40.0, 2e-3);
+    }
+    {
+        // Bus-bound: 1/2 << m/r = 16/4.
+        const auto res = mvaBufferedBus(64, 16, 4);
+        EXPECT_NEAR(res.throughput, 0.5, 2e-3);
+    }
+}
+
+TEST(Mva, EbwCapsAtTheoreticalMax)
+{
+    for (int n : {4, 8, 32}) {
+        for (int r : {2, 8, 20}) {
+            const auto res = mvaBufferedBus(n, 8, r);
+            EXPECT_LE(res.ebw, (r + 2) / 2.0 + 1e-9);
+        }
+    }
+}
+
+TEST(Mva, ThinkTimeReducesLoad)
+{
+    const auto busy = mvaBufferedBus(8, 8, 8, 1.0);
+    const auto relaxed = mvaBufferedBus(8, 8, 8, 0.5);
+    EXPECT_LT(relaxed.ebw, busy.ebw);
+    EXPECT_GT(relaxed.ebw, 0.0);
+    // At p -> small the system is never congested: EBW -> n*p.
+    const auto light = mvaBufferedBus(8, 8, 8, 0.05);
+    EXPECT_NEAR(light.ebw / (8 * 0.05), 1.0, 0.06);
+}
+
+TEST(Mva, TwoStationHandSolvedNetwork)
+{
+    // n=2, m=1, r=2: stations bus (S=1, V=2) and memory (S=2, V=1).
+    // MVA by hand:
+    //  N=1: Rb=1, Rm=2, resp=2*1+2=4, X=1/4, Qb=1/2, Qm=1/2.
+    //  N=2: Rb=1.5, Rm=3, resp=2*1.5+3=6, X=1/3, Qb=1, Qm=1.
+    const auto res = mvaBufferedBus(2, 1, 2);
+    EXPECT_NEAR(res.throughput, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(res.busQueueLength, 1.0, 1e-12);
+    EXPECT_NEAR(res.moduleQueueLength, 1.0, 1e-12);
+    EXPECT_NEAR(res.ebw, 4.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for the exact occupancy-chain engine: state enumeration,
+ * transition stochasticity, n/m symmetry, brute-force cross-checks on
+ * tiny systems and service-cap behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "analytic/occupancy_chain.hh"
+#include "util/combinatorics.hh"
+#include "util/random.hh"
+
+namespace sbn {
+namespace {
+
+TEST(OccupancyChain, StateCountIsPartitionCount)
+{
+    // Partitions of n into at most m parts.
+    OccupancyChain c44(4, 4, 4);
+    EXPECT_EQ(c44.numStates(), 5u); // 4, 31, 22, 211, 1111
+    OccupancyChain c42(4, 2, 2);
+    EXPECT_EQ(c42.numStates(), 3u); // 4, 31, 22
+    OccupancyChain c88(8, 8, 8);
+    EXPECT_EQ(c88.numStates(), 22u); // p(8)
+}
+
+TEST(OccupancyChain, RowsAreStochastic)
+{
+    for (int cap : {1, 2, 3, 5}) {
+        OccupancyChain chain(5, 4, cap);
+        chain.chain().validate(1e-9);
+    }
+}
+
+TEST(OccupancyChain, TwoByTwoHandComputed)
+{
+    // n=2, m=2, full service (cap >= 2): states {2}, {1,1}.
+    // From {2}: one serviced, re-picks uniformly: {2} w.p. 1/2,
+    // {1,1} w.p. 1/2. From {1,1}: both serviced, land on same module
+    // w.p. 1/2 -> {2}, split w.p. 1/2 -> {1,1}.
+    OccupancyChain chain(2, 2, 2);
+    const auto &dtmc = chain.chain();
+    std::map<std::vector<int>, std::size_t> idx;
+    for (std::size_t s = 0; s < chain.numStates(); ++s)
+        idx[chain.states()[s]] = s;
+
+    const auto s2 = idx.at({2});
+    const auto s11 = idx.at({1, 1});
+    EXPECT_NEAR(dtmc.probability(s2, s2), 0.5, 1e-12);
+    EXPECT_NEAR(dtmc.probability(s2, s11), 0.5, 1e-12);
+    EXPECT_NEAR(dtmc.probability(s11, s2), 0.5, 1e-12);
+    EXPECT_NEAR(dtmc.probability(s11, s11), 0.5, 1e-12);
+
+    const auto result = chain.solve();
+    EXPECT_NEAR(result.meanBusy, 1.5, 1e-12);
+}
+
+TEST(OccupancyChain, CapOneSerializesService)
+{
+    // With one bus (cap 1) exactly one request is serviced per cycle
+    // regardless of the state, so meanServiced == 1.
+    for (int n : {2, 3, 5}) {
+        for (int m : {2, 4}) {
+            OccupancyChain chain(n, m, 1);
+            EXPECT_NEAR(chain.solve().meanServiced, 1.0, 1e-12)
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(OccupancyChain, MeanServicedMonotoneInCap)
+{
+    double prev = 0.0;
+    for (int cap = 1; cap <= 6; ++cap) {
+        OccupancyChain chain(6, 6, cap);
+        const double serviced = chain.solve().meanServiced;
+        EXPECT_GE(serviced, prev - 1e-12) << "cap=" << cap;
+        prev = serviced;
+    }
+}
+
+TEST(OccupancyChain, FullCapApproximatelySymmetricInNM)
+{
+    // The crossbar bandwidth chain is symmetric in n and m to about
+    // three decimals (the precision at which the paper's Table 1
+    // reports symmetry); the exact values differ in the fourth
+    // decimal for n != m (verified against brute force below).
+    for (int n : {2, 3, 4, 6}) {
+        for (int m : {2, 3, 4, 6}) {
+            OccupancyChain a(n, m, std::min(n, m));
+            OccupancyChain b(m, n, std::min(n, m));
+            EXPECT_NEAR(a.solve().meanBusy, b.solve().meanBusy, 1.5e-3)
+                << "n=" << n << " m=" << m;
+        }
+    }
+}
+
+TEST(OccupancyChain, BusyPmfSumsToOne)
+{
+    OccupancyChain chain(7, 5, 3);
+    const auto result = chain.solve();
+    double total = 0.0;
+    for (double v : result.busyPmf)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_NEAR(result.busyPmf[0], 0.0, 1e-12); // n >= 1
+}
+
+/**
+ * Brute-force reference: simulate the chain dynamics directly on
+ * distinguishable modules and compare the stationary busy-count pmf.
+ */
+std::vector<double>
+bruteForceBusyPmf(int n, int m, int cap, std::uint64_t iters)
+{
+    RandomGenerator rng(12345);
+    std::vector<int> occupancy(m, 0);
+    occupancy[0] = n; // all requests on module 0 initially
+
+    std::vector<double> pmf(std::min(n, m) + 1, 0.0);
+    std::vector<int> busy;
+
+    const std::uint64_t warmup = iters / 10;
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        busy.clear();
+        for (int i = 0; i < m; ++i)
+            if (occupancy[i] > 0)
+                busy.push_back(i);
+        if (it >= warmup)
+            pmf[busy.size()] += 1.0;
+
+        int serviced = static_cast<int>(busy.size());
+        if (serviced > cap) {
+            for (int i = 0; i < cap; ++i) {
+                const auto j = i + static_cast<int>(rng.uniformInt(
+                                       busy.size() - i));
+                std::swap(busy[i], busy[j]);
+            }
+            serviced = cap;
+        }
+        for (int i = 0; i < serviced; ++i)
+            --occupancy[busy[i]];
+        for (int i = 0; i < serviced; ++i)
+            ++occupancy[rng.uniformInt(m)];
+    }
+    for (auto &v : pmf)
+        v /= static_cast<double>(iters - warmup);
+    return pmf;
+}
+
+TEST(OccupancyChain, MatchesBruteForceSimulation)
+{
+    struct Case { int n, m, cap; };
+    for (const auto &[n, m, cap] :
+         {Case{3, 3, 3}, Case{4, 2, 2}, Case{4, 4, 2}, Case{5, 3, 1},
+          Case{6, 4, 3}}) {
+        OccupancyChain chain(n, m, cap);
+        const auto exact = chain.solve().busyPmf;
+        const auto brute = bruteForceBusyPmf(n, m, cap, 400000);
+        for (std::size_t x = 0; x < exact.size(); ++x)
+            EXPECT_NEAR(exact[x], brute[x], 0.01)
+                << "n=" << n << " m=" << m << " cap=" << cap
+                << " x=" << x;
+    }
+}
+
+TEST(OccupancyChain, SingleProcessorDegenerate)
+{
+    // n=1: the single request moves uniformly; exactly one module busy.
+    OccupancyChain chain(1, 4, 1);
+    const auto result = chain.solve();
+    EXPECT_NEAR(result.meanBusy, 1.0, 1e-12);
+    EXPECT_NEAR(result.busyPmf[1], 1.0, 1e-12);
+}
+
+TEST(OccupancyChain, SingleModuleDegenerate)
+{
+    // m=1: all requests pile on the one module; it is always busy.
+    OccupancyChain chain(5, 1, 3);
+    const auto result = chain.solve();
+    EXPECT_EQ(chain.numStates(), 1u);
+    EXPECT_NEAR(result.meanBusy, 1.0, 1e-12);
+    EXPECT_NEAR(result.meanServiced, 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace sbn

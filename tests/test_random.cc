@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the RNG: determinism, range correctness and first
+ * moments of every distribution the simulators draw from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace sbn {
+namespace {
+
+TEST(Random, DeterministicForFixedSeed)
+{
+    RandomGenerator a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    RandomGenerator a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Random, ReseedRestartsTrajectory)
+{
+    RandomGenerator a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Random, UniformIntStaysInRange)
+{
+    RandomGenerator rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(rng.uniformInt(bound), bound);
+    }
+}
+
+TEST(Random, UniformIntIsRoughlyUniform)
+{
+    RandomGenerator rng(5);
+    const int bound = 8;
+    const int draws = 80000;
+    std::vector<int> counts(bound, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.uniformInt(bound)];
+    const double expect = static_cast<double>(draws) / bound;
+    for (int c : counts)
+        EXPECT_NEAR(c, expect, 5.0 * std::sqrt(expect));
+}
+
+TEST(Random, UniformRangeInclusive)
+{
+    RandomGenerator rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Random, UniformRealMoments)
+{
+    RandomGenerator rng(13);
+    const int draws = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < draws; ++i) {
+        const double u = rng.uniformReal();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+        sq += u * u;
+    }
+    EXPECT_NEAR(sum / draws, 0.5, 0.005);
+    EXPECT_NEAR(sq / draws, 1.0 / 3.0, 0.005);
+}
+
+TEST(Random, BernoulliMean)
+{
+    RandomGenerator rng(17);
+    for (double p : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+        int hits = 0;
+        const int draws = 50000;
+        for (int i = 0; i < draws; ++i)
+            hits += rng.bernoulli(p);
+        EXPECT_NEAR(static_cast<double>(hits) / draws, p, 0.01)
+            << "p=" << p;
+    }
+}
+
+TEST(Random, ExponentialMean)
+{
+    RandomGenerator rng(19);
+    const double mean = 7.5;
+    double sum = 0.0;
+    const int draws = 200000;
+    for (int i = 0; i < draws; ++i)
+        sum += rng.exponential(mean);
+    EXPECT_NEAR(sum / draws, mean, 0.1);
+}
+
+TEST(Random, GeometricMean)
+{
+    RandomGenerator rng(23);
+    const double p = 0.3;
+    double sum = 0.0;
+    const int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        sum += static_cast<double>(rng.geometric(p));
+    // E[failures before success] = (1-p)/p.
+    EXPECT_NEAR(sum / draws, (1.0 - p) / p, 0.05);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Random, ShuffleIsPermutation)
+{
+    RandomGenerator rng(29);
+    std::vector<std::size_t> v(10);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = i;
+    rng.shuffle(v);
+    std::set<std::size_t> seen(v.begin(), v.end());
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Random, DeriveSeedDeterministic)
+{
+    RandomGenerator a(31), b(31);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.deriveSeed(), b.deriveSeed());
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for the statistics package: accumulator moments, merge,
+ * Student-t intervals, batch means and the histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/accumulator.hh"
+#include "stats/batch_means.hh"
+#include "stats/histogram.hh"
+#include "stats/replication.hh"
+#include "util/random.hh"
+
+namespace sbn {
+namespace {
+
+TEST(Accumulator, EmptyDefaults)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_TRUE(std::isinf(a.confidenceHalfWidth()));
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator a;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(v);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Sample variance with Bessel correction: sum sq dev = 32, /7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_NEAR(a.sum(), 40.0, 1e-12);
+}
+
+TEST(Accumulator, MergeMatchesSequential)
+{
+    RandomGenerator rng(99);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal() * 10.0 - 3.0;
+        whole.add(v);
+        (i < 400 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StudentT, TableValues)
+{
+    EXPECT_NEAR(studentTQuantile(1, 0.95), 12.706, 1e-3);
+    EXPECT_NEAR(studentTQuantile(4, 0.95), 2.776, 1e-3);
+    EXPECT_NEAR(studentTQuantile(10, 0.90), 1.812, 1e-3);
+    EXPECT_NEAR(studentTQuantile(30, 0.99), 2.750, 1e-3);
+    EXPECT_NEAR(studentTQuantile(100000, 0.95), 1.960, 1e-3);
+}
+
+TEST(StudentT, DecreasesWithDof)
+{
+    for (double level : {0.90, 0.95, 0.99}) {
+        double prev = studentTQuantile(1, level);
+        for (std::uint64_t dof : {2u, 5u, 10u, 30u, 50u, 200u}) {
+            const double cur = studentTQuantile(dof, level);
+            EXPECT_LE(cur, prev) << "dof=" << dof << " level=" << level;
+            prev = cur;
+        }
+    }
+}
+
+TEST(Estimate, CoversItsMean)
+{
+    Estimate e;
+    e.mean = 5.0;
+    e.halfWidth = 0.5;
+    EXPECT_TRUE(e.covers(5.4));
+    EXPECT_TRUE(e.covers(4.6));
+    EXPECT_FALSE(e.covers(5.6));
+    EXPECT_TRUE(e.covers(5.6, 0.2));
+    EXPECT_DOUBLE_EQ(e.lower(), 4.5);
+    EXPECT_DOUBLE_EQ(e.upper(), 5.5);
+}
+
+TEST(BatchMeans, GrandMeanMatchesStream)
+{
+    BatchMeans bm(10);
+    double sum = 0.0;
+    for (int i = 0; i < 1000; ++i) {
+        bm.add(static_cast<double>(i % 7));
+        sum += static_cast<double>(i % 7);
+    }
+    EXPECT_EQ(bm.batches(), 100u);
+    EXPECT_NEAR(bm.mean(), sum / 1000.0, 1e-9);
+}
+
+TEST(BatchMeans, IntervalShrinksWithData)
+{
+    RandomGenerator rng(7);
+    BatchMeans small(50), large(50);
+    for (int i = 0; i < 1000; ++i)
+        small.add(rng.uniformReal());
+    for (int i = 0; i < 50000; ++i)
+        large.add(rng.uniformReal());
+    EXPECT_LT(large.estimate().halfWidth, small.estimate().halfWidth);
+    EXPECT_TRUE(large.estimate().covers(0.5, 0.01));
+}
+
+TEST(BatchMeans, PartialBatchIgnored)
+{
+    BatchMeans bm(10);
+    for (int i = 0; i < 15; ++i)
+        bm.add(1.0);
+    EXPECT_EQ(bm.batches(), 1u);
+    bm.reset();
+    EXPECT_EQ(bm.batches(), 0u);
+}
+
+TEST(Histogram, BinningAndCounts)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (double v : {0.0, 0.5, 1.0, 5.5, 9.99})
+        h.add(v);
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (hi is exclusive)
+    h.add(100.0); // overflow
+
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(5), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, MeanTracksAllSamples)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    EXPECT_NEAR(h.mean(), 1.5, 1e-12);
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    Histogram h(0.0, 100.0, 100);
+    RandomGenerator rng(123);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.uniformReal() * 100.0);
+    const double q25 = h.quantile(0.25);
+    const double q50 = h.quantile(0.50);
+    const double q90 = h.quantile(0.90);
+    EXPECT_LE(q25, q50);
+    EXPECT_LE(q50, q90);
+    EXPECT_NEAR(q50, 50.0, 3.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.3);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(0), 0u);
+}
+
+TEST(Replication, DeterministicSeedDerivation)
+{
+    std::vector<std::uint64_t> seen_a, seen_b;
+    auto run_a = runReplications(
+        [&](std::uint64_t s) {
+            seen_a.push_back(s);
+            return static_cast<double>(s % 100);
+        },
+        5, 42);
+    auto run_b = runReplications(
+        [&](std::uint64_t s) {
+            seen_b.push_back(s);
+            return static_cast<double>(s % 100);
+        },
+        5, 42);
+    EXPECT_EQ(seen_a, seen_b);
+    EXPECT_DOUBLE_EQ(run_a.mean, run_b.mean);
+    EXPECT_EQ(run_a.samples, 5u);
+}
+
+TEST(Replication, IntervalCoversTrueMean)
+{
+    // Experiment returns seed-dependent noise around 10.
+    auto est = runReplications(
+        [](std::uint64_t s) {
+            RandomGenerator rng(s);
+            double acc = 0.0;
+            for (int i = 0; i < 1000; ++i)
+                acc += rng.uniformReal();
+            return 10.0 + (acc / 1000.0 - 0.5);
+        },
+        10, 7);
+    EXPECT_TRUE(est.covers(10.0, 0.02));
+    EXPECT_GT(est.halfWidth, 0.0);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parameterized property tests: structural invariants that must hold
+ * for EVERY system configuration, swept over the cross product of
+ * sizes, ratios, probabilities, policies and buffering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hh"
+
+namespace sbn {
+namespace {
+
+using ParamTuple =
+    std::tuple<int, int, int, double, ArbitrationPolicy, bool>;
+
+class SystemInvariants : public ::testing::TestWithParam<ParamTuple>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        const auto &[n, m, r, p, policy, buffered] = GetParam();
+        SystemConfig cfg;
+        cfg.numProcessors = n;
+        cfg.numModules = m;
+        cfg.memoryRatio = r;
+        cfg.requestProbability = p;
+        cfg.policy = policy;
+        cfg.buffered = buffered;
+        cfg.warmupCycles = 4000;
+        cfg.measureCycles = 60000;
+        cfg.seed = 99;
+        return cfg;
+    }
+};
+
+TEST_P(SystemInvariants, CapacityBounds)
+{
+    const SystemConfig cfg = config();
+    const Metrics m = runOnce(cfg);
+
+    // The bus ceiling (r+2)/2, one request in service per processor,
+    // and the aggregate memory rate m*(r+2)/r all bound EBW.
+    EXPECT_LE(m.ebw, cfg.maxEbw() * 1.01);
+    EXPECT_LE(m.ebw, cfg.numProcessors * 1.01);
+    EXPECT_LE(m.ebw,
+              cfg.numModules * (cfg.memoryRatio + 2.0) /
+                  cfg.memoryRatio * 1.01);
+    EXPECT_LE(m.busUtilization, 1.0 + 1e-12);
+    EXPECT_LE(m.meanModuleUtilization, 1.0 + 1e-12);
+}
+
+TEST_P(SystemInvariants, MeasurementIdentities)
+{
+    const SystemConfig cfg = config();
+    const Metrics m = runOnce(cfg);
+
+    // EBW computed from completions and from bus utilization agree
+    // (every service is exactly two bus transfers).
+    if (m.completedRequests > 100) {
+        EXPECT_NEAR(m.ebw, m.ebwFromBusUtilization,
+                    0.02 * m.ebw + 1e-9);
+    }
+    EXPECT_EQ(m.measuredCycles, cfg.measureCycles);
+    EXPECT_NEAR(m.meanServiceCycles,
+                m.meanWaitCycles + cfg.processorCycle(), 1e-9);
+    EXPECT_GE(m.waitStats.min(), -1e-12);
+
+    std::uint64_t per_proc_total = 0;
+    for (auto c : m.perProcessorCompletions)
+        per_proc_total += c;
+    EXPECT_EQ(per_proc_total, m.completedRequests);
+}
+
+TEST_P(SystemInvariants, RequestConservation)
+{
+    const SystemConfig cfg = config();
+    const Metrics m = runOnce(cfg);
+    const auto slack = static_cast<std::uint64_t>(cfg.numProcessors);
+    EXPECT_LE(m.completedRequests, m.issuedRequests + slack);
+    EXPECT_LE(m.issuedRequests, m.completedRequests + slack);
+}
+
+TEST_P(SystemInvariants, DeterministicReplay)
+{
+    const SystemConfig cfg = config();
+    const Metrics a = runOnce(cfg);
+    const Metrics b = runOnce(cfg);
+    EXPECT_EQ(a.completedRequests, b.completedRequests);
+    EXPECT_EQ(a.busBusyCycles, b.busBusyCycles);
+}
+
+TEST_P(SystemInvariants, LoadRespondsToP)
+{
+    // EBW can never exceed the offered load n*p (each processor
+    // requests at most once per processor cycle).
+    const SystemConfig cfg = config();
+    const Metrics m = runOnce(cfg);
+    const double offered =
+        cfg.numProcessors * cfg.requestProbability;
+    EXPECT_LE(m.ebw, offered * 1.02 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystemInvariants,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 8, 13),                 // n
+        ::testing::Values(1, 4, 16),                    // m
+        ::testing::Values(1, 3, 8),                     // r
+        ::testing::Values(0.3, 1.0),                    // p
+        ::testing::Values(ArbitrationPolicy::ProcessorPriority,
+                          ArbitrationPolicy::MemoryPriority),
+        ::testing::Bool()),                             // buffered
+    [](const ::testing::TestParamInfo<ParamTuple> &info) {
+        std::string name = "n" + std::to_string(std::get<0>(info.param)) +
+                           "m" + std::to_string(std::get<1>(info.param)) +
+                           "r" + std::to_string(std::get<2>(info.param));
+        name += std::get<3>(info.param) < 1.0 ? "pLow" : "pOne";
+        name += std::get<4>(info.param) ==
+                        ArbitrationPolicy::ProcessorPriority
+                    ? "Proc"
+                    : "Mem";
+        name += std::get<5>(info.param) ? "Buf" : "Plain";
+        return name;
+    });
+
+// ---------------------------------------------------------------------
+// Monotonicity trends, parameterized over the driving axis.
+// ---------------------------------------------------------------------
+
+class SystemTrends
+    : public ::testing::TestWithParam<std::tuple<ArbitrationPolicy, bool>>
+{};
+
+TEST_P(SystemTrends, EbwNondecreasingInModules)
+{
+    const auto &[policy, buffered] = GetParam();
+    double prev = 0.0;
+    for (int m : {1, 2, 4, 8, 16, 24}) {
+        SystemConfig cfg;
+        cfg.numProcessors = 8;
+        cfg.numModules = m;
+        cfg.memoryRatio = 8;
+        cfg.policy = policy;
+        cfg.buffered = buffered;
+        cfg.measureCycles = 80000;
+        const double ebw = runEbw(cfg);
+        EXPECT_GE(ebw, prev - 0.05) << "m=" << m;
+        prev = ebw;
+    }
+}
+
+TEST_P(SystemTrends, EbwNondecreasingInR)
+{
+    // EBW (per processor cycle of r+2) grows with r: a slower memory
+    // relative to the bus means more outstanding parallelism per
+    // cycle. (This is the paper's Fig. 2 x-axis trend.)
+    const auto &[policy, buffered] = GetParam();
+    double prev = 0.0;
+    for (int r : {1, 2, 4, 8, 16}) {
+        SystemConfig cfg;
+        cfg.numProcessors = 8;
+        cfg.numModules = 16;
+        cfg.memoryRatio = r;
+        cfg.policy = policy;
+        cfg.buffered = buffered;
+        cfg.measureCycles = 80000;
+        const double ebw = runEbw(cfg);
+        EXPECT_GE(ebw, prev - 0.05) << "r=" << r;
+        prev = ebw;
+    }
+}
+
+TEST_P(SystemTrends, EbwGrowsWithPUpToLockstepDip)
+{
+    // EBW grows with the offered load n*p, except that fully
+    // synchronous request streams (p exactly 1) can suffer slightly
+    // MORE interference than p ~ 0.9 under memory priority (the
+    // lockstep effect); allow a 7% dip between neighbouring points
+    // but require strong overall growth.
+    const auto &[policy, buffered] = GetParam();
+    double prev = 0.0;
+    double first = -1.0, last = 0.0;
+    for (double p : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+        SystemConfig cfg;
+        cfg.numProcessors = 8;
+        cfg.numModules = 16;
+        cfg.memoryRatio = 8;
+        cfg.requestProbability = p;
+        cfg.policy = policy;
+        cfg.buffered = buffered;
+        cfg.measureCycles = 80000;
+        const double ebw = runEbw(cfg);
+        EXPECT_GE(ebw, prev * 0.93 - 0.02) << "p=" << p;
+        prev = ebw;
+        if (first < 0.0)
+            first = ebw;
+        last = ebw;
+    }
+    EXPECT_GT(last, 3.0 * first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axes, SystemTrends,
+    ::testing::Combine(
+        ::testing::Values(ArbitrationPolicy::ProcessorPriority,
+                          ArbitrationPolicy::MemoryPriority),
+        ::testing::Bool()),
+    [](const ::testing::TestParamInfo<
+        std::tuple<ArbitrationPolicy, bool>> &info) {
+        std::string name = std::get<0>(info.param) ==
+                                   ArbitrationPolicy::ProcessorPriority
+                               ? "Proc"
+                               : "Mem";
+        name += std::get<1>(info.param) ? "Buf" : "Plain";
+        return name;
+    });
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Cross-validation of the cycle-accurate simulator against the
+ * paper's analytical models and published tables - the core
+ * correctness evidence for the reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "analytic/memprio.hh"
+#include "analytic/mva.hh"
+#include "analytic/procprio.hh"
+#include "core/experiment.hh"
+
+namespace sbn {
+namespace {
+
+SystemConfig
+simConfig(int n, int m, int r, ArbitrationPolicy policy, bool buffered)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = n;
+    cfg.numModules = m;
+    cfg.memoryRatio = r;
+    cfg.policy = policy;
+    cfg.buffered = buffered;
+    cfg.warmupCycles = 10000;
+    cfg.measureCycles = 300000;
+    return cfg;
+}
+
+TEST(SimVsModels, MemoryPriorityTracksExactChain)
+{
+    // The Section 3.1.1 chain abstracts the bus into service rounds
+    // (at most r+1 injections per processor cycle, re-issues join the
+    // next round); the cycle-accurate machine lets early-serviced
+    // processors slip back in mid-round, so the simulator sits
+    // slightly ABOVE the chain: within +3% and never more than ~0.5%
+    // below.
+    for (int n : {2, 4, 8}) {
+        for (int m : {2, 4, 8}) {
+            for (int r : {2, 5, 9}) {
+                const double sim = runEbw(simConfig(
+                    n, m, r, ArbitrationPolicy::MemoryPriority, false));
+                const double exact = memprioExactEbw(n, m, r);
+                EXPECT_LT(sim / exact, 1.03)
+                    << "n=" << n << " m=" << m << " r=" << r;
+                EXPECT_GT(sim / exact, 0.995)
+                    << "n=" << n << " m=" << m << " r=" << r;
+            }
+        }
+    }
+}
+
+TEST(SimVsModels, ProcessorPriorityTracksReducedChain)
+{
+    // Section 5 claims <= ~5% model-vs-sim disagreement; hold our
+    // pair to 7% across a grid wider than Table 3.
+    for (int m : {4, 8, 16}) {
+        for (int r : {2, 6, 12}) {
+            const double sim = runEbw(simConfig(
+                8, m, r, ArbitrationPolicy::ProcessorPriority, false));
+            ProcPrioChain chain(8, m, r);
+            EXPECT_NEAR(sim / chain.ebw(), 1.0, 0.07)
+                << "m=" << m << " r=" << r;
+        }
+    }
+}
+
+TEST(SimVsModels, ProcessorPriorityBeatsMemoryPriority)
+{
+    // Section 3 finding: policy g' (processors first) yields higher
+    // EBW than g'' (memories first).
+    for (int m : {4, 8, 16}) {
+        for (int r : {4, 8}) {
+            const double proc = runEbw(simConfig(
+                8, m, r, ArbitrationPolicy::ProcessorPriority, false));
+            const double mem = runEbw(simConfig(
+                8, m, r, ArbitrationPolicy::MemoryPriority, false));
+            EXPECT_GE(proc, mem * 0.999) << "m=" << m << " r=" << r;
+        }
+    }
+}
+
+TEST(SimVsModels, Table3aSimulationCells)
+{
+    // Paper Table 3a (simulation, processor priority, n=8): spot rows
+    // m=4 and m=16. Tolerance covers both samplings' noise; the
+    // paper's m=4, r=8 cell (3.287) is excluded as it is inconsistent
+    // with its own neighbours (3.155 @ r=6, 3.205 @ r=10).
+    const struct { int m, r; double paper; } cells[] = {
+        {4, 2, 1.998},  {4, 4, 2.867},  {4, 6, 3.155},  {4, 10, 3.205},
+        {4, 12, 3.220}, {16, 2, 2.000}, {16, 4, 3.000}, {16, 6, 4.000},
+        {16, 8, 4.977}, {16, 10, 5.698}, {16, 12, 5.959},
+    };
+    for (const auto &c : cells) {
+        const double sim = runEbw(simConfig(
+            8, c.m, c.r, ArbitrationPolicy::ProcessorPriority, false));
+        EXPECT_NEAR(sim / c.paper, 1.0, 0.02)
+            << "m=" << c.m << " r=" << c.r << " sim=" << sim;
+    }
+}
+
+TEST(SimVsModels, Table4BufferedCells)
+{
+    // Paper Table 4 (buffered, processor priority, n=8): spot checks
+    // across the grid corners and interior.
+    const struct { int m, r; double paper; } cells[] = {
+        {4, 6, 3.915},   {4, 14, 3.661},  {4, 24, 3.499},
+        {6, 8, 4.747},   {8, 10, 5.312},  {10, 16, 5.709},
+        {12, 14, 6.020}, {14, 8, 4.998},  {16, 12, 6.325},
+        {16, 24, 6.410},
+    };
+    for (const auto &c : cells) {
+        const double sim = runEbw(simConfig(
+            8, c.m, c.r, ArbitrationPolicy::ProcessorPriority, true));
+        EXPECT_NEAR(sim / c.paper, 1.0, 0.02)
+            << "m=" << c.m << " r=" << c.r << " sim=" << sim;
+    }
+}
+
+TEST(SimVsModels, BufferingNeverHurts)
+{
+    for (int m : {4, 8, 16}) {
+        for (int r : {2, 8, 16}) {
+            const double plain = runEbw(simConfig(
+                8, m, r, ArbitrationPolicy::ProcessorPriority, false));
+            const double buffered = runEbw(simConfig(
+                8, m, r, ArbitrationPolicy::ProcessorPriority, true));
+            EXPECT_GE(buffered, plain * 0.995)
+                << "m=" << m << " r=" << r;
+        }
+    }
+}
+
+TEST(SimVsModels, ExponentialModelIsPessimistic)
+{
+    // Section 6: characterizing the constant bus/memory service times
+    // as exponentials (the product-form network, solved exactly by
+    // MVA) mispredicts EBW pessimistically, with discrepancies
+    // exceeding 25% (relative to the exponential model's value at the
+    // balanced-bottleneck corner n=4, m=2, r=4, where bus and memory
+    // rates coincide and queueing variance matters most).
+    for (const auto &[n, m, r] :
+         {std::array{4, 2, 4}, std::array{8, 4, 8},
+          std::array{16, 4, 8}}) {
+        const double sim = runEbw(simConfig(
+            n, m, r, ArbitrationPolicy::ProcessorPriority, true));
+        const double expo = mvaBufferedBus(n, m, r).ebw;
+        EXPECT_LT(expo, sim) << "n=" << n << " m=" << m << " r=" << r;
+    }
+    const double sim = runEbw(
+        simConfig(4, 2, 4, ArbitrationPolicy::ProcessorPriority, true));
+    const double expo = mvaBufferedBus(4, 2, 4).ebw;
+    EXPECT_GT((sim - expo) / expo, 0.24);
+}
+
+TEST(SimVsModels, ExponentialGapClosesWhenUncongested)
+{
+    // With light load the distributional assumption matters little.
+    SystemConfig cfg =
+        simConfig(2, 16, 4, ArbitrationPolicy::ProcessorPriority, true);
+    const double sim = runEbw(cfg);
+    const double expo = mvaBufferedBus(2, 16, 4).ebw;
+    EXPECT_NEAR(expo / sim, 1.0, 0.12);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Compile-time check of the umbrella header: sbn.hh must be
+ * self-contained and expose the whole public API.
+ */
+
+#include "sbn.hh"
+
+#include <gtest/gtest.h>
+
+namespace sbn {
+namespace {
+
+TEST(Umbrella, ExposesEndToEndWorkflow)
+{
+    // Touch one symbol from each library layer through sbn.hh only.
+    SystemConfig cfg;
+    cfg.numProcessors = 2;
+    cfg.numModules = 2;
+    cfg.memoryRatio = 2;
+    cfg.warmupCycles = 10;
+    cfg.measureCycles = 2000;
+
+    const Metrics metrics = runOnce(cfg);
+    EXPECT_GT(metrics.ebw, 0.0);
+
+    EXPECT_NEAR(crossbarExactBandwidth(2, 2), 1.5, 1e-12);
+    EXPECT_GT(memprioApproxEbw(2, 2, 2), 1.0);
+    EXPECT_GT(mvaBufferedBus(2, 2, 2).ebw, 0.0);
+    EXPECT_GT(mvaBufferedBusDeterministic(2, 2, 2).ebw, 0.0);
+    EXPECT_DOUBLE_EQ(binomial(4, 2), 6.0);
+
+    RandomGenerator rng(1);
+    EXPECT_LT(rng.uniformInt(8), 8u);
+
+    Accumulator acc;
+    acc.add(1.0);
+    EXPECT_EQ(acc.count(), 1u);
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the text-table formatter and the CLI option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hh"
+#include "util/table.hh"
+
+namespace sbn {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Demo");
+    t.setHeader({"m", "r=2", "r=4"});
+    t.addNumericRow("4", {1.998, 2.867});
+    t.addNumericRow("16", {2.0, 3.0});
+
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("r=2"), std::string::npos);
+    EXPECT_NE(out.find("1.998"), std::string::npos);
+    EXPECT_NE(out.find("3.000"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t("title");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "# title\na,b\n1,2\n");
+}
+
+TEST(TextTable, FormatNumberPrecision)
+{
+    EXPECT_EQ(TextTable::formatNumber(1.23456, 3), "1.235");
+    EXPECT_EQ(TextTable::formatNumber(2.0, 1), "2.0");
+    EXPECT_EQ(TextTable::formatNumber(-0.5, 2), "-0.50");
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+
+    // All data lines must have equal length (fixed-width columns).
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (line.find_first_not_of('-') == std::string::npos)
+            continue;
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << "line: " << line;
+    }
+}
+
+const std::map<std::string, std::string> kKnown = {
+    {"n", "processors"},  {"m", "modules"}, {"r", "ratio"},
+    {"p", "probability"}, {"buffered", "flag"}, {"rs", "list"},
+    {"name", "string"},
+};
+
+CommandLine
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "prog");
+    return CommandLine(static_cast<int>(argv.size()), argv.data(),
+                       kKnown);
+}
+
+TEST(CommandLine, EqualsAndSpaceForms)
+{
+    const auto cli = parse({"--n=8", "--m", "16"});
+    EXPECT_EQ(cli.getInt("n", 0), 8);
+    EXPECT_EQ(cli.getInt("m", 0), 16);
+    EXPECT_EQ(cli.getInt("r", 7), 7); // default
+}
+
+TEST(CommandLine, TypedAccessors)
+{
+    const auto cli =
+        parse({"--p=0.25", "--buffered", "--name=hello"});
+    EXPECT_DOUBLE_EQ(cli.getDouble("p", 1.0), 0.25);
+    EXPECT_TRUE(cli.getBool("buffered", false));
+    EXPECT_FALSE(cli.getBool("n", false));
+    EXPECT_EQ(cli.getString("name", ""), "hello");
+    EXPECT_TRUE(cli.has("p"));
+    EXPECT_FALSE(cli.has("r"));
+}
+
+TEST(CommandLine, IntegerLists)
+{
+    const auto cli = parse({"--rs=2,4,8,16"});
+    const auto rs = cli.getIntList("rs", {});
+    ASSERT_EQ(rs.size(), 4u);
+    EXPECT_EQ(rs[0], 2);
+    EXPECT_EQ(rs[3], 16);
+
+    const auto def = cli.getIntList("n", {1, 2});
+    EXPECT_EQ(def.size(), 2u);
+}
+
+TEST(CommandLine, ExplicitBooleanValues)
+{
+    const auto cli = parse({"--buffered=false"});
+    EXPECT_FALSE(cli.getBool("buffered", true));
+}
+
+TEST(CommandLineDeath, UnknownOptionIsFatal)
+{
+    EXPECT_DEATH((void)parse({"--bogus=1"}), "unknown option");
+}
+
+TEST(CommandLineDeath, BadIntegerIsFatal)
+{
+    const auto cli = parse({"--n=abc"});
+    EXPECT_DEATH((void)cli.getInt("n", 0), "expects an integer");
+}
+
+} // namespace
+} // namespace sbn
