@@ -118,7 +118,9 @@ printReproduction()
         TextTable table("\nA5. hot-spot traffic (n=8, m=8, r=8): one "
                         "module weighted w, others 1");
         table.setHeader({"hot weight", "unbuffered EBW", "buffered EBW"});
-        for (double w : {1.0, 2.0, 4.0, 8.0}) {
+        constexpr double kHotWeights[] = {1.0, 2.0, 4.0, 8.0};
+        std::vector<SystemConfig> points;
+        for (double w : kHotWeights) {
             std::vector<double> weights(8, 1.0);
             weights[0] = w;
             SystemConfig plain = simConfig(
@@ -126,9 +128,14 @@ printReproduction()
             plain.moduleWeights = weights;
             SystemConfig buf = plain;
             buf.buffered = true;
-            table.addNumericRow(TextTable::formatNumber(w, 0),
-                                {runEbw(plain), runEbw(buf)});
+            points.push_back(plain);
+            points.push_back(buf);
         }
+        const std::vector<double> results = sweepEbw(points);
+        for (std::size_t i = 0; i < std::size(kHotWeights); ++i)
+            table.addNumericRow(
+                TextTable::formatNumber(kHotWeights[i], 0),
+                {results[2 * i], results[2 * i + 1]});
         table.print(std::cout);
         std::printf("hot-spotting degrades both organizations; "
                     "buffering keeps an edge but cannot\nremove "

@@ -19,9 +19,12 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/config.hh"
 #include "core/experiment.hh"
+#include "exec/parallel_runner.hh"
+#include "exec/sweep.hh"
 #include "util/table.hh"
 
 namespace sbn::bench {
@@ -62,6 +65,35 @@ ebw(int n, int m, int r, ArbitrationPolicy policy, bool buffered,
     double p = 1.0)
 {
     return runEbw(simConfig(n, m, r, policy, buffered, p));
+}
+
+/**
+ * Shared parallel runner for the reproduction benches, sized to the
+ * hardware: the grid points behind every figure/table are independent
+ * seeded runs, so they fan out across all cores without changing any
+ * printed number.
+ */
+inline ParallelRunner &
+runner()
+{
+    static ParallelRunner shared(0);
+    return shared;
+}
+
+/** Evaluate EBW at each materialized point of a sweep, in grid order. */
+inline std::vector<double>
+sweepEbw(const SweepSpec &spec)
+{
+    return runner().sweep(
+        spec, [](const SystemConfig &cfg) { return runEbw(cfg); });
+}
+
+/** Evaluate EBW over an explicit config list, results in input order. */
+inline std::vector<double>
+sweepEbw(const std::vector<SystemConfig> &points)
+{
+    return runner().mapConfigs(
+        points, [](const SystemConfig &cfg) { return runEbw(cfg); });
 }
 
 /**

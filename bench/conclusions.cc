@@ -116,9 +116,15 @@ printReproduction()
     {
         std::printf("\nC6. buffered 16x16: saturation (EBW ~ (r+2)/2) "
                     "until r ~ min(n,m):\n");
-        for (int r : {8, 12, 14, 16, 18, 20}) {
-            const double e = ebw(
-                16, 16, r, ArbitrationPolicy::ProcessorPriority, true);
+        SweepSpec spec;
+        spec.base = simConfig(16, 16, 8,
+                              ArbitrationPolicy::ProcessorPriority,
+                              true);
+        spec.memoryRatios = {8, 12, 14, 16, 18, 20};
+        const std::vector<double> grid = sweepEbw(spec);
+        for (std::size_t i = 0; i < spec.memoryRatios.size(); ++i) {
+            const int r = spec.memoryRatios[i];
+            const double e = grid[i];
             std::printf("    r=%2d: EBW=%.3f  (%.1f%% of ceiling "
                         "%.1f)%s\n",
                         r, e, 100.0 * e / ((r + 2) / 2.0),

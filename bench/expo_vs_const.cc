@@ -33,15 +33,26 @@ printReproduction()
     table.setHeader({"n", "m", "r", "sim (const)", "MVA (expo)",
                      "(sim-mva)/mva %", "det-MVA (ext)", "det err %"});
 
+    // The grid is irregular (r depends on m), so materialize the
+    // simulation points explicitly and fan them out in input order.
+    std::vector<sbn::SystemConfig> points;
+    for (int n : kNs)
+        for (int m : kMs)
+            for (int r : {2 * m, 4 * m})
+                points.push_back(simConfig(
+                    n, m, r, ArbitrationPolicy::ProcessorPriority,
+                    true));
+    const std::vector<double> sims = sweepEbw(points);
+
     double worst = 0.0;
     int worst_n = 0, worst_m = 0, worst_r = 0;
     double worst_det = 0.0;
     bool always_pessimistic = true;
+    std::size_t cell = 0;
     for (int n : kNs) {
         for (int m : kMs) {
             for (int r : {2 * m, 4 * m}) {
-                const double sim = ebw(
-                    n, m, r, ArbitrationPolicy::ProcessorPriority, true);
+                const double sim = sims[cell++];
                 const double expo = mvaBufferedBus(n, m, r).ebw;
                 const double det =
                     mvaBufferedBusDeterministic(n, m, r).ebw;

@@ -14,6 +14,8 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
+
 #include "analytic/crossbar.hh"
 
 namespace {
@@ -43,21 +45,33 @@ printReproduction()
                         TextTable::formatNumber(xbar, 3) + ")");
         table.setHeader({"r", "g' proc-prio", "g'' mem-prio",
                          "crossbar", "(r+2)/2 ceiling"});
-        for (int r : kRs) {
-            const double proc = ebw(
-                n, m, r, ArbitrationPolicy::ProcessorPriority, false);
-            const double mem = ebw(
-                n, m, r, ArbitrationPolicy::MemoryPriority, false);
-            table.addNumericRow(std::to_string(r),
-                                {proc, mem, xbar, (r + 2) / 2.0});
+
+        // One parallel sweep per panel: r x policy grid, results in
+        // grid order (r outer, policy inner).
+        SweepSpec spec;
+        spec.base = simConfig(n, m, kRs[0],
+                              ArbitrationPolicy::ProcessorPriority,
+                              false);
+        spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
+        spec.policies = {ArbitrationPolicy::ProcessorPriority,
+                         ArbitrationPolicy::MemoryPriority};
+        const std::vector<double> grid = sweepEbw(spec);
+
+        for (std::size_t i = 0; i < std::size(kRs); ++i) {
+            table.addNumericRow(std::to_string(kRs[i]),
+                                {grid[2 * i], grid[2 * i + 1], xbar,
+                                 (kRs[i] + 2) / 2.0});
         }
         table.print(std::cout);
 
-        // Shape assertions echoed in the output.
-        const double proc_r4 =
-            ebw(n, m, 4, ArbitrationPolicy::ProcessorPriority, false);
-        const double mem_r4 =
-            ebw(n, m, 4, ArbitrationPolicy::MemoryPriority, false);
+        // Shape assertions echoed in the output; look the r=4 row up
+        // by value so edits to kRs cannot shift the check.
+        const std::size_t r4 =
+            std::find(spec.memoryRatios.begin(),
+                      spec.memoryRatios.end(), 4) -
+            spec.memoryRatios.begin();
+        const double proc_r4 = grid[2 * r4];
+        const double mem_r4 = grid[2 * r4 + 1];
         std::printf("  g' >= g'' at r=4: %.3f >= %.3f  %s\n\n", proc_r4,
                     mem_r4, proc_r4 >= mem_r4 - 0.02 ? "OK" : "VIOLATED");
     }

@@ -33,14 +33,21 @@ printReproduction()
         header.push_back("r=" + std::to_string(r));
     table.setHeader(header);
 
-    for (double p : kPs) {
+    // The whole r x p grid runs as one parallel sweep (r outer,
+    // p inner in the materialized order).
+    SweepSpec spec;
+    spec.base = simConfig(8, 16, kRs[0],
+                          ArbitrationPolicy::ProcessorPriority, false);
+    spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
+    spec.requestProbabilities.assign(std::begin(kPs), std::end(kPs));
+    const std::vector<double> grid = sweepEbw(spec);
+
+    const std::size_t num_ps = std::size(kPs);
+    for (std::size_t i = 0; i < num_ps; ++i) {
         std::vector<double> row;
-        for (int r : kRs) {
-            const double e = ebw(
-                8, 16, r, ArbitrationPolicy::ProcessorPriority, false, p);
-            row.push_back(e / (8.0 * p));
-        }
-        table.addNumericRow(TextTable::formatNumber(p, 1), row);
+        for (std::size_t j = 0; j < std::size(kRs); ++j)
+            row.push_back(grid[j * num_ps + i] / (8.0 * kPs[i]));
+        table.addNumericRow(TextTable::formatNumber(kPs[i], 1), row);
     }
     table.print(std::cout);
 

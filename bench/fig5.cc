@@ -44,26 +44,33 @@ printReproduction()
                         TextTable::formatNumber(xbar, 3) + ")");
         table.setHeader({"r", "buffered", "unbuffered", "crossbar",
                          "(r+2)/2"});
-        for (int r : kRs) {
-            const double buf = ebw(
-                n, m, r, ArbitrationPolicy::ProcessorPriority, true);
-            const double plain = ebw(
-                n, m, r, ArbitrationPolicy::ProcessorPriority, false);
-            table.addNumericRow(std::to_string(r),
-                                {buf, plain, xbar, (r + 2) / 2.0});
+
+        // One parallel sweep per panel (r outer, buffering inner);
+        // the crossing summary below reuses the same grid instead of
+        // re-simulating every buffered point.
+        SweepSpec spec;
+        spec.base = simConfig(n, m, kRs[0],
+                              ArbitrationPolicy::ProcessorPriority,
+                              false);
+        spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
+        spec.buffering = {true, false};
+        const std::vector<double> grid = sweepEbw(spec);
+
+        for (std::size_t i = 0; i < std::size(kRs); ++i) {
+            table.addNumericRow(std::to_string(kRs[i]),
+                                {grid[2 * i], grid[2 * i + 1], xbar,
+                                 (kRs[i] + 2) / 2.0});
         }
         table.print(std::cout);
 
         // Crossing summary: where does the buffered bus beat the
         // crossbar?
         int first_beat = -1, last_beat = -1;
-        for (int r : kRs) {
-            const double buf = ebw(
-                n, m, r, ArbitrationPolicy::ProcessorPriority, true);
-            if (buf > xbar) {
+        for (std::size_t i = 0; i < std::size(kRs); ++i) {
+            if (grid[2 * i] > xbar) {
                 if (first_beat < 0)
-                    first_beat = r;
-                last_beat = r;
+                    first_beat = kRs[i];
+                last_beat = kRs[i];
             }
         }
         if (first_beat >= 0) {

@@ -30,19 +30,26 @@ printReproduction()
         header.push_back("r=" + std::to_string(r));
     table.setHeader(header);
 
-    for (double p : kPs) {
-        std::vector<std::string> row{TextTable::formatNumber(p, 1)};
-        for (int r : kRs) {
-            const double buf =
-                ebw(8, 16, r, ArbitrationPolicy::ProcessorPriority,
-                    true, p) /
-                (8.0 * p);
-            const double plain =
-                ebw(8, 16, r, ArbitrationPolicy::ProcessorPriority,
-                    false, p) /
-                (8.0 * p);
-            row.push_back(TextTable::formatNumber(buf, 3) + " (" +
-                          TextTable::formatNumber(plain, 3) + ")");
+    // One parallel sweep over the full r x p x buffering grid
+    // (materialized order: r, then p, then buffering true/false).
+    SweepSpec spec;
+    spec.base = simConfig(8, 16, kRs[0],
+                          ArbitrationPolicy::ProcessorPriority, false);
+    spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
+    spec.requestProbabilities.assign(std::begin(kPs), std::end(kPs));
+    spec.buffering = {true, false};
+    const std::vector<double> grid = sweepEbw(spec);
+
+    const std::size_t num_ps = std::size(kPs);
+    for (std::size_t i = 0; i < num_ps; ++i) {
+        std::vector<std::string> row{TextTable::formatNumber(kPs[i], 1)};
+        for (std::size_t j = 0; j < std::size(kRs); ++j) {
+            const std::size_t cell = 2 * (j * num_ps + i);
+            const double scale = 8.0 * kPs[i];
+            row.push_back(
+                TextTable::formatNumber(grid[cell] / scale, 3) + " (" +
+                TextTable::formatNumber(grid[cell + 1] / scale, 3) +
+                ")");
         }
         table.addRow(row);
     }

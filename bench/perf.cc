@@ -13,6 +13,9 @@
 #include "analytic/procprio.hh"
 #include "baselines/multibus_sim.hh"
 #include "desim/simulation.hh"
+#include "exec/parallel_runner.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
 
 namespace {
 
@@ -75,6 +78,92 @@ BM_EventKernelScheduleRun(benchmark::State &state)
         static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EventKernelScheduleRun)->Arg(1024)->Arg(65536);
+
+/**
+ * Deschedule-heavy kernel churn: schedule a full window, cancel 3/4
+ * of it, reschedule the cancelled events later, run everything. This
+ * is the pattern that used to scan the heap linearly per deschedule
+ * and let tombstones pile up; it now exercises the O(1) deschedule
+ * and the bounded compaction.
+ */
+void
+BM_EventKernelDescheduleChurn(benchmark::State &state)
+{
+    using namespace sbn;
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    std::uint64_t deschedules = 0;
+    for (auto _ : state) {
+        Simulation sim;
+        std::vector<std::unique_ptr<EventFunction>> pool;
+        pool.reserve(depth);
+        for (std::size_t i = 0; i < depth; ++i) {
+            pool.push_back(std::make_unique<EventFunction>([] {}));
+            sim.queue().schedule(*pool.back(), i % 97);
+        }
+        for (std::size_t i = 0; i < depth; ++i) {
+            if (i % 4 != 0) {
+                sim.queue().deschedule(*pool[i]);
+                ++deschedules;
+            }
+        }
+        for (std::size_t i = 0; i < depth; ++i) {
+            if (i % 4 != 0)
+                sim.queue().schedule(*pool[i], 100 + i % 97);
+        }
+        benchmark::DoNotOptimize(sim.runAll());
+    }
+    state.counters["deschedules/s"] = benchmark::Counter(
+        static_cast<double>(deschedules), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventKernelDescheduleChurn)->Arg(1024)->Arg(65536);
+
+/**
+ * Parallel sweep throughput at 1 / 2 / hardware threads: the same
+ * 16-point r x policy grid per iteration, fanned out by
+ * ParallelRunner. cycles/s counters across the Arg(threads) rows give
+ * the execution layer's scaling curve on this machine.
+ */
+void
+BM_ParallelSweepScaling(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    const auto threads = static_cast<unsigned>(state.range(0));
+    ParallelRunner runner(threads);
+
+    SweepSpec spec;
+    spec.base = simConfig(8, 8, 2,
+                          ArbitrationPolicy::ProcessorPriority, false);
+    spec.base.warmupCycles = 0;
+    spec.base.measureCycles = 50000;
+    spec.memoryRatios = {2, 4, 6, 8, 10, 12, 14, 16};
+    spec.policies = {ArbitrationPolicy::ProcessorPriority,
+                     ArbitrationPolicy::MemoryPriority};
+
+    std::uint64_t cycles = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        spec.base.seed = seed++;
+        const auto grid = runner.sweep(
+            spec, [](const SystemConfig &cfg) { return runEbw(cfg); });
+        benchmark::DoNotOptimize(grid.data());
+        cycles += spec.size() * spec.base.measureCycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+    state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_ParallelSweepScaling)
+    ->Apply([](benchmark::internal::Benchmark *bench) {
+        bench->Arg(1)->Arg(2);
+        const auto hw =
+            static_cast<std::int64_t>(sbn::ThreadPool::hardwareThreads());
+        if (hw > 2)
+            bench->Arg(hw);
+    })
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 void
 BM_OccupancyChainBuild(benchmark::State &state)

@@ -10,6 +10,8 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
+
 namespace {
 
 constexpr int kMs[7] = {4, 6, 8, 10, 12, 14, 16};
@@ -42,12 +44,20 @@ printReproduction()
     TextTable table;
     table.setHeader(header);
     DiffTracker diff;
+
+    // One parallel sweep over the m x r grid (modules outer, ratios
+    // inner); the shape checks reuse the same grid.
+    SweepSpec spec;
+    spec.base = simConfig(8, kMs[0], kRs[0],
+                          ArbitrationPolicy::ProcessorPriority, true);
+    spec.modules.assign(std::begin(kMs), std::end(kMs));
+    spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
+    const std::vector<double> grid = sweepEbw(spec);
+
     for (int i = 0; i < 7; ++i) {
         std::vector<std::string> row{std::to_string(kMs[i])};
         for (int j = 0; j < 10; ++j) {
-            const double ours =
-                ebw(8, kMs[i], kRs[j],
-                    ArbitrationPolicy::ProcessorPriority, true);
+            const double ours = grid[i * 10 + j];
             diff.add(kPaper[i][j], ours);
             row.push_back(TextTable::formatNumber(kPaper[i][j], 3) +
                           "/" + TextTable::formatNumber(ours, 3));
@@ -58,10 +68,19 @@ printReproduction()
     diff.report("Table 4");
 
     std::printf("\nShape checks from Section 6:\n");
-    const double peak_r_small =
-        ebw(8, 16, 12, ArbitrationPolicy::ProcessorPriority, true);
-    const double tail_r_large =
-        ebw(8, 16, 24, ArbitrationPolicy::ProcessorPriority, true);
+    // Look the cells up by their axis values so edits to kMs/kRs
+    // cannot silently shift the check onto a different grid point.
+    const auto cell = [&](int m, int r) {
+        const auto mi = std::find(spec.modules.begin(),
+                                  spec.modules.end(), m) -
+                        spec.modules.begin();
+        const auto ri = std::find(spec.memoryRatios.begin(),
+                                  spec.memoryRatios.end(), r) -
+                        spec.memoryRatios.begin();
+        return grid[mi * spec.memoryRatios.size() + ri];
+    };
+    const double peak_r_small = cell(16, 12);
+    const double tail_r_large = cell(16, 24);
     std::printf("  buffered EBW peaks at moderate r then decays toward"
                 " the crossbar: ebw(r=12)=%.3f > ebw(r=24)=%.3f\n",
                 peak_r_small, tail_r_large);

@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/experiment.hh"
+#include "exec/parallel_runner.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -25,6 +26,8 @@ main(int argc, char **argv)
          {"m", "memory modules (default 16)"},
          {"rs", "comma-separated r values (default 4,8,12,16,20,24)"},
          {"p", "request probability (default 1.0)"},
+         {"threads", "worker threads for the sweep (default: all "
+                     "hardware threads)"},
          {"histogram", "also print waiting histograms at the last r"}});
 
     const int n = static_cast<int>(cli.getInt("n", 8));
@@ -41,19 +44,35 @@ main(int argc, char **argv)
                      "wait plain", "wait buffered", "module util "
                      "plain", "module util buf"});
 
+    // Materialize the (r, buffered) grid and run every point through
+    // the execution layer; full metrics come back in grid order.
+    std::vector<SystemConfig> points;
     for (auto r64 : rs) {
-        const int r = static_cast<int>(r64);
         SystemConfig cfg;
         cfg.numProcessors = n;
         cfg.numModules = m;
-        cfg.memoryRatio = r;
+        cfg.memoryRatio = static_cast<int>(r64);
         cfg.requestProbability = p;
         cfg.measureCycles = 300000;
-
         cfg.buffered = false;
-        const Metrics plain = runOnce(cfg);
+        points.push_back(cfg);
         cfg.buffered = true;
-        const Metrics buf = runOnce(cfg);
+        points.push_back(cfg);
+    }
+    const long threads_arg = cli.getInt("threads", 0);
+    if (threads_arg < 0 || threads_arg > 4096) {
+        std::fprintf(stderr, "--threads must be in [0, 4096]\n");
+        return 2;
+    }
+    ParallelRunner runner(static_cast<unsigned>(threads_arg));
+    const std::vector<Metrics> metrics = runner.map<Metrics>(
+        points.size(),
+        [&](std::size_t i) { return runOnce(points[i]); });
+
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        const int r = static_cast<int>(rs[i]);
+        const Metrics &plain = metrics[2 * i];
+        const Metrics &buf = metrics[2 * i + 1];
 
         table.addRow(
             {std::to_string(r),

@@ -17,6 +17,8 @@
 
 #include "analytic/crossbar.hh"
 #include "core/experiment.hh"
+#include "exec/parallel_runner.hh"
+#include "exec/sweep.hh"
 #include "util/cli.hh"
 #include "util/table.hh"
 
@@ -31,13 +33,21 @@ main(int argc, char **argv)
          {"target", "crossbar is n x target (default = n)"},
          {"max-m", "largest module count to try (default 24)"},
          {"max-r", "largest speed ratio to try (default 24)"},
-         {"tolerance", "match tolerance, fraction (default 0.01)"}});
+         {"tolerance", "match tolerance, fraction (default 0.01)"},
+         {"threads", "worker threads for the design-space sweep "
+                     "(default: all hardware threads)"}});
 
     const int n = static_cast<int>(cli.getInt("n", 8));
     const int xm = static_cast<int>(cli.getInt("target", n));
     const int max_m = static_cast<int>(cli.getInt("max-m", 24));
     const int max_r = static_cast<int>(cli.getInt("max-r", 24));
     const double tol = cli.getDouble("tolerance", 0.01);
+    const long threads_arg = cli.getInt("threads", 0);
+    if (threads_arg < 0 || threads_arg > 4096) {
+        std::fprintf(stderr, "--threads must be in [0, 4096]\n");
+        return 2;
+    }
+    ParallelRunner runner(static_cast<unsigned>(threads_arg));
 
     const double target = crossbarEbw(n, xm);
     std::printf("reference: %dx%d crossbar, EBW = %.3f (%d crosspoints)"
@@ -50,20 +60,30 @@ main(int argc, char **argv)
                                  : "unbuffered");
         table.setHeader(
             {"m", "min r matching", "EBW there", "links n+m"});
+        // The whole m x r design space runs as one parallel sweep;
+        // the serial early-break per row becomes a scan of the
+        // already-computed row (same answers, all cores busy).
+        SweepSpec spec;
+        spec.base.numProcessors = n;
+        spec.base.buffered = buffered;
+        spec.base.measureCycles = 200000;
+        for (int m = n / 2; m <= max_m; m += 2)
+            spec.modules.push_back(m);
+        for (int r = 2; r <= max_r; r += 2)
+            spec.memoryRatios.push_back(r);
+        const std::vector<double> grid = runner.sweep(
+            spec, [](const SystemConfig &cfg) { return runEbw(cfg); });
+        const std::size_t num_rs = spec.memoryRatios.size();
+
         int found_any = 0;
-        for (int m = n / 2; m <= max_m; m += 2) {
+        for (std::size_t mi = 0; mi < spec.modules.size(); ++mi) {
+            const int m = spec.modules[mi];
             int best_r = -1;
             double best_e = 0.0;
-            for (int r = 2; r <= max_r; r += 2) {
-                SystemConfig cfg;
-                cfg.numProcessors = n;
-                cfg.numModules = m;
-                cfg.memoryRatio = r;
-                cfg.buffered = buffered;
-                cfg.measureCycles = 200000;
-                const double e = runEbw(cfg);
+            for (std::size_t ri = 0; ri < num_rs; ++ri) {
+                const double e = grid[mi * num_rs + ri];
                 if (e >= target * (1.0 - tol)) {
-                    best_r = r;
+                    best_r = spec.memoryRatios[ri];
                     best_e = e;
                     break;
                 }

@@ -13,8 +13,7 @@ crossbarExactBandwidth(int n, int m)
 {
     // With a full crossbar every busy module services one request per
     // cycle: the cap never binds at b = min(n, m) (x <= min(n, m)).
-    OccupancyChain chain(n, m, std::min(n, m));
-    return chain.solve().meanBusy;
+    return solveOccupancyChainCached(n, m, std::min(n, m)).meanBusy;
 }
 
 double

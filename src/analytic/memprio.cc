@@ -25,8 +25,7 @@ double
 memprioExactEbw(int n, int m, int r)
 {
     sbn_assert(r >= 1, "memory/bus cycle ratio r must be >= 1");
-    OccupancyChain chain(n, m, r + 1);
-    const auto result = chain.solve();
+    const auto &result = solveOccupancyChainCached(n, m, r + 1);
 
     double ebw = 0.0;
     for (std::size_t x = 0; x < result.busyPmf.size(); ++x)

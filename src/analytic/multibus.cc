@@ -12,8 +12,7 @@ double
 multibusExactBandwidth(int n, int m, int b)
 {
     sbn_assert(b >= 1, "multiple-bus model needs b >= 1");
-    OccupancyChain chain(n, m, b);
-    return chain.solve().meanServiced;
+    return solveOccupancyChainCached(n, m, b).meanServiced;
 }
 
 double

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <tuple>
 
 #include "util/combinatorics.hh"
 #include "util/logging.hh"
@@ -209,6 +212,32 @@ OccupancyChain::solve()
         result.meanServiced += result.pi[s] * std::min(x, cap_);
     }
     return result;
+}
+
+const OccupancyChainResult &
+solveOccupancyChainCached(int n, int m, int cap)
+{
+    using Key = std::tuple<int, int, int>;
+    static std::mutex cache_mutex;
+    static std::map<Key, std::unique_ptr<OccupancyChainResult>> cache;
+
+    const Key key{n, m, cap};
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        const auto it = cache.find(key);
+        if (it != cache.end())
+            return *it->second;
+    }
+
+    // Build and solve outside the lock so distinct shapes can be
+    // solved concurrently; a losing racer on the same key discards
+    // its (identical, deterministic) copy.
+    OccupancyChain chain(n, m, cap);
+    auto solved = std::make_unique<OccupancyChainResult>(chain.solve());
+
+    std::lock_guard<std::mutex> lock(cache_mutex);
+    const auto [it, inserted] = cache.emplace(key, std::move(solved));
+    return *it->second;
 }
 
 } // namespace sbn

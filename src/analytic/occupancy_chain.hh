@@ -122,6 +122,18 @@ class OccupancyChain
     bool built_ = false;
 };
 
+/**
+ * Solve the (n, m, cap) chain once per process and hand out the
+ * cached result thereafter. Chain construction enumerates every
+ * transition (the expensive part); sweeps and model cross-checks hit
+ * the same handful of shapes over and over, so the analytic model
+ * entry points route through this cache.
+ *
+ * Thread-safe; the returned reference lives for the process.
+ */
+const OccupancyChainResult &solveOccupancyChainCached(int n, int m,
+                                                      int cap);
+
 } // namespace sbn
 
 #endif // SBN_ANALYTIC_OCCUPANCY_CHAIN_HH

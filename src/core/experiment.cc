@@ -1,6 +1,6 @@
 #include "core/experiment.hh"
 
-#include "stats/replication.hh"
+#include "exec/parallel_runner.hh"
 
 namespace sbn {
 
@@ -19,9 +19,12 @@ runEbw(const SystemConfig &config)
 
 Estimate
 replicate(const SystemConfig &config, unsigned replications,
-          const std::function<double(const Metrics &)> &metric)
+          const std::function<double(const Metrics &)> &metric,
+          unsigned threads)
 {
-    return runReplications(
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+    return runner.runReplications(
         [&](std::uint64_t seed) {
             SystemConfig c = config;
             c.seed = seed;
@@ -31,10 +34,12 @@ replicate(const SystemConfig &config, unsigned replications,
 }
 
 Estimate
-replicateEbw(const SystemConfig &config, unsigned replications)
+replicateEbw(const SystemConfig &config, unsigned replications,
+             unsigned threads)
 {
-    return replicate(config, replications,
-                     [](const Metrics &m) { return m.ebw; });
+    return replicate(
+        config, replications,
+        [](const Metrics &m) { return m.ebw; }, threads);
 }
 
 } // namespace sbn

@@ -28,14 +28,21 @@ double runEbw(const SystemConfig &config);
  * deterministically from config.seed) and summarize the chosen metric
  * with a Student-t confidence interval.
  *
- * @param metric  extractor, e.g. [](const Metrics &m){ return m.ebw; }
+ * Replications are independent and run through the exec layer: with
+ * @p threads > 1 they execute concurrently, with results bit-identical
+ * to the serial path for the same config.seed (see
+ * docs/performance.md for the determinism contract).
+ *
+ * @param metric   extractor, e.g. [](const Metrics &m){ return m.ebw; }
+ * @param threads  worker count; 0 = defaultExecThreads()
  */
 Estimate replicate(const SystemConfig &config, unsigned replications,
-                   const std::function<double(const Metrics &)> &metric);
+                   const std::function<double(const Metrics &)> &metric,
+                   unsigned threads = 0);
 
 /** replicate() specialized to EBW. */
 Estimate replicateEbw(const SystemConfig &config,
-                      unsigned replications = 5);
+                      unsigned replications = 5, unsigned threads = 0);
 
 } // namespace sbn
 

@@ -74,6 +74,7 @@ class Event
     bool scheduled_ = false;
     Tick when_ = 0;
     std::uint64_t sequence_ = 0;
+    std::size_t heapIndex_ = 0; //!< slot in the owning queue's heap
 };
 
 /** Event that runs a std::function; the common case. */

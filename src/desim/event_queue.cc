@@ -1,8 +1,18 @@
 #include "desim/event_queue.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace sbn {
+
+void
+EventQueue::placeEntry(std::size_t idx, const Entry &entry)
+{
+    heap_[idx] = entry;
+    if (entry.event != nullptr)
+        entry.event->heapIndex_ = idx;
+}
 
 void
 EventQueue::schedule(Event &event, Tick when)
@@ -17,6 +27,7 @@ EventQueue::schedule(Event &event, Tick when)
     event.sequence_ = nextSequence_++;
 
     heap_.push_back(Entry{when, event.priority(), event.sequence_, &event});
+    event.heapIndex_ = heap_.size() - 1;
     siftUp(heap_.size() - 1);
     ++live_;
 }
@@ -26,18 +37,41 @@ EventQueue::deschedule(Event &event)
 {
     sbn_assert(event.scheduled_, "descheduling unscheduled event '",
                event.name(), "'");
+    const std::size_t idx = event.heapIndex_;
+    sbn_assert(idx < heap_.size() && heap_[idx].event == &event &&
+                   heap_[idx].sequence == event.sequence_,
+               "scheduled event '", event.name(),
+               "' missing from its recorded heap slot");
+
+    // Tombstone in place; heap order over (when, priority, sequence)
+    // is unaffected, so no sift is needed. The entry is reclaimed when
+    // it surfaces at the root or by compaction below.
     event.scheduled_ = false;
-    // Lazy removal: find the heap entry and null it; it is skipped on
-    // pop. Linear scan is acceptable because deschedule is rare in the
-    // bus models (only used when draining a simulation early).
-    for (auto &entry : heap_) {
-        if (entry.event == &event && entry.sequence == event.sequence_) {
-            entry.event = nullptr;
-            --live_;
-            return;
-        }
+    heap_[idx].event = nullptr;
+    --live_;
+    ++dead_;
+    compactIfWorthwhile();
+}
+
+void
+EventQueue::compactIfWorthwhile()
+{
+    if (dead_ <= kCompactionFloor || dead_ <= live_)
+        return;
+
+    heap_.erase(std::remove_if(
+                    heap_.begin(), heap_.end(),
+                    [](const Entry &e) { return e.event == nullptr; }),
+                heap_.end());
+    dead_ = 0;
+
+    // Restore slot bookkeeping, then heapify bottom-up.
+    for (std::size_t i = 0; i < heap_.size(); ++i)
+        heap_[i].event->heapIndex_ = i;
+    if (heap_.size() > 1) {
+        for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;)
+            siftDown(i);
     }
-    sbn_panic("scheduled event '", event.name(), "' missing from heap");
 }
 
 const EventQueue::Entry &
@@ -50,17 +84,21 @@ EventQueue::top() const
 void
 EventQueue::popTop()
 {
-    heap_.front() = heap_.back();
+    const Entry moved = heap_.back();
     heap_.pop_back();
-    if (!heap_.empty())
+    if (!heap_.empty()) {
+        placeEntry(0, moved);
         siftDown(0);
+    }
 }
 
 void
 EventQueue::purgeDead()
 {
-    while (!heap_.empty() && heap_.front().event == nullptr)
+    while (!heap_.empty() && heap_.front().event == nullptr) {
         popTop();
+        --dead_;
+    }
 }
 
 Tick
@@ -90,32 +128,38 @@ EventQueue::runOne()
 void
 EventQueue::siftUp(std::size_t idx)
 {
+    const Entry entry = heap_[idx];
     while (idx > 0) {
-        const std::size_t parent = (idx - 1) / 2;
-        if (!(heap_[parent] > heap_[idx]))
+        const std::size_t parent = (idx - 1) / kArity;
+        if (!(heap_[parent] > entry))
             break;
-        std::swap(heap_[parent], heap_[idx]);
+        placeEntry(idx, heap_[parent]);
         idx = parent;
     }
+    placeEntry(idx, entry);
 }
 
 void
 EventQueue::siftDown(std::size_t idx)
 {
     const std::size_t n = heap_.size();
+    const Entry entry = heap_[idx];
     while (true) {
-        const std::size_t left = 2 * idx + 1;
-        const std::size_t right = left + 1;
-        std::size_t smallest = idx;
-        if (left < n && heap_[smallest] > heap_[left])
-            smallest = left;
-        if (right < n && heap_[smallest] > heap_[right])
-            smallest = right;
-        if (smallest == idx)
+        const std::size_t first = kArity * idx + 1;
+        if (first >= n)
             break;
-        std::swap(heap_[idx], heap_[smallest]);
+        const std::size_t last = std::min(first + kArity, n);
+        std::size_t smallest = first;
+        for (std::size_t child = first + 1; child < last; ++child) {
+            if (heap_[smallest] > heap_[child])
+                smallest = child;
+        }
+        if (!(entry > heap_[smallest]))
+            break;
+        placeEntry(idx, heap_[smallest]);
         idx = smallest;
     }
+    placeEntry(idx, entry);
 }
 
 } // namespace sbn

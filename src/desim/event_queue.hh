@@ -16,14 +16,21 @@ namespace sbn {
 /**
  * The kernel's pending-event set.
  *
- * A binary heap keyed by (when, priority, sequence). The sequence
+ * A 4-ary heap keyed by (when, priority, sequence). The sequence
  * number makes ordering total and deterministic: two events scheduled
  * for the same tick and priority fire in the order they were
- * scheduled, so simulations are exactly reproducible.
+ * scheduled, so simulations are exactly reproducible. The wider node
+ * fan-out halves the tree depth of the binary heap, trading a few
+ * extra comparisons per level for markedly fewer cache-missing levels
+ * on the schedule/pop hot path.
  *
  * Events are referenced, not owned; a scheduled event must outlive its
- * execution or be descheduled first. Descheduling is lazy: the entry
- * is invalidated and skipped on pop, which keeps deschedule O(1).
+ * execution or be descheduled first. Each scheduled event remembers
+ * its heap slot (maintained on every sift), so deschedule is O(1): the
+ * entry is tombstoned in place and skipped on pop. Tombstones are
+ * reclaimed eagerly at the root and, to bound memory and sift cost in
+ * deschedule-heavy runs, the heap is compacted outright whenever dead
+ * entries outnumber live ones (beyond a small fixed floor).
  */
 class EventQueue
 {
@@ -39,7 +46,7 @@ class EventQueue
      */
     void schedule(Event &event, Tick when);
 
-    /** Remove a scheduled event without running it. */
+    /** Remove a scheduled event without running it. O(1). */
     void deschedule(Event &event);
 
     /** True when no live events remain. */
@@ -64,12 +71,18 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
   private:
+    /** Heap fan-out; 4 wide keeps sifts shallow and cache-friendly. */
+    static constexpr std::size_t kArity = 4;
+
+    /** Dead-entry floor below which compaction is never attempted. */
+    static constexpr std::uint64_t kCompactionFloor = 64;
+
     struct Entry
     {
         Tick when;
         EventPriority priority;
         std::uint64_t sequence;
-        Event *event; // nullptr once descheduled
+        Event *event; // nullptr once descheduled (tombstone)
 
         bool operator>(const Entry &o) const
         {
@@ -81,15 +94,18 @@ class EventQueue
         }
     };
 
+    void placeEntry(std::size_t idx, const Entry &entry);
     void siftUp(std::size_t idx);
     void siftDown(std::size_t idx);
     const Entry &top() const;
     void popTop();
     void purgeDead();
+    void compactIfWorthwhile();
 
     std::vector<Entry> heap_;
     std::uint64_t nextSequence_ = 0;
     std::uint64_t live_ = 0;
+    std::uint64_t dead_ = 0;
     std::uint64_t executed_ = 0;
     Tick now_ = 0;
 };

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic parallel execution of independent experiments.
+ *
+ * ParallelRunner fans independent work items (replications, sweep
+ * grid points) across a fixed-size ThreadPool and collects results
+ * *by index*, so every reduction happens in the same order as the
+ * serial code path. Combined with pre-derived per-replication seeds,
+ * results are bit-identical to serial execution at any thread count
+ * and under any scheduling interleaving (the determinism contract;
+ * see docs/performance.md).
+ */
+
+#ifndef SBN_EXEC_PARALLEL_RUNNER_HH
+#define SBN_EXEC_PARALLEL_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
+#include "stats/batch_means.hh"
+
+namespace sbn {
+
+/**
+ * Process-wide default worker count used by runReplications() and the
+ * replicate() helpers when no explicit count is given. Resolution:
+ * the last setDefaultExecThreads() value if set, else the SBN_THREADS
+ * environment variable, else 1 (serial). The serial default keeps
+ * single-threaded semantics - including callback invocation order -
+ * for existing callers; opt into parallelism per call site or via the
+ * environment.
+ */
+unsigned defaultExecThreads();
+
+/** Override the default; 0 restores "resolve from environment". */
+void setDefaultExecThreads(unsigned threads);
+
+/**
+ * Runs independent work items across a worker pool, deterministically.
+ *
+ * A runner with T threads uses T-1 pool workers plus the calling
+ * thread; T = 1 degenerates to plain inline loops with no pool and no
+ * synchronization. Runner methods must not be re-entered from inside
+ * a work item (no nested parallelism).
+ */
+class ParallelRunner
+{
+  public:
+    /** @param threads worker count; 0 means all hardware threads. */
+    explicit ParallelRunner(unsigned threads = 0);
+
+    ~ParallelRunner();
+
+    ParallelRunner(const ParallelRunner &) = delete;
+    ParallelRunner &operator=(const ParallelRunner &) = delete;
+
+    /** Total worker count (pool workers + calling thread). */
+    unsigned threads() const { return threads_; }
+
+    /**
+     * Invoke fn(i) once for every i in [0, count), spread across the
+     * workers. Blocks until all invocations finish. The first
+     * exception thrown by any item is rethrown here (remaining items
+     * may be skipped).
+     */
+    void forEachIndex(std::size_t count,
+                      const std::function<void(std::size_t)> &fn);
+
+    /** forEachIndex collecting fn(i) into slot i of the result. */
+    template <typename R>
+    std::vector<R>
+    map(std::size_t count, const std::function<R(std::size_t)> &fn)
+    {
+        std::vector<R> results(count);
+        forEachIndex(count,
+                     [&](std::size_t i) { results[i] = fn(i); });
+        return results;
+    }
+
+    /**
+     * Parallel independent replications, bit-identical to the serial
+     * runReplications() path: the per-replication seeds are derived
+     * from @p master_seed up front (same derivation stream as serial),
+     * experiments run concurrently, and the accumulator consumes the
+     * results in replication order.
+     *
+     * With one replication the half-width is reported as 0 (no CI).
+     */
+    Estimate runReplications(
+        const std::function<double(std::uint64_t)> &experiment,
+        unsigned replications, std::uint64_t master_seed = 1,
+        double level = 0.95);
+
+    /**
+     * Evaluate @p evaluate on every materialized point of @p spec
+     * concurrently; result i corresponds to point i of
+     * spec.materialize() (the documented grid order).
+     */
+    std::vector<double>
+    sweep(const SweepSpec &spec,
+          const std::function<double(const SystemConfig &)> &evaluate);
+
+    /** sweep() over an explicit, already-materialized point list. */
+    std::vector<double> mapConfigs(
+        const std::vector<SystemConfig> &points,
+        const std::function<double(const SystemConfig &)> &evaluate);
+
+  private:
+    unsigned threads_;
+    std::unique_ptr<ThreadPool> pool_; // null when threads_ == 1
+};
+
+/**
+ * Process-wide shared runner with @p threads workers (0 = hardware),
+ * created on first use and kept for the process lifetime. The stats-
+ * and core-layer replication helpers route through this so repeated
+ * calls at the same worker count reuse one pool instead of spawning
+ * and joining threads per call. Safe for concurrent top-level use
+ * (callers share the pool); the no-nesting rule still applies.
+ */
+ParallelRunner &sharedParallelRunner(unsigned threads);
+
+} // namespace sbn
+
+#endif // SBN_EXEC_PARALLEL_RUNNER_HH

@@ -1,0 +1,67 @@
+#include "exec/sweep.hh"
+
+namespace sbn {
+
+namespace {
+
+/** Axis length with the "empty means base value" convention. */
+template <typename T>
+std::size_t
+axisSize(const std::vector<T> &axis)
+{
+    return axis.empty() ? 1 : axis.size();
+}
+
+} // namespace
+
+std::size_t
+SweepSpec::size() const
+{
+    return axisSize(processors) * axisSize(modules) *
+           axisSize(memoryRatios) * axisSize(requestProbabilities) *
+           axisSize(policies) * axisSize(buffering);
+}
+
+std::vector<SystemConfig>
+SweepSpec::materialize() const
+{
+    std::vector<SystemConfig> points;
+    points.reserve(size());
+
+    const auto each = [](const auto &axis, auto base_value,
+                         const auto &visit) {
+        if (axis.empty()) {
+            visit(base_value);
+            return;
+        }
+        for (const auto &value : axis)
+            visit(value);
+    };
+
+    each(processors, base.numProcessors, [&](int n) {
+        each(modules, base.numModules, [&](int m) {
+            each(memoryRatios, base.memoryRatio, [&](int r) {
+                each(requestProbabilities, base.requestProbability,
+                     [&](double p) {
+                         each(policies, base.policy,
+                              [&](ArbitrationPolicy g) {
+                                  each(buffering, base.buffered,
+                                       [&](bool b) {
+                                           SystemConfig cfg = base;
+                                           cfg.numProcessors = n;
+                                           cfg.numModules = m;
+                                           cfg.memoryRatio = r;
+                                           cfg.requestProbability = p;
+                                           cfg.policy = g;
+                                           cfg.buffered = b;
+                                           points.push_back(cfg);
+                                       });
+                              });
+                     });
+            });
+        });
+    });
+    return points;
+}
+
+} // namespace sbn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameter-grid sweep specification over SystemConfig axes.
+ *
+ * A SweepSpec names a base configuration plus per-axis value lists;
+ * materialize() expands the cross product in a fixed, documented
+ * order so sweep results can be indexed back to their grid cell
+ * regardless of how (or whether) the points were run in parallel.
+ */
+
+#ifndef SBN_EXEC_SWEEP_HH
+#define SBN_EXEC_SWEEP_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hh"
+
+namespace sbn {
+
+/**
+ * Cross-product grid over the axes of SystemConfig the paper's
+ * figures and tables sweep. An empty axis means "use the base value";
+ * a non-empty axis overrides it with each listed value in turn.
+ *
+ * Expansion order (outermost to innermost loop): processors, modules,
+ * memoryRatios, requestProbabilities, policies, buffering. The point
+ * at grid coordinates (i_n, i_m, i_r, i_p, i_g, i_b) therefore lands
+ * at a deterministic flat index, independent of execution order.
+ */
+struct SweepSpec
+{
+    SystemConfig base;
+
+    std::vector<int> processors;               //!< n axis
+    std::vector<int> modules;                  //!< m axis
+    std::vector<int> memoryRatios;             //!< r axis
+    std::vector<double> requestProbabilities;  //!< p axis
+    std::vector<ArbitrationPolicy> policies;   //!< g' / g'' axis
+    std::vector<bool> buffering;               //!< Section-6 axis
+
+    /** Number of grid points the spec expands to (>= 1). */
+    std::size_t size() const;
+
+    /**
+     * Expand the grid into concrete configurations, in the documented
+     * nested-loop order. Every point inherits everything else
+     * (seed, cycle counts, weights, ...) from @p base.
+     */
+    std::vector<SystemConfig> materialize() const;
+};
+
+} // namespace sbn
+
+#endif // SBN_EXEC_SWEEP_HH

@@ -10,6 +10,7 @@
  *  - baselines/ synchronous crossbar / multiple-bus simulators
  *  - stats/     estimation utilities
  *  - desim/     the discrete-event kernel (for building new models)
+ *  - exec/      deterministic parallel replication / sweep execution
  *
  * Include the individual headers instead when compile time matters.
  */
@@ -33,6 +34,9 @@
 #include "desim/event_queue.hh"
 #include "desim/simulation.hh"
 #include "desim/trace.hh"
+#include "exec/parallel_runner.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
 #include "markov/dtmc.hh"
 #include "stats/accumulator.hh"
 #include "stats/batch_means.hh"

@@ -1,8 +1,7 @@
 #include "stats/replication.hh"
 
-#include "stats/accumulator.hh"
+#include "exec/parallel_runner.hh"
 #include "util/logging.hh"
-#include "util/random.hh"
 
 namespace sbn {
 
@@ -13,16 +12,13 @@ runReplications(const std::function<double(std::uint64_t)> &experiment,
 {
     sbn_assert(replications >= 1, "need at least one replication");
 
-    RandomGenerator seeder(master_seed);
-    Accumulator acc;
-    for (unsigned i = 0; i < replications; ++i)
-        acc.add(experiment(seeder.deriveSeed()));
-
-    Estimate e;
-    e.mean = acc.mean();
-    e.halfWidth = replications >= 2 ? acc.confidenceHalfWidth(level) : 0.0;
-    e.samples = acc.count();
-    return e;
+    // Route through the execution layer. The default worker count is 1
+    // unless configured (SBN_THREADS / setDefaultExecThreads), which
+    // preserves strict serial semantics - results are bit-identical at
+    // any worker count, but side effects inside @p experiment observe
+    // replication order only when serial.
+    return sharedParallelRunner(defaultExecThreads())
+        .runReplications(experiment, replications, master_seed, level);
 }
 
 } // namespace sbn

@@ -22,8 +22,19 @@ namespace sbn {
  * Run @p experiment once per replication with a deterministic derived
  * seed and summarize the scalar results.
  *
- * @param experiment    callable mapping a seed to a scalar result
- * @param replications  number of independent runs (>= 2 for a CI)
+ * A single replication (replications == 1) is accepted: the estimate
+ * then carries the lone result as its mean with halfWidth 0 (no
+ * confidence interval - use >= 2 replications for one) and samples
+ * always reports the replication count actually run.
+ *
+ * Execution is delegated to the exec layer: replications run on
+ * defaultExecThreads() workers (serial unless configured), with
+ * results bit-identical to serial execution at any worker count.
+ *
+ * @param experiment    callable mapping a seed to a scalar result;
+ *                      must be safe to call concurrently when the
+ *                      default worker count is raised above 1
+ * @param replications  number of independent runs (>= 1)
  * @param master_seed   seed for the seed-derivation stream
  * @param level         confidence level for the interval
  */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "util/logging.hh"
 
@@ -25,6 +26,17 @@ double
 logFactorial(int k)
 {
     sbn_assert(k >= 0, "logFactorial of negative value: ", k);
+    // The models hammer small arguments (per-transition weights);
+    // memoize the common range and fall back to lgamma beyond it.
+    constexpr int kTableSize = 4096;
+    static const auto table = [] {
+        std::vector<double> t(kTableSize);
+        for (int i = 0; i < kTableSize; ++i)
+            t[i] = std::lgamma(static_cast<double>(i) + 1.0);
+        return t;
+    }();
+    if (k < kTableSize)
+        return table[k];
     return std::lgamma(static_cast<double>(k) + 1.0);
 }
 
@@ -33,8 +45,22 @@ binomial(int n, int k)
 {
     if (k < 0 || k > n || n < 0)
         return 0.0;
-    if (n <= 170)
-        return factorial(n) / (factorial(k) * factorial(n - k));
+    // Pascal's triangle up to the factorial-representable range:
+    // one table build, O(1) lookups, and sums that are exact while
+    // they fit 53 bits (they do for the paper-scale n, m <= 64).
+    constexpr int kMaxRow = 170;
+    static const auto triangle = [] {
+        std::vector<std::vector<double>> t(kMaxRow + 1);
+        t[0] = {1.0};
+        for (int row = 1; row <= kMaxRow; ++row) {
+            t[row].assign(row + 1, 1.0);
+            for (int col = 1; col < row; ++col)
+                t[row][col] = t[row - 1][col - 1] + t[row - 1][col];
+        }
+        return t;
+    }();
+    if (n <= kMaxRow)
+        return triangle[n][k];
     return std::exp(logFactorial(n) - logFactorial(k) -
                     logFactorial(n - k));
 }
@@ -51,7 +77,11 @@ stirling2(int n, int k)
         return 0.0;
 
     // Cache rows of the recurrence S2(n,k) = k*S2(n-1,k) + S2(n-1,k-1).
+    // The cache is shared across threads (parallel sweeps evaluate
+    // analytic models concurrently), so guard it.
+    static std::mutex cache_mutex;
     static std::map<int, std::vector<double>> cache;
+    std::lock_guard<std::mutex> lock(cache_mutex);
     auto it = cache.find(n);
     if (it == cache.end()) {
         std::vector<double> prev{1.0}; // row 0: S2(0,0) = 1

@@ -18,13 +18,17 @@
 
 namespace sbn {
 
-/** k! as a double. @pre 0 <= k <= 170 */
+/** k! as a double, table-memoized. @pre 0 <= k <= 170 */
 double factorial(int k);
 
-/** ln(k!) via lgamma. @pre k >= 0 */
+/** ln(k!) via lgamma, table-memoized for small k. @pre k >= 0 */
 double logFactorial(int k);
 
-/** Binomial coefficient C(n, k); 0 when k < 0 or k > n. */
+/**
+ * Binomial coefficient C(n, k); 0 when k < 0 or k > n. Memoized via
+ * a Pascal-triangle table for n <= 170 (making Pascal's identity
+ * exact), log-space beyond.
+ */
 double binomial(int n, int k);
 
 /**

@@ -6,12 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "desim/event.hh"
 #include "desim/event_queue.hh"
 #include "desim/simulation.hh"
+#include "util/random.hh"
 
 namespace sbn {
 namespace {
@@ -179,6 +184,104 @@ TEST(Simulation, ExecutedCounter)
     }
     sim.runAll();
     EXPECT_EQ(sim.queue().executed(), 7u);
+}
+
+TEST(EventQueue, HeavyDescheduleChurnKeepsOrderAndCounts)
+{
+    // Tombstone far more events than survive, well past the
+    // compaction floor, and check that survivors still fire in exact
+    // (tick, schedule-order) sequence with correct size() accounting.
+    Simulation sim;
+    constexpr int kEvents = 512;
+    std::vector<int> fired;
+    std::vector<std::unique_ptr<EventFunction>> events;
+    events.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i) {
+        events.push_back(std::make_unique<EventFunction>(
+            [&fired, i] { fired.push_back(i); }));
+        sim.queue().schedule(*events.back(),
+                             static_cast<Tick>((i * 7) % 101));
+    }
+    EXPECT_EQ(sim.queue().size(), static_cast<std::uint64_t>(kEvents));
+
+    // Deschedule 7 of every 8 events (448 dead vs 64 live): forces
+    // the bounded compaction to kick in mid-churn.
+    int survivors = 0;
+    for (int i = 0; i < kEvents; ++i) {
+        if (i % 8 != 0) {
+            sim.queue().deschedule(*events[i]);
+            EXPECT_FALSE(events[i]->scheduled());
+        } else {
+            ++survivors;
+        }
+    }
+    EXPECT_EQ(sim.queue().size(),
+              static_cast<std::uint64_t>(survivors));
+
+    // Expected firing order: survivors sorted by (tick, schedule
+    // order) - same-priority ties break by insertion sequence.
+    std::vector<int> expected;
+    for (int i = 0; i < kEvents; i += 8)
+        expected.push_back(i);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](int a, int b) {
+                         return (a * 7) % 101 < (b * 7) % 101;
+                     });
+
+    sim.runAll();
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(sim.queue().size(), 0u);
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(EventQueue, RandomizedChurnMatchesReferenceModel)
+{
+    // Deterministic random schedule/deschedule/run interleaving
+    // checked against a trivially-correct ordered-set reference.
+    Simulation sim;
+    constexpr int kEvents = 128;
+    RandomGenerator rng(20260727);
+
+    int last_fired = -1;
+    std::vector<std::unique_ptr<EventFunction>> events;
+    events.reserve(kEvents);
+    for (int i = 0; i < kEvents; ++i)
+        events.push_back(std::make_unique<EventFunction>(
+            [&last_fired, i] { last_fired = i; }));
+
+    // Reference: (tick, schedule-op-counter) -> event index.
+    std::set<std::pair<std::tuple<Tick, std::uint64_t>, int>> live;
+    std::vector<std::tuple<Tick, std::uint64_t>> key(kEvents);
+    std::uint64_t op_counter = 0;
+
+    for (int op = 0; op < 20000; ++op) {
+        const int i = static_cast<int>(rng.pickIndex(kEvents));
+        const int action = static_cast<int>(rng.pickIndex(3));
+        if (action == 0 && !events[i]->scheduled()) {
+            const Tick when = sim.now() + rng.uniformInt(50);
+            key[i] = {when, op_counter++};
+            live.insert({key[i], i});
+            sim.queue().schedule(*events[i], when);
+        } else if (action == 1 && events[i]->scheduled()) {
+            live.erase({key[i], i});
+            sim.queue().deschedule(*events[i]);
+        } else if (action == 2 && !sim.queue().empty()) {
+            const auto expected = *live.begin();
+            live.erase(live.begin());
+            sim.queue().runOne();
+            EXPECT_EQ(last_fired, expected.second) << "op " << op;
+        }
+        ASSERT_EQ(sim.queue().size(), live.size()) << "op " << op;
+        ASSERT_EQ(sim.queue().empty(), live.empty()) << "op " << op;
+    }
+
+    while (!sim.queue().empty()) {
+        const auto expected = *live.begin();
+        live.erase(live.begin());
+        sim.queue().runOne();
+        EXPECT_EQ(last_fired, expected.second);
+    }
+    EXPECT_TRUE(live.empty());
 }
 
 TEST(Simulation, CascadedScheduling)

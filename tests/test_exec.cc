@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the execution layer: thread pool liveness, ordered
+ * parallel map, and the determinism contract - replication and sweep
+ * results must be bit-identical to serial execution at any thread
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "exec/parallel_runner.hh"
+#include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
+#include "stats/replication.hh"
+#include "util/random.hh"
+
+namespace sbn {
+namespace {
+
+TEST(ThreadPool, RunsEveryPostedTask)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.threadCount(), 4u);
+        for (int i = 0; i < 1000; ++i)
+            pool.post([&] { ++count; });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+TEST(ParallelRunner, MapCollectsResultsByIndex)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        EXPECT_EQ(runner.threads(), threads);
+        const auto squares = runner.map<int>(100, [](std::size_t i) {
+            return static_cast<int>(i * i);
+        });
+        ASSERT_EQ(squares.size(), 100u);
+        for (std::size_t i = 0; i < squares.size(); ++i)
+            EXPECT_EQ(squares[i], static_cast<int>(i * i));
+    }
+}
+
+TEST(ParallelRunner, ForEachIndexVisitsEachIndexOnce)
+{
+    ParallelRunner runner(8);
+    std::vector<std::atomic<int>> visits(257);
+    runner.forEachIndex(visits.size(),
+                        [&](std::size_t i) { ++visits[i]; });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelRunner, ZeroItemsIsANoOp)
+{
+    ParallelRunner runner(4);
+    runner.forEachIndex(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelRunner, PropagatesWorkerExceptions)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ParallelRunner runner(threads);
+        EXPECT_THROW(runner.forEachIndex(64,
+                                         [](std::size_t i) {
+                                             if (i == 3)
+                                                 throw std::runtime_error(
+                                                     "boom");
+                                         }),
+                     std::runtime_error);
+    }
+}
+
+/** Synthetic RNG experiment with enough arithmetic to expose any
+    reduction-order difference in the last bit. */
+double
+noisyExperiment(std::uint64_t seed)
+{
+    RandomGenerator rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < 250; ++i)
+        acc += rng.uniformReal() * 3.7 - 1.2;
+    return acc;
+}
+
+TEST(ParallelRunner, ReplicationsBitIdenticalToSerialPath)
+{
+    // Reference: the serial stats-layer path (default threads = 1).
+    const Estimate serial = runReplications(noisyExperiment, 11, 424242);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        const Estimate parallel =
+            runner.runReplications(noisyExperiment, 11, 424242);
+        // Exact floating-point equality, not NEAR: the contract is
+        // bit-identical results at any thread count.
+        EXPECT_EQ(parallel.mean, serial.mean) << threads << " threads";
+        EXPECT_EQ(parallel.halfWidth, serial.halfWidth)
+            << threads << " threads";
+        EXPECT_EQ(parallel.samples, serial.samples);
+    }
+}
+
+TEST(ParallelRunner, SimulationReplicationsBitIdenticalAcrossThreads)
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 4;
+    cfg.numModules = 4;
+    cfg.memoryRatio = 4;
+    cfg.warmupCycles = 100;
+    cfg.measureCycles = 5000;
+    cfg.seed = 99;
+
+    const auto metric = [](const Metrics &m) { return m.ebw; };
+    const Estimate serial = replicate(cfg, 6, metric, 1);
+    for (unsigned threads : {2u, 8u}) {
+        const Estimate parallel = replicate(cfg, 6, metric, threads);
+        EXPECT_EQ(parallel.mean, serial.mean) << threads << " threads";
+        EXPECT_EQ(parallel.halfWidth, serial.halfWidth)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelRunner, SeedsMatchTheSerialDerivationStream)
+{
+    // The seeds handed to a parallel run must be exactly the ones the
+    // serial path would derive, in replication order.
+    RandomGenerator seeder(7);
+    std::vector<std::uint64_t> expected(5);
+    for (auto &s : expected)
+        s = seeder.deriveSeed();
+
+    std::vector<std::uint64_t> seen(5, 0);
+    std::size_t slot = 0;
+    ParallelRunner runner(1); // serial so the capture below is ordered
+    runner.runReplications(
+        [&](std::uint64_t seed) {
+            seen[slot++] = seed;
+            return 0.0;
+        },
+        5, 7);
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(ParallelRunner, SingleReplicationHasZeroHalfWidth)
+{
+    ParallelRunner runner(2);
+    const Estimate e =
+        runner.runReplications(noisyExperiment, 1, 123);
+    EXPECT_EQ(e.samples, 1u);
+    EXPECT_EQ(e.halfWidth, 0.0);
+    EXPECT_EQ(e.mean, noisyExperiment(RandomGenerator(123).deriveSeed()));
+}
+
+TEST(SweepSpec, EmptyAxesYieldTheBasePoint)
+{
+    SweepSpec spec;
+    spec.base.numProcessors = 3;
+    spec.base.numModules = 5;
+    EXPECT_EQ(spec.size(), 1u);
+    const auto points = spec.materialize();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].numProcessors, 3);
+    EXPECT_EQ(points[0].numModules, 5);
+}
+
+TEST(SweepSpec, MaterializesTheCrossProductInDocumentedOrder)
+{
+    SweepSpec spec;
+    spec.base.seed = 77;
+    spec.processors = {2, 4};
+    spec.memoryRatios = {2, 4, 6};
+    spec.buffering = {false, true};
+    EXPECT_EQ(spec.size(), 12u);
+
+    const auto points = spec.materialize();
+    ASSERT_EQ(points.size(), 12u);
+    std::size_t idx = 0;
+    for (int n : {2, 4}) {
+        for (int r : {2, 4, 6}) {
+            for (bool b : {false, true}) {
+                EXPECT_EQ(points[idx].numProcessors, n);
+                EXPECT_EQ(points[idx].memoryRatio, r);
+                EXPECT_EQ(points[idx].buffered, b);
+                EXPECT_EQ(points[idx].seed, 77u); // inherited
+                ++idx;
+            }
+        }
+    }
+}
+
+TEST(ParallelRunner, SweepResultsMatchSerialEvaluationInGridOrder)
+{
+    SweepSpec spec;
+    spec.processors = {2, 4, 8};
+    spec.modules = {2, 8};
+    spec.memoryRatios = {2, 4, 6, 8};
+
+    const auto evaluate = [](const SystemConfig &cfg) {
+        return cfg.numProcessors * 10000.0 + cfg.numModules * 100.0 +
+               cfg.memoryRatio;
+    };
+
+    const auto points = spec.materialize();
+    std::vector<double> expected;
+    for (const auto &cfg : points)
+        expected.push_back(evaluate(cfg));
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        EXPECT_EQ(runner.sweep(spec, evaluate), expected)
+            << threads << " threads";
+    }
+}
+
+TEST(Exec, DefaultThreadsOverrideRoundTrips)
+{
+    const unsigned before = defaultExecThreads();
+    setDefaultExecThreads(3);
+    EXPECT_EQ(defaultExecThreads(), 3u);
+    setDefaultExecThreads(0); // back to environment resolution
+    EXPECT_EQ(defaultExecThreads(), before);
+    EXPECT_GE(defaultExecThreads(), 1u);
+}
+
+} // namespace
+} // namespace sbn
