@@ -23,8 +23,10 @@
 
 #include "core/config.hh"
 #include "core/experiment.hh"
+#include "exec/adaptive.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/sweep.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 namespace sbn::bench {
@@ -94,6 +96,87 @@ sweepEbw(const std::vector<SystemConfig> &points)
 {
     return runner().mapConfigs(
         points, [](const SystemConfig &cfg) { return runEbw(cfg); });
+}
+
+/**
+ * Streaming sweepEbw() for table-shaped grids whose printed rows are
+ * @p row_width consecutive flat-grid cells (i.e. the row axis is the
+ * sweep's outermost axis): onRow(row, cells) fires in row order as
+ * soon as a row's cells - and all earlier rows - have finished, so
+ * the reproduction prints progressively while later rows are still
+ * simulating. Returns the full grid, identical to sweepEbw().
+ */
+inline std::vector<double>
+sweepEbwStreamed(
+    const SweepSpec &spec, std::size_t row_width,
+    const std::function<void(std::size_t,
+                             const std::vector<double> &)> &onRow)
+{
+    sbn_assert(row_width >= 1 && spec.size() % row_width == 0,
+               "row width must evenly divide the sweep grid");
+    std::vector<double> cells;
+    cells.reserve(row_width);
+    std::size_t row = 0;
+    return runner().sweepStreamed(
+        spec, [](const SystemConfig &cfg) { return runEbw(cfg); },
+        [&](std::size_t, const SystemConfig &, double value) {
+            // Callbacks arrive in flat-index order, so consecutive
+            // cells fill each row left to right.
+            cells.push_back(value);
+            if (cells.size() == row_width) {
+                onRow(row++, cells);
+                cells.clear();
+            }
+        });
+}
+
+/**
+ * Adaptive-precision EBW sweep: every grid point is replicated (seeds
+ * derived from its config.seed) until the CI half-width meets
+ * @p target or the schedule cap, with each round's extra replications
+ * fanned out on the shared pool. Results are bit-identical at any
+ * thread count.
+ */
+inline std::vector<AdaptiveEstimate>
+adaptiveSweepEbw(const SweepSpec &spec, const PrecisionTarget &target,
+                 const RoundSchedule &schedule,
+                 const AdaptiveReplicator::PointCallback &onPoint = {})
+{
+    const AdaptiveReplicator replicator(runner(), target, schedule);
+    return replicator.sweep(
+        spec,
+        [](const SystemConfig &cfg, std::uint64_t seed) {
+            SystemConfig c = cfg;
+            c.seed = seed;
+            return runEbw(c);
+        },
+        onPoint);
+}
+
+/** One-line adaptivity summary for an adaptive sweep's estimates. */
+inline void
+reportAdaptivity(const std::vector<AdaptiveEstimate> &estimates)
+{
+    if (estimates.empty())
+        return;
+    std::uint64_t total = 0, lo = ~0ull, hi = 0;
+    double worst_hw = 0.0;
+    std::size_t capped = 0;
+    for (const AdaptiveEstimate &e : estimates) {
+        total += e.estimate.samples;
+        lo = std::min<std::uint64_t>(lo, e.estimate.samples);
+        hi = std::max<std::uint64_t>(hi, e.estimate.samples);
+        worst_hw = std::max(worst_hw, e.estimate.halfWidth);
+        if (!e.converged)
+            ++capped;
+    }
+    std::printf("adaptive precision: %llu replications over %zu "
+                "points (%llu-%llu per point), worst CI half-width "
+                "%.4f, %zu point(s) hit the cap\n",
+                static_cast<unsigned long long>(total),
+                estimates.size(),
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi), worst_hw, capped);
 }
 
 /**

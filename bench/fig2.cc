@@ -40,14 +40,14 @@ printReproduction()
 
     for (const auto &[n, m] : kConfigs) {
         const double xbar = crossbarEbw(n, m);
-        TextTable table(std::to_string(n) + "x" + std::to_string(m) +
-                        " (crossbar EBW = " +
-                        TextTable::formatNumber(xbar, 3) + ")");
-        table.setHeader({"r", "g' proc-prio", "g'' mem-prio",
-                         "crossbar", "(r+2)/2 ceiling"});
+        std::printf("%dx%d (crossbar EBW = %.3f)\n", n, m, xbar);
+        std::printf("  %4s  %12s  %12s  %9s  %15s\n", "r",
+                    "g' proc-prio", "g'' mem-prio", "crossbar",
+                    "(r+2)/2 ceiling");
 
-        // One parallel sweep per panel: r x policy grid, results in
-        // grid order (r outer, policy inner).
+        // One parallel streamed sweep per panel: r x policy grid, two
+        // cells per printed row (r outer, policy inner). Rows print
+        // as soon as they and their predecessors finish.
         SweepSpec spec;
         spec.base = simConfig(n, m, kRs[0],
                               ArbitrationPolicy::ProcessorPriority,
@@ -55,14 +55,14 @@ printReproduction()
         spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
         spec.policies = {ArbitrationPolicy::ProcessorPriority,
                          ArbitrationPolicy::MemoryPriority};
-        const std::vector<double> grid = sweepEbw(spec);
-
-        for (std::size_t i = 0; i < std::size(kRs); ++i) {
-            table.addNumericRow(std::to_string(kRs[i]),
-                                {grid[2 * i], grid[2 * i + 1], xbar,
-                                 (kRs[i] + 2) / 2.0});
-        }
-        table.print(std::cout);
+        const std::vector<double> grid = sweepEbwStreamed(
+            spec, 2,
+            [&](std::size_t row, const std::vector<double> &cells) {
+                std::printf("  %4d  %12.3f  %12.3f  %9.3f  %15.1f\n",
+                            kRs[row], cells[0], cells[1], xbar,
+                            (kRs[row] + 2) / 2.0);
+                std::fflush(stdout);
+            });
 
         // Shape assertions echoed in the output; look the r=4 row up
         // by value so edits to kRs cannot shift the check.

@@ -33,24 +33,38 @@ printReproduction()
         header.push_back("r=" + std::to_string(r));
     table.setHeader(header);
 
-    // The whole r x p grid runs as one parallel sweep (r outer,
-    // p inner in the materialized order).
+    // The whole r x p grid runs as one adaptive-precision sweep
+    // (r outer, p inner in the materialized order): shorter
+    // replications per point, grown per point until the EBW CI
+    // half-width is within 1% of the mean or the cap. Every number is
+    // bit-identical at any thread count.
     SweepSpec spec;
     spec.base = simConfig(8, 16, kRs[0],
                           ArbitrationPolicy::ProcessorPriority, false);
+    spec.base.warmupCycles = 5000;
+    spec.base.measureCycles = 100000;
     spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
     spec.requestProbabilities.assign(std::begin(kPs), std::end(kPs));
-    const std::vector<double> grid = sweepEbw(spec);
+
+    PrecisionTarget target;
+    target.relative = 0.01;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+    const std::vector<AdaptiveEstimate> grid =
+        adaptiveSweepEbw(spec, target, schedule);
 
     const std::size_t num_ps = std::size(kPs);
     for (std::size_t i = 0; i < num_ps; ++i) {
         std::vector<double> row;
         for (std::size_t j = 0; j < std::size(kRs); ++j)
-            row.push_back(grid[j * num_ps + i] / (8.0 * kPs[i]));
+            row.push_back(grid[j * num_ps + i].estimate.mean /
+                          (8.0 * kPs[i]));
         table.addNumericRow(TextTable::formatNumber(kPs[i], 1), row);
     }
     table.print(std::cout);
 
+    reportAdaptivity(grid);
     std::printf("shape: columns decrease in p and increase in r; "
                 "p=0.1 row ~ 1.0 (no contention).\n");
 }

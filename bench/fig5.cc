@@ -39,29 +39,28 @@ printReproduction()
 
     for (const auto &[n, m] : kConfigs) {
         const double xbar = crossbarEbw(n, m);
-        TextTable table(std::to_string(n) + "x" + std::to_string(m) +
-                        " (crossbar EBW = " +
-                        TextTable::formatNumber(xbar, 3) + ")");
-        table.setHeader({"r", "buffered", "unbuffered", "crossbar",
-                         "(r+2)/2"});
+        std::printf("%dx%d (crossbar EBW = %.3f)\n", n, m, xbar);
+        std::printf("  %4s  %9s  %10s  %9s  %8s\n", "r", "buffered",
+                    "unbuffered", "crossbar", "(r+2)/2");
 
-        // One parallel sweep per panel (r outer, buffering inner);
-        // the crossing summary below reuses the same grid instead of
-        // re-simulating every buffered point.
+        // One parallel streamed sweep per panel (r outer, buffering
+        // inner): rows print progressively; the crossing summary
+        // below reuses the same grid instead of re-simulating every
+        // buffered point.
         SweepSpec spec;
         spec.base = simConfig(n, m, kRs[0],
                               ArbitrationPolicy::ProcessorPriority,
                               false);
         spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
         spec.buffering = {true, false};
-        const std::vector<double> grid = sweepEbw(spec);
-
-        for (std::size_t i = 0; i < std::size(kRs); ++i) {
-            table.addNumericRow(std::to_string(kRs[i]),
-                                {grid[2 * i], grid[2 * i + 1], xbar,
-                                 (kRs[i] + 2) / 2.0});
-        }
-        table.print(std::cout);
+        const std::vector<double> grid = sweepEbwStreamed(
+            spec, 2,
+            [&](std::size_t row, const std::vector<double> &cells) {
+                std::printf("  %4d  %9.3f  %10.3f  %9.3f  %8.1f\n",
+                            kRs[row], cells[0], cells[1], xbar,
+                            (kRs[row] + 2) / 2.0);
+                std::fflush(stdout);
+            });
 
         // Crossing summary: where does the buffered bus beat the
         // crossbar?

@@ -30,15 +30,26 @@ printReproduction()
         header.push_back("r=" + std::to_string(r));
     table.setHeader(header);
 
-    // One parallel sweep over the full r x p x buffering grid
-    // (materialized order: r, then p, then buffering true/false).
+    // One adaptive-precision sweep over the full r x p x buffering
+    // grid (materialized order: r, then p, then buffering
+    // true/false): per-point replication counts grow until the CI
+    // half-width is within 1% of the mean or the cap.
     SweepSpec spec;
     spec.base = simConfig(8, 16, kRs[0],
                           ArbitrationPolicy::ProcessorPriority, false);
+    spec.base.warmupCycles = 5000;
+    spec.base.measureCycles = 100000;
     spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
     spec.requestProbabilities.assign(std::begin(kPs), std::end(kPs));
     spec.buffering = {true, false};
-    const std::vector<double> grid = sweepEbw(spec);
+
+    PrecisionTarget target;
+    target.relative = 0.01;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+    const std::vector<AdaptiveEstimate> grid =
+        adaptiveSweepEbw(spec, target, schedule);
 
     const std::size_t num_ps = std::size(kPs);
     for (std::size_t i = 0; i < num_ps; ++i) {
@@ -47,13 +58,18 @@ printReproduction()
             const std::size_t cell = 2 * (j * num_ps + i);
             const double scale = 8.0 * kPs[i];
             row.push_back(
-                TextTable::formatNumber(grid[cell] / scale, 3) + " (" +
-                TextTable::formatNumber(grid[cell + 1] / scale, 3) +
+                TextTable::formatNumber(
+                    grid[cell].estimate.mean / scale, 3) +
+                " (" +
+                TextTable::formatNumber(
+                    grid[cell + 1].estimate.mean / scale, 3) +
                 ")");
         }
         table.addRow(row);
     }
     table.print(std::cout);
+
+    reportAdaptivity(grid);
 
     std::printf("shape: buffered >= unbuffered everywhere; the gap "
                 "narrows as p decreases\n(less interference to "

@@ -60,32 +60,34 @@ printReproduction()
         header.push_back(std::to_string(r));
 
     {
-        TextTable table("(a) simulation");
-        table.setHeader(header);
-        DiffTracker diff;
+        std::printf("(a) simulation (rows stream as they complete)\n");
+        std::printf("  %-6s", "m \\ r");
+        for (int r : kRs)
+            std::printf("  %13d", r);
+        std::printf("\n");
 
-        // The whole m x r simulation grid as one parallel sweep
-        // (modules outer, ratios inner).
+        // The whole m x r simulation grid as one parallel streamed
+        // sweep (modules outer, ratios inner): each m row prints as
+        // soon as its six cells - and all earlier rows - finish.
+        DiffTracker diff;
         SweepSpec spec;
         spec.base = simConfig(8, kMs[0], kRs[0],
                               ArbitrationPolicy::ProcessorPriority,
                               false);
         spec.modules.assign(std::begin(kMs), std::end(kMs));
         spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
-        const std::vector<double> grid = sweepEbw(spec);
-
-        for (int i = 0; i < 7; ++i) {
-            std::vector<std::string> row{std::to_string(kMs[i])};
-            for (int j = 0; j < 6; ++j) {
-                const double ours = grid[i * 6 + j];
-                diff.add(kPaper3a[i][j], ours);
-                row.push_back(
-                    TextTable::formatNumber(kPaper3a[i][j], 3) + " / " +
-                    TextTable::formatNumber(ours, 3));
-            }
-            table.addRow(row);
-        }
-        table.print(std::cout);
+        sweepEbwStreamed(
+            spec, 6,
+            [&](std::size_t i, const std::vector<double> &cells) {
+                std::printf("  %-6d", kMs[i]);
+                for (int j = 0; j < 6; ++j) {
+                    diff.add(kPaper3a[i][j], cells[j]);
+                    std::printf("  %6.3f/%6.3f", kPaper3a[i][j],
+                                cells[j]);
+                }
+                std::printf("\n");
+                std::fflush(stdout);
+            });
         diff.report("Table 3a");
     }
 

@@ -37,34 +37,31 @@ printReproduction()
            "EBW, priority to processors, BUFFERED memory modules, "
            "n = 8, p = 1. Cells: paper / ours.");
 
-    std::vector<std::string> header{"m \\ r"};
+    std::printf("  %-6s", "m \\ r");
     for (int r : kRs)
-        header.push_back(std::to_string(r));
+        std::printf("  %11d", r);
+    std::printf("   (rows stream as they complete)\n");
 
-    TextTable table;
-    table.setHeader(header);
+    // One parallel streamed sweep over the m x r grid (modules outer,
+    // ratios inner): each m row prints as soon as it and its
+    // predecessors finish; the shape checks reuse the same grid.
     DiffTracker diff;
-
-    // One parallel sweep over the m x r grid (modules outer, ratios
-    // inner); the shape checks reuse the same grid.
     SweepSpec spec;
     spec.base = simConfig(8, kMs[0], kRs[0],
                           ArbitrationPolicy::ProcessorPriority, true);
     spec.modules.assign(std::begin(kMs), std::end(kMs));
     spec.memoryRatios.assign(std::begin(kRs), std::end(kRs));
-    const std::vector<double> grid = sweepEbw(spec);
-
-    for (int i = 0; i < 7; ++i) {
-        std::vector<std::string> row{std::to_string(kMs[i])};
-        for (int j = 0; j < 10; ++j) {
-            const double ours = grid[i * 10 + j];
-            diff.add(kPaper[i][j], ours);
-            row.push_back(TextTable::formatNumber(kPaper[i][j], 3) +
-                          "/" + TextTable::formatNumber(ours, 3));
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
+    const std::vector<double> grid = sweepEbwStreamed(
+        spec, 10,
+        [&](std::size_t i, const std::vector<double> &cells) {
+            std::printf("  %-6d", kMs[i]);
+            for (int j = 0; j < 10; ++j) {
+                diff.add(kPaper[i][j], cells[j]);
+                std::printf("  %5.3f/%5.3f", kPaper[i][j], cells[j]);
+            }
+            std::printf("\n");
+            std::fflush(stdout);
+        });
     diff.report("Table 4");
 
     std::printf("\nShape checks from Section 6:\n");

@@ -30,7 +30,9 @@ main(int argc, char **argv)
         {{"n", "processors (default 8)"},
          {"m", "memory modules (default 8)"},
          {"r", "memory/bus cycle ratio (default 8)"},
-         {"reps", "simulation replications (default 5)"},
+         {"rel", "target relative CI half-width in percent "
+                 "(default 1)"},
+         {"cap", "replication cap per estimate (default 16)"},
          {"threads", "worker threads for the replications (default: "
                      "all hardware threads; results identical at any "
                      "count)"}});
@@ -38,7 +40,8 @@ main(int argc, char **argv)
     const int n = static_cast<int>(cli.getInt("n", 8));
     const int m = static_cast<int>(cli.getInt("m", 8));
     const int r = static_cast<int>(cli.getInt("r", 8));
-    const auto reps = static_cast<unsigned>(cli.getInt("reps", 5));
+    const double rel = cli.getDouble("rel", 1.0);
+    const long cap_arg = cli.getInt("cap", 16);
     const long threads_arg = cli.getInt("threads", 0);
     if (threads_arg < 0 || threads_arg > 4096) {
         std::fprintf(stderr, "--threads must be in [0, 4096]\n");
@@ -48,7 +51,27 @@ main(int argc, char **argv)
     if (threads == 0)
         threads = ThreadPool::hardwareThreads();
 
-    std::printf("model vs simulation, %dx%d, r=%d, p=1\n\n", n, m, r);
+    if (rel <= 0.0 || cap_arg < 2 || cap_arg > 100000) {
+        std::fprintf(stderr,
+                     "--rel must be positive, --cap in [2, 100000]\n");
+        return 2;
+    }
+    const auto cap = static_cast<unsigned>(cap_arg);
+
+    std::printf("model vs simulation, %dx%d, r=%d, p=1\n"
+                "(adaptive replication: CI half-width target %.2f%% "
+                "of the mean, cap %u)\n\n",
+                n, m, r, rel, cap);
+
+    // Adaptive precision: each simulation estimate grows its
+    // replication count in deterministic rounds until the 95% CI
+    // half-width meets the relative target or the cap. The estimate
+    // is bit-identical at any thread count.
+    PrecisionTarget target;
+    target.relative = rel / 100.0;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = cap;
 
     auto simulate = [&](ArbitrationPolicy policy, bool buffered) {
         SystemConfig cfg;
@@ -58,21 +81,22 @@ main(int argc, char **argv)
         cfg.policy = policy;
         cfg.buffered = buffered;
         cfg.measureCycles = 200000;
-        // Replications fan out across the exec layer; the estimate is
-        // bit-identical to a serial run of the same seed.
-        return replicateEbw(cfg, reps, threads);
+        return replicateEbwToPrecision(cfg, target, schedule, threads);
     };
 
     TextTable table;
     table.setHeader({"quantity", "model", "simulation (95% CI)",
-                     "rel err %"});
-    auto row = [&](const char *what, double model, const Estimate &sim) {
+                     "reps", "rel err %"});
+    auto row = [&](const char *what, double model,
+                   const AdaptiveEstimate &sim) {
+        const Estimate &e = sim.estimate;
         table.addRow(
             {what, TextTable::formatNumber(model, 3),
-             TextTable::formatNumber(sim.mean, 3) + " +/- " +
-                 TextTable::formatNumber(sim.halfWidth, 3),
+             TextTable::formatNumber(e.mean, 3) + " +/- " +
+                 TextTable::formatNumber(e.halfWidth, 3),
+             std::to_string(e.samples) + (sim.converged ? "" : "*"),
              TextTable::formatNumber(
-                 100.0 * (model - sim.mean) / sim.mean, 2)});
+                 100.0 * (model - e.mean) / e.mean, 2)});
     };
 
     const auto sim_mem =
@@ -94,6 +118,8 @@ main(int argc, char **argv)
 
     table.print(std::cout);
 
+    std::printf("\n('*' in the reps column: the replication cap was "
+                "reached before the CI target)\n");
     std::printf("\ncontext: crossbar(%d,%d) EBW = %.3f; bus ceiling "
                 "(r+2)/2 = %.1f\n",
                 n, m, crossbarEbw(n, m), (r + 2) / 2.0);

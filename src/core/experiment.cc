@@ -42,4 +42,32 @@ replicateEbw(const SystemConfig &config, unsigned replications,
         [](const Metrics &m) { return m.ebw; }, threads);
 }
 
+AdaptiveEstimate
+replicateToPrecision(const SystemConfig &config,
+                     const PrecisionTarget &target,
+                     const std::function<double(const Metrics &)> &metric,
+                     const RoundSchedule &schedule, unsigned threads)
+{
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+    const AdaptiveReplicator replicator(runner, target, schedule);
+    return replicator.run(
+        [&](std::uint64_t seed) {
+            SystemConfig c = config;
+            c.seed = seed;
+            return metric(runOnce(c));
+        },
+        config.seed);
+}
+
+AdaptiveEstimate
+replicateEbwToPrecision(const SystemConfig &config,
+                        const PrecisionTarget &target,
+                        const RoundSchedule &schedule, unsigned threads)
+{
+    return replicateToPrecision(
+        config, target, [](const Metrics &m) { return m.ebw; },
+        schedule, threads);
+}
+
 } // namespace sbn

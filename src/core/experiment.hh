@@ -13,6 +13,7 @@
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "core/system.hh"
+#include "exec/adaptive.hh"
 #include "stats/batch_means.hh"
 
 namespace sbn {
@@ -43,6 +44,26 @@ Estimate replicate(const SystemConfig &config, unsigned replications,
 /** replicate() specialized to EBW. */
 Estimate replicateEbw(const SystemConfig &config,
                       unsigned replications = 5, unsigned threads = 0);
+
+/**
+ * Adaptive-precision replicate(): grow the replication count in the
+ * deterministic rounds of @p schedule until the confidence half-width
+ * of the chosen metric meets @p target or the cap is reached. Seeds
+ * derive from config.seed exactly as replicate() derives them, so for
+ * the replication count the run ends with, the estimate is
+ * bit-identical to replicate() with that count - at any thread count.
+ *
+ * @param threads worker count; 0 = defaultExecThreads()
+ */
+AdaptiveEstimate replicateToPrecision(
+    const SystemConfig &config, const PrecisionTarget &target,
+    const std::function<double(const Metrics &)> &metric,
+    const RoundSchedule &schedule = {}, unsigned threads = 0);
+
+/** replicateToPrecision() specialized to EBW. */
+AdaptiveEstimate replicateEbwToPrecision(
+    const SystemConfig &config, const PrecisionTarget &target = {},
+    const RoundSchedule &schedule = {}, unsigned threads = 0);
 
 } // namespace sbn
 

@@ -174,6 +174,31 @@ ParallelRunner::mapConfigs(
     });
 }
 
+std::vector<double>
+ParallelRunner::sweepStreamed(
+    const SweepSpec &spec,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const SweepCallback &onPoint)
+{
+    return mapConfigsStreamed(spec.materialize(), evaluate, onPoint);
+}
+
+std::vector<double>
+ParallelRunner::mapConfigsStreamed(
+    const std::vector<SystemConfig> &points,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const SweepCallback &onPoint)
+{
+    if (!onPoint)
+        return mapConfigs(points, evaluate);
+    return stream<double>(
+        points.size(),
+        [&](std::size_t i) { return evaluate(points[i]); },
+        [&](std::size_t i, const double &value) {
+            onPoint(i, points[i], value);
+        });
+}
+
 ParallelRunner &
 sharedParallelRunner(unsigned threads)
 {

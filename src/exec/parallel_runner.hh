@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/config.hh"
@@ -83,6 +84,51 @@ class ParallelRunner
     }
 
     /**
+     * map() with an ordered completion callback: emit(i, result) is
+     * invoked exactly once per index, in increasing index order, as
+     * soon as item i *and every lower-indexed item* have finished -
+     * results stream out progressively instead of arriving only after
+     * the full fan-out.
+     *
+     * With multiple workers the callback runs on whichever worker
+     * closed the gap at the emission cursor, serialized by an internal
+     * lock (never two emits at once, never out of order). The emitted
+     * sequence is therefore identical at any thread count. Callbacks
+     * must not re-enter the runner; if fn or emit throws, the
+     * exception propagates to the caller, no index is emitted twice,
+     * and once an emit has thrown no further index is emitted.
+     */
+    template <typename R>
+    std::vector<R>
+    stream(std::size_t count, const std::function<R(std::size_t)> &fn,
+           const std::function<void(std::size_t, const R &)> &emit)
+    {
+        std::vector<R> results(count);
+        std::vector<unsigned char> ready(count, 0);
+        std::mutex gate;
+        std::size_t cursor = 0;
+        bool emit_failed = false;
+        forEachIndex(count, [&](std::size_t i) {
+            results[i] = fn(i);
+            std::lock_guard<std::mutex> lock(gate);
+            ready[i] = 1;
+            // Advance the cursor before each emit and latch failures:
+            // workers that were already mid-item when an emit threw
+            // must neither re-emit that index nor emit past it.
+            while (!emit_failed && cursor < count && ready[cursor]) {
+                const std::size_t at = cursor++;
+                try {
+                    emit(at, results[at]);
+                } catch (...) {
+                    emit_failed = true;
+                    throw;
+                }
+            }
+        });
+        return results;
+    }
+
+    /**
      * Parallel independent replications, bit-identical to the serial
      * runReplications() path: the per-replication seeds are derived
      * from @p master_seed up front (same derivation stream as serial),
@@ -109,6 +155,31 @@ class ParallelRunner
     std::vector<double> mapConfigs(
         const std::vector<SystemConfig> &points,
         const std::function<double(const SystemConfig &)> &evaluate);
+
+    /**
+     * Ordered streaming callback invoked once per grid point with its
+     * flat index, configuration, and result. See stream() for the
+     * ordering and threading guarantees.
+     */
+    using SweepCallback = std::function<void(
+        std::size_t, const SystemConfig &, double)>;
+
+    /**
+     * sweep() that additionally surfaces each grid point through
+     * @p onPoint in flat-index order as soon as it and all its
+     * predecessors finish, so callers can render results
+     * progressively. The returned vector is identical to sweep().
+     */
+    std::vector<double> sweepStreamed(
+        const SweepSpec &spec,
+        const std::function<double(const SystemConfig &)> &evaluate,
+        const SweepCallback &onPoint);
+
+    /** sweepStreamed() over an explicit point list. */
+    std::vector<double> mapConfigsStreamed(
+        const std::vector<SystemConfig> &points,
+        const std::function<double(const SystemConfig &)> &evaluate,
+        const SweepCallback &onPoint);
 
   private:
     unsigned threads_;

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.hh"
 
+#include <exception>
+
 #include "util/logging.hh"
 
 namespace sbn {
@@ -48,7 +50,18 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop_front();
         }
-        task();
+        // A raw posted task must not take the worker (and with it the
+        // whole process) down: constructs that need failure reporting
+        // catch inside the task and propagate to their waiter
+        // (ParallelRunner does). Anything escaping to here is logged
+        // and dropped so the pool stays usable.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            sbn_warn("thread-pool task threw: ", e.what());
+        } catch (...) {
+            sbn_warn("thread-pool task threw a non-std exception");
+        }
     }
 }
 

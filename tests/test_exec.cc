@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "exec/adaptive.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/sweep.hh"
 #include "exec/thread_pool.hh"
@@ -223,6 +225,363 @@ TEST(ParallelRunner, SweepResultsMatchSerialEvaluationInGridOrder)
         ParallelRunner runner(threads);
         EXPECT_EQ(runner.sweep(spec, evaluate), expected)
             << threads << " threads";
+    }
+}
+
+TEST(ParallelRunner, StreamEmitsEveryIndexInOrder)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        std::vector<std::size_t> order;
+        std::vector<int> emitted;
+        // The emit callback is serialized by the runner's emission
+        // gate, so plain push_back is safe even with 8 workers.
+        const auto values = runner.stream<int>(
+            211, [](std::size_t i) { return static_cast<int>(i) * 3; },
+            [&](std::size_t i, const int &v) {
+                order.push_back(i);
+                emitted.push_back(v);
+            });
+        ASSERT_EQ(order.size(), 211u) << threads << " threads";
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            EXPECT_EQ(order[i], i);
+            EXPECT_EQ(emitted[i], static_cast<int>(i) * 3);
+            EXPECT_EQ(values[i], static_cast<int>(i) * 3);
+        }
+    }
+}
+
+TEST(ParallelRunner, ThrowingEmitNeverDoubleEmitsOrOvershoots)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ParallelRunner runner(threads);
+        std::vector<int> emits(100, 0);
+        EXPECT_THROW(
+            runner.stream<int>(
+                100,
+                [](std::size_t i) { return static_cast<int>(i); },
+                [&](std::size_t i, const int &) {
+                    ++emits[i];
+                    if (i == 10)
+                        throw std::runtime_error("emit boom");
+                }),
+            std::runtime_error);
+        // Emission is ordered, so everything before the throwing
+        // index fired exactly once, nothing after it fired at all,
+        // and the throwing index itself was not re-emitted.
+        for (std::size_t i = 0; i <= 10; ++i)
+            EXPECT_EQ(emits[i], 1) << "index " << i;
+        for (std::size_t i = 11; i < emits.size(); ++i)
+            EXPECT_EQ(emits[i], 0) << "index " << i;
+    }
+}
+
+TEST(ParallelRunner, SweepStreamedMatchesSweepAndStreamsInGridOrder)
+{
+    SweepSpec spec;
+    spec.processors = {2, 4, 8};
+    spec.memoryRatios = {2, 4, 6, 8};
+    const auto evaluate = [](const SystemConfig &cfg) {
+        return cfg.numProcessors * 100.0 + cfg.memoryRatio;
+    };
+
+    ParallelRunner reference(1);
+    const std::vector<double> expected = reference.sweep(spec, evaluate);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ParallelRunner runner(threads);
+        std::vector<std::size_t> order;
+        std::vector<double> streamed;
+        const std::vector<double> grid = runner.sweepStreamed(
+            spec, evaluate,
+            [&](std::size_t i, const SystemConfig &cfg, double value) {
+                order.push_back(i);
+                streamed.push_back(value);
+                EXPECT_EQ(evaluate(cfg), value);
+            });
+        EXPECT_EQ(grid, expected) << threads << " threads";
+        EXPECT_EQ(streamed, expected) << threads << " threads";
+        ASSERT_EQ(order.size(), expected.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(RoundSchedule, CumulativeTargetsAreMonotoneUpToTheCap)
+{
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.growth = 1.5;
+    schedule.cap = 40;
+
+    unsigned previous = 0;
+    for (unsigned round = 0; round < 32; ++round) {
+        const unsigned target = schedule.targetAfterRound(round);
+        EXPECT_LE(target, schedule.cap);
+        if (previous < schedule.cap)
+            EXPECT_GT(target, previous) << "round " << round;
+        else
+            EXPECT_EQ(target, schedule.cap);
+        previous = target;
+    }
+    EXPECT_EQ(previous, schedule.cap); // schedule reaches the cap
+}
+
+TEST(AdaptiveReplicator, TargetMetOrCapReached)
+{
+    ParallelRunner runner(1);
+    PrecisionTarget target;
+    target.relative = 0.02;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 40;
+    const AdaptiveReplicator replicator(runner, target, schedule);
+
+    for (std::uint64_t seed : {1ull, 7ull, 99ull, 424242ull}) {
+        const AdaptiveEstimate a =
+            replicator.run(noisyExperiment, seed);
+        EXPECT_GE(a.estimate.samples, 2u);
+        EXPECT_LE(a.estimate.samples, 40u);
+        EXPECT_GE(a.rounds, 1u);
+        if (a.converged) {
+            EXPECT_LE(a.estimate.halfWidth,
+                      0.02 * std::abs(a.estimate.mean));
+        } else {
+            EXPECT_EQ(a.estimate.samples, 40u);
+        }
+    }
+}
+
+TEST(AdaptiveReplicator, TighteningTheTargetNeverShrinksTheRun)
+{
+    ParallelRunner runner(1);
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 64;
+
+    std::uint64_t previous_samples = 0;
+    for (double relative : {0.5, 0.1, 0.02, 0.004}) {
+        PrecisionTarget target;
+        target.relative = relative;
+        const AdaptiveReplicator replicator(runner, target, schedule);
+        const AdaptiveEstimate a = replicator.run(noisyExperiment, 5);
+        EXPECT_GE(a.estimate.samples, previous_samples)
+            << "relative target " << relative;
+        previous_samples = a.estimate.samples;
+    }
+}
+
+TEST(AdaptiveReplicator, BitIdenticalAcrossThreadCounts)
+{
+    PrecisionTarget target;
+    target.relative = 0.02;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 32;
+
+    ParallelRunner serial_runner(1);
+    const AdaptiveReplicator serial(serial_runner, target, schedule);
+    const AdaptiveEstimate reference = serial.run(noisyExperiment, 7);
+
+    for (unsigned threads :
+         {2u, ThreadPool::hardwareThreads() + 1}) {
+        ParallelRunner runner(threads);
+        const AdaptiveReplicator replicator(runner, target, schedule);
+        const AdaptiveEstimate a = replicator.run(noisyExperiment, 7);
+        // Exact equality: the adaptive determinism contract.
+        EXPECT_EQ(a.estimate.mean, reference.estimate.mean)
+            << threads << " threads";
+        EXPECT_EQ(a.estimate.halfWidth, reference.estimate.halfWidth)
+            << threads << " threads";
+        EXPECT_EQ(a.estimate.samples, reference.estimate.samples);
+        EXPECT_EQ(a.rounds, reference.rounds);
+        EXPECT_EQ(a.converged, reference.converged);
+    }
+}
+
+TEST(AdaptiveReplicator, FinalEstimateMatchesOneShotReplications)
+{
+    // Whatever count the adaptive run stops at, the estimate must be
+    // bit-identical to a one-shot run of that many replications: the
+    // seed stream ignores round boundaries.
+    ParallelRunner runner(4);
+    PrecisionTarget target;
+    target.relative = 0.05;
+    const AdaptiveReplicator replicator(runner, target, {});
+    const AdaptiveEstimate a = replicator.run(noisyExperiment, 31);
+
+    const Estimate one_shot = runner.runReplications(
+        noisyExperiment, static_cast<unsigned>(a.estimate.samples), 31);
+    EXPECT_EQ(a.estimate.mean, one_shot.mean);
+    EXPECT_EQ(a.estimate.halfWidth, one_shot.halfWidth);
+    EXPECT_EQ(a.estimate.samples, one_shot.samples);
+}
+
+/** Per-point experiment whose variance scales with the point's r, so
+    a sweep mixes early- and late-converging grid points. */
+double
+pointExperiment(const SystemConfig &cfg, std::uint64_t seed)
+{
+    RandomGenerator rng(seed);
+    double acc = 0.0;
+    for (int i = 0; i < 50; ++i)
+        acc += 10.0 + rng.uniformReal() * cfg.memoryRatio;
+    return acc / 50.0;
+}
+
+TEST(AdaptiveReplicator, SweepStreamsFinalizedPointsInFlatOrder)
+{
+    SweepSpec spec;
+    spec.base.seed = 2026;
+    spec.processors = {2, 4};
+    spec.memoryRatios = {1, 2, 4, 8, 16, 32};
+
+    PrecisionTarget target;
+    target.relative = 0.01;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 64;
+
+    ParallelRunner serial_runner(1);
+    const AdaptiveReplicator serial(serial_runner, target, schedule);
+    const std::vector<AdaptiveEstimate> reference =
+        serial.sweep(spec, pointExperiment);
+    ASSERT_EQ(reference.size(), 12u);
+
+    // Wider variances need more rounds - the sweep must be genuinely
+    // adaptive for the streaming order to be worth testing.
+    EXPECT_GT(reference.back().estimate.samples,
+              reference.front().estimate.samples);
+
+    for (unsigned threads :
+         {1u, 2u, ThreadPool::hardwareThreads() + 1}) {
+        ParallelRunner runner(threads);
+        const AdaptiveReplicator replicator(runner, target, schedule);
+        std::vector<std::size_t> order;
+        const std::vector<AdaptiveEstimate> results =
+            replicator.sweep(
+                spec, pointExperiment,
+                [&](std::size_t i, const SystemConfig &cfg,
+                    const AdaptiveEstimate &estimate) {
+                    order.push_back(i);
+                    EXPECT_EQ(cfg.memoryRatio,
+                              spec.memoryRatios[i % 6]);
+                    EXPECT_EQ(estimate.estimate.samples,
+                              reference[i].estimate.samples);
+                });
+        ASSERT_EQ(order.size(), 12u) << threads << " threads";
+        for (std::size_t i = 0; i < order.size(); ++i)
+            EXPECT_EQ(order[i], i);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            EXPECT_EQ(results[i].estimate.mean,
+                      reference[i].estimate.mean)
+                << threads << " threads, point " << i;
+            EXPECT_EQ(results[i].estimate.halfWidth,
+                      reference[i].estimate.halfWidth);
+            EXPECT_EQ(results[i].estimate.samples,
+                      reference[i].estimate.samples);
+            EXPECT_EQ(results[i].rounds, reference[i].rounds);
+            EXPECT_EQ(results[i].converged, reference[i].converged);
+        }
+    }
+}
+
+TEST(AdaptiveReplicator, SweepStressManyPointsThreadCountInvariant)
+{
+    SweepSpec spec;
+    spec.base.seed = 77;
+    spec.processors = {2, 4, 8, 16};
+    spec.modules = {2, 4};
+    spec.memoryRatios = {1, 3, 9, 27};
+
+    PrecisionTarget target;
+    target.relative = 0.015;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.growth = 3.0;
+    schedule.cap = 30;
+
+    ParallelRunner serial_runner(1);
+    const AdaptiveReplicator serial(serial_runner, target, schedule);
+    const std::vector<AdaptiveEstimate> reference =
+        serial.sweep(spec, pointExperiment);
+    ASSERT_EQ(reference.size(), 32u);
+
+    ParallelRunner runner(ThreadPool::hardwareThreads() + 3);
+    const AdaptiveReplicator replicator(runner, target, schedule);
+    const std::vector<AdaptiveEstimate> results =
+        replicator.sweep(spec, pointExperiment);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(results[i].estimate.mean, reference[i].estimate.mean)
+            << "point " << i;
+        EXPECT_EQ(results[i].estimate.halfWidth,
+                  reference[i].estimate.halfWidth);
+        EXPECT_EQ(results[i].estimate.samples,
+                  reference[i].estimate.samples);
+        EXPECT_EQ(results[i].converged, reference[i].converged);
+        if (results[i].converged) {
+            EXPECT_LE(results[i].estimate.halfWidth,
+                      0.015 * std::abs(results[i].estimate.mean));
+        } else {
+            EXPECT_EQ(results[i].estimate.samples, 30u);
+        }
+    }
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotKillTheWorkers)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 8; ++i) {
+            pool.post([] { throw std::runtime_error("task boom"); });
+            pool.post([] { throw 42; }); // non-std exceptions too
+            pool.post([&] { ++ran; });
+        }
+        // Destructor drains the queue; every non-throwing task must
+        // still have run on a live worker.
+    }
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, CleanShutdownWithQueuedBacklog)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(3);
+        // Far more tasks than workers, so a deep backlog is still
+        // queued when the destructor starts; shutdown must drain it.
+        for (int i = 0; i < 5000; ++i)
+            pool.post([&] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 5000);
+}
+
+TEST(ParallelRunner, StaysUsableAfterWorkerException)
+{
+    ParallelRunner runner(4);
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        EXPECT_THROW(
+            runner.forEachIndex(64,
+                                [](std::size_t i) {
+                                    if (i % 7 == 3)
+                                        throw std::runtime_error(
+                                            "boom");
+                                }),
+            std::runtime_error);
+
+        // The same runner (and its pool) must keep working after the
+        // propagated failure.
+        const auto squares = runner.map<int>(50, [](std::size_t i) {
+            return static_cast<int>(i * i);
+        });
+        ASSERT_EQ(squares.size(), 50u);
+        for (std::size_t i = 0; i < squares.size(); ++i)
+            EXPECT_EQ(squares[i], static_cast<int>(i * i));
+
+        const Estimate e =
+            runner.runReplications(noisyExperiment, 5, 11);
+        EXPECT_EQ(e.samples, 5u);
     }
 }
 

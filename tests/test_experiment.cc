@@ -58,6 +58,53 @@ TEST(Experiment, ArbitraryMetricExtractor)
     EXPECT_LE(est.mean, 1.0);
 }
 
+TEST(Experiment, ReplicateToPrecisionBitIdenticalAcrossThreads)
+{
+    PrecisionTarget target;
+    target.relative = 0.02;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+
+    const auto serial =
+        replicateEbwToPrecision(quickConfig(), target, schedule, 1);
+    EXPECT_GE(serial.estimate.samples, 2u);
+    EXPECT_LE(serial.estimate.samples, 8u);
+
+    for (unsigned threads : {2u, 8u}) {
+        const auto parallel = replicateEbwToPrecision(
+            quickConfig(), target, schedule, threads);
+        EXPECT_EQ(parallel.estimate.mean, serial.estimate.mean)
+            << threads << " threads";
+        EXPECT_EQ(parallel.estimate.halfWidth,
+                  serial.estimate.halfWidth)
+            << threads << " threads";
+        EXPECT_EQ(parallel.estimate.samples, serial.estimate.samples);
+        EXPECT_EQ(parallel.rounds, serial.rounds);
+        EXPECT_EQ(parallel.converged, serial.converged);
+    }
+}
+
+TEST(Experiment, ReplicateToPrecisionMatchesFixedCountReplicate)
+{
+    // The adaptive run must reproduce replicate() bit for bit at the
+    // replication count it ends with (same seed-derivation stream).
+    PrecisionTarget target;
+    target.relative = 0.05;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+
+    const auto adaptive =
+        replicateEbwToPrecision(quickConfig(), target, schedule, 1);
+    const auto fixed = replicateEbw(
+        quickConfig(),
+        static_cast<unsigned>(adaptive.estimate.samples), 1);
+    EXPECT_EQ(adaptive.estimate.mean, fixed.mean);
+    EXPECT_EQ(adaptive.estimate.halfWidth, fixed.halfWidth);
+    EXPECT_EQ(adaptive.estimate.samples, fixed.samples);
+}
+
 TEST(Experiment, RunOnceMatchesSystemRun)
 {
     SystemConfig cfg = quickConfig();

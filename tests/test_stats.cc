@@ -225,5 +225,68 @@ TEST(Replication, IntervalCoversTrueMean)
     EXPECT_GT(est.halfWidth, 0.0);
 }
 
+TEST(ReplicationRounds, SeedStreamIgnoresRoundBoundaries)
+{
+    // Growing in rounds must hand out exactly the one-shot derivation
+    // stream: replication i gets the same seed however the run grew.
+    RandomGenerator seeder(31337);
+    std::vector<std::uint64_t> expected(11);
+    for (auto &s : expected)
+        s = seeder.deriveSeed();
+
+    ReplicationRounds rounds(31337);
+    std::vector<std::uint64_t> streamed;
+    for (unsigned target : {3u, 3u, 7u, 11u}) { // repeat = no-op
+        const auto seeds = rounds.seedsForExtension(target);
+        streamed.insert(streamed.end(), seeds.begin(), seeds.end());
+        rounds.accept(std::vector<double>(seeds.size(), 1.0));
+        EXPECT_EQ(rounds.completed(), target);
+    }
+    EXPECT_EQ(streamed, expected);
+}
+
+TEST(ReplicationRounds, RoundGrowthMatchesOneShotAccumulation)
+{
+    const auto experiment = [](std::uint64_t s) {
+        RandomGenerator rng(s);
+        return rng.uniformReal() * 5.0 - 1.0;
+    };
+
+    // One-shot reference over 10 replications.
+    RandomGenerator seeder(99);
+    Accumulator reference;
+    for (int i = 0; i < 10; ++i)
+        reference.add(experiment(seeder.deriveSeed()));
+
+    // The same 10 replications grown in three rounds.
+    ReplicationRounds rounds(99, 0.95);
+    for (unsigned target : {2u, 5u, 10u}) {
+        std::vector<double> values;
+        for (std::uint64_t seed : rounds.seedsForExtension(target))
+            values.push_back(experiment(seed));
+        rounds.accept(values);
+    }
+
+    const Estimate est = rounds.estimate();
+    EXPECT_EQ(est.samples, 10u);
+    EXPECT_EQ(est.mean, reference.mean());
+    EXPECT_EQ(est.halfWidth, reference.confidenceHalfWidth(0.95));
+}
+
+TEST(ReplicationRounds, FewerThanTwoReplicationsHaveNoInterval)
+{
+    ReplicationRounds rounds(5);
+    EXPECT_EQ(rounds.completed(), 0u);
+    EXPECT_EQ(rounds.estimate().halfWidth, 0.0);
+
+    const auto seeds = rounds.seedsForExtension(1);
+    ASSERT_EQ(seeds.size(), 1u);
+    rounds.accept({4.25});
+    const Estimate est = rounds.estimate();
+    EXPECT_EQ(est.samples, 1u);
+    EXPECT_EQ(est.mean, 4.25);
+    EXPECT_EQ(est.halfWidth, 0.0);
+}
+
 } // namespace
 } // namespace sbn
