@@ -8,16 +8,181 @@
 
 #include "bench_common.hh"
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
 #include "analytic/crossbar.hh"
 #include "analytic/occupancy_chain.hh"
 #include "analytic/procprio.hh"
 #include "baselines/multibus_sim.hh"
+#include "core/system.hh"
 #include "desim/simulation.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/sweep.hh"
 #include "exec/thread_pool.hh"
 
 namespace {
+
+/**
+ * One classic-vs-cycle-skip measurement: wall time, heap events and
+ * derived throughput for the same config run under both kernels.
+ */
+struct KernelSample
+{
+    std::string name;
+    sbn::SystemConfig config;
+    double classicSeconds = 0.0;
+    double skipSeconds = 0.0;
+    std::uint64_t classicEvents = 0;
+    std::uint64_t skipEvents = 0;
+    double ebw = 0.0;
+    bool identical = false;
+
+    double speedup() const { return classicSeconds / skipSeconds; }
+    double
+    eventsPerCycle(std::uint64_t events) const
+    {
+        return static_cast<double>(events) /
+               static_cast<double>(config.warmupCycles +
+                                   config.measureCycles);
+    }
+};
+
+KernelSample
+measureKernels(std::string name, sbn::SystemConfig cfg)
+{
+    using clock = std::chrono::steady_clock;
+    KernelSample sample;
+    sample.name = std::move(name);
+    sample.config = cfg;
+
+    cfg.kernel = sbn::KernelKind::Classic;
+    sbn::SingleBusSystem classic(cfg);
+    auto t0 = clock::now();
+    const sbn::Metrics a = classic.run();
+    sample.classicSeconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    sample.classicEvents = classic.heapEventsExecuted();
+
+    cfg.kernel = sbn::KernelKind::CycleSkip;
+    sbn::SingleBusSystem skip(cfg);
+    t0 = clock::now();
+    const sbn::Metrics b = skip.run();
+    sample.skipSeconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    sample.skipEvents = skip.heapEventsExecuted();
+
+    sample.ebw = b.ebw;
+    sample.identical = a.ebw == b.ebw &&
+                       a.completedRequests == b.completedRequests &&
+                       a.busBusyCycles == b.busBusyCycles &&
+                       a.perProcessorCompletions ==
+                           b.perProcessorCompletions;
+    return sample;
+}
+
+void
+writeKernelJson(const std::vector<KernelSample> &samples,
+                const char *path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        std::printf("warning: could not write %s\n", path);
+        return;
+    }
+    out << "{\n  \"benchmark\": \"kernel\",\n  \"configs\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const KernelSample &s = samples[i];
+        const auto cycles =
+            s.config.warmupCycles + s.config.measureCycles;
+        out << "    {\n"
+            << "      \"name\": \"" << s.name << "\",\n"
+            << "      \"n\": " << s.config.numProcessors << ",\n"
+            << "      \"m\": " << s.config.numModules << ",\n"
+            << "      \"r\": " << s.config.memoryRatio << ",\n"
+            << "      \"p\": " << s.config.requestProbability << ",\n"
+            << "      \"buffered\": "
+            << (s.config.buffered ? "true" : "false") << ",\n"
+            << "      \"cycles\": " << cycles << ",\n"
+            << "      \"identical_metrics\": "
+            << (s.identical ? "true" : "false") << ",\n"
+            << "      \"ebw\": " << s.ebw << ",\n"
+            << "      \"classic\": {\"wall_s\": " << s.classicSeconds
+            << ", \"heap_events\": " << s.classicEvents
+            << ", \"events_per_cycle\": "
+            << s.eventsPerCycle(s.classicEvents)
+            << ", \"cycles_per_s\": "
+            << static_cast<double>(cycles) / s.classicSeconds << "},\n"
+            << "      \"cycleskip\": {\"wall_s\": " << s.skipSeconds
+            << ", \"heap_events\": " << s.skipEvents
+            << ", \"events_per_cycle\": "
+            << s.eventsPerCycle(s.skipEvents)
+            << ", \"cycles_per_s\": "
+            << static_cast<double>(cycles) / s.skipSeconds << "},\n"
+            << "      \"speedup\": " << s.speedup() << "\n"
+            << "    }" << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", path);
+}
+
+/**
+ * Classic-vs-cycle-skip kernel comparison over the regimes the paper
+ * sweeps live in (low request probability = long think spans), plus a
+ * saturated point for context. Prints a table and writes a
+ * machine-readable BENCH_kernel.json (path overridable via the
+ * SBN_BENCH_KERNEL_JSON environment variable) so CI can track the
+ * kernel's perf trajectory per PR.
+ */
+void
+runKernelComparison()
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+
+    auto cfg = [](int n, int m, int r, double p, bool buffered) {
+        SystemConfig c = simConfig(
+            n, m, r, ArbitrationPolicy::ProcessorPriority, buffered, p);
+        c.warmupCycles = 10000;
+        c.measureCycles = 1000000;
+        c.seed = 20260727;
+        return c;
+    };
+
+    std::vector<KernelSample> samples;
+    samples.push_back(
+        measureKernels("fig2_lowp_n16", cfg(16, 16, 8, 0.05, false)));
+    samples.push_back(
+        measureKernels("fig3_lowp_n8", cfg(8, 8, 8, 0.1, false)));
+    samples.push_back(
+        measureKernels("lowp_buffered_n16", cfg(16, 16, 8, 0.1, true)));
+    samples.push_back(
+        measureKernels("lowp_wide_n32", cfg(32, 32, 8, 0.05, true)));
+    samples.push_back(
+        measureKernels("saturated_n8", cfg(8, 8, 8, 1.0, false)));
+
+    std::printf("Kernel comparison (classic vs cycle-skip), %s:\n",
+                "1.01M cycles per run");
+    std::printf("%-20s %9s %9s %11s %11s %8s %5s\n", "config",
+                "ev/cyc(C)", "ev/cyc(S)", "Mcyc/s(C)", "Mcyc/s(S)",
+                "speedup", "same");
+    for (const KernelSample &s : samples) {
+        const auto cycles = static_cast<double>(
+            s.config.warmupCycles + s.config.measureCycles);
+        std::printf("%-20s %9.3f %9.3f %11.1f %11.1f %7.2fx %5s\n",
+                    s.name.c_str(), s.eventsPerCycle(s.classicEvents),
+                    s.eventsPerCycle(s.skipEvents),
+                    cycles / s.classicSeconds / 1e6,
+                    cycles / s.skipSeconds / 1e6, s.speedup(),
+                    s.identical ? "yes" : "NO");
+    }
+    std::printf("\n");
+
+    const char *path = std::getenv("SBN_BENCH_KERNEL_JSON");
+    writeKernelJson(samples, path != nullptr ? path
+                                             : "BENCH_kernel.json");
+}
 
 void
 printReproduction()
@@ -26,6 +191,7 @@ printReproduction()
         "Library performance",
         "Not a paper artifact: throughput/latency of the simulator, "
         "kernel and solvers.");
+    runKernelComparison();
 }
 
 void
@@ -57,6 +223,35 @@ BENCHMARK(BM_SimulatorThroughput)
     ->Args({32, 32, 0})
     ->Args({32, 32, 1})
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Low-request-probability regime (the Fig. 2/3 sweeps): most cycles
+ * are think cycles, so this is where the cycle-skipping kernel's
+ * event-count reduction pays. Arg 0 = classic kernel, 1 = cycle-skip.
+ */
+void
+BM_SimulatorLowP(benchmark::State &state)
+{
+    using namespace sbn;
+    using namespace sbn::bench;
+    const bool skip = state.range(0) != 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        SystemConfig cfg = simConfig(
+            16, 16, 8, ArbitrationPolicy::ProcessorPriority, false,
+            0.05);
+        cfg.kernel = skip ? KernelKind::CycleSkip : KernelKind::Classic;
+        cfg.warmupCycles = 0;
+        cfg.measureCycles = 200000;
+        cfg.seed = seed++;
+        benchmark::DoNotOptimize(runEbw(cfg));
+        cycles += cfg.measureCycles;
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorLowP)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void
 BM_EventKernelScheduleRun(benchmark::State &state)

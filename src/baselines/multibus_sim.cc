@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/index_set.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 
@@ -34,9 +35,15 @@ runMultibusSim(const MultibusSimConfig &config)
     std::vector<std::vector<int>> waiting(m);
     std::vector<char> ready(n, 1); // ready to draw at slot start
 
+    // Modules with work, maintained incrementally at enqueue/dequeue
+    // instead of rescanned every slot; iteration is in ascending
+    // module order, matching the scan the per-slot rebuild performed,
+    // so the partial Fisher-Yates below consumes the RNG identically.
+    IndexSet busyModules(static_cast<std::size_t>(m));
+    int waitingTotal = 0;
+
     std::vector<int> busy;
     busy.reserve(m);
-    std::vector<std::size_t> order(m);
 
     MultibusSimResult result;
     result.busyPmf.assign(std::min(n, m) + 1, 0.0);
@@ -48,25 +55,39 @@ runMultibusSim(const MultibusSimConfig &config)
     for (std::uint64_t slot = 0; slot < total; ++slot) {
         const bool measured = slot >= config.warmupSlots;
 
-        // 1. Ready processors draw: issue or think one slot.
+        // 1. Ready processors draw: issue or think one slot. The draw
+        //    order (ascending processor id, every slot) is the RNG
+        //    contract; only the non-drawing bookkeeping may be skipped.
         for (int p = 0; p < n; ++p) {
             if (!ready[p])
                 continue;
             if (rng.bernoulli(config.requestProbability)) {
                 const int target =
                     static_cast<int>(rng.uniformInt(m));
+                if (waiting[target].empty())
+                    busyModules.insert(static_cast<std::size_t>(target));
                 waiting[target].push_back(p);
+                ++waitingTotal;
                 ready[p] = 0;
             }
             // else: stays ready, draws again next slot.
         }
 
+        // Idle-slot fast path (the think-batching analogue for this
+        // slot-stepped simulator): with nothing waiting, arbitration
+        // and service are no-ops that consume no RNG -- skip them.
+        if (waitingTotal == 0) {
+            if (measured)
+                result.busyPmf[0] += 1.0;
+            continue;
+        }
+
         // 2. Arbitration: modules with work, capped at b buses chosen
         //    uniformly at random.
         busy.clear();
-        for (int mod = 0; mod < m; ++mod)
-            if (!waiting[mod].empty())
-                busy.push_back(mod);
+        busyModules.forEach([&](std::size_t mod) {
+            busy.push_back(static_cast<int>(mod));
+        });
 
         if (measured)
             result.busyPmf[busy.size()] += 1.0;
@@ -92,6 +113,9 @@ runMultibusSim(const MultibusSimConfig &config)
             const int proc = bag[pick];
             bag[pick] = bag.back();
             bag.pop_back();
+            if (bag.empty())
+                busyModules.erase(static_cast<std::size_t>(busy[i]));
+            --waitingTotal;
             next_ready.push_back(proc);
             if (measured)
                 ++completions;

@@ -37,6 +37,32 @@ enum class SelectionRule
 };
 
 /**
+ * Which implementation of the single-bus simulation kernel to run.
+ * Both kernels consume the RNG stream in the same order and make the
+ * same grant decisions, so they produce bit-identical Metrics for a
+ * given seed (enforced by the kernel-differential test suite); they
+ * differ only in how much bookkeeping a simulated cycle costs.
+ */
+enum class KernelKind
+{
+    /**
+     * Pre-PR3 kernel: one heap event per thinking processor cycle and
+     * a full O(n+m) candidate rescan in every arbitration cycle. Kept
+     * for one release as the differential-testing reference.
+     */
+    Classic,
+
+    /**
+     * Cycle-skipping kernel (default): thinking processors live in a
+     * tick-bucket calendar processed outside the event heap, bus
+     * transfer + next arbitration share one coalesced event, and
+     * arbitration candidates are maintained incrementally as bitsets
+     * at state transitions instead of rescanned per cycle.
+     */
+    CycleSkip,
+};
+
+/**
  * Full parameter set of one simulated system.
  *
  * Times are in bus cycles (the paper's unit t): memory access takes
@@ -58,6 +84,9 @@ struct SystemConfig
 
     ArbitrationPolicy policy = ArbitrationPolicy::ProcessorPriority;
     SelectionRule selection = SelectionRule::Random;
+
+    /** Simulation kernel; trajectories are identical either way. */
+    KernelKind kernel = KernelKind::CycleSkip;
 
     /**
      * Enable the Section 6 organization: per-module input/output

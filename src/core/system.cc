@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -16,32 +17,37 @@ traceText(Args &&...args)
     return detail::composeMessage(std::forward<Args>(args)...);
 }
 
+constexpr Tick kNever = std::numeric_limits<Tick>::max();
+
 } // namespace
 
 SingleBusSystem::SingleBusSystem(const SystemConfig &config)
-    : cfg_(config), rng_(config.seed)
+    : cfg_(config), rng_(config.seed),
+      cycleSkip_(config.kernel == KernelKind::CycleSkip)
 {
     cfg_.validate();
 
     procs_.resize(cfg_.numProcessors);
     for (int p = 0; p < cfg_.numProcessors; ++p) {
-        procs_[p].readyEvent = std::make_unique<EventFunction>(
-            [this, p] { processorReady(p); }, event_priority::kUpdate,
-            "proc-ready");
+        procs_[p].readyEvent.bind(*this, &SingleBusSystem::processorReady,
+                                  p, event_priority::kUpdate,
+                                  "proc-ready");
     }
 
     mods_.resize(cfg_.numModules);
     for (int m = 0; m < cfg_.numModules; ++m) {
-        mods_[m].completionEvent = std::make_unique<EventFunction>(
-            [this, m] { memoryCompletion(m); }, event_priority::kUpdate,
-            "mem-complete");
+        mods_[m].completionEvent.bind(*this,
+                                      &SingleBusSystem::memoryCompletion,
+                                      m, event_priority::kUpdate,
+                                      "mem-complete");
     }
 
-    transferDoneEvent_ = std::make_unique<EventFunction>(
-        [this] { transferDone(); }, event_priority::kUpdate,
-        "bus-transfer-done");
-    arbitrationEvent_ = std::make_unique<EventFunction>(
-        [this] { arbitrate(); }, event_priority::kDecide, "bus-arbitrate");
+    transferDoneEvent_.bind(*this, &SingleBusSystem::onTransferDone, 0,
+                            event_priority::kUpdate, "bus-transfer-done");
+    arbitrationEvent_.bind(*this, &SingleBusSystem::onArbitrate, 0,
+                           event_priority::kDecide, "bus-arbitrate");
+    busCycleEvent_.bind(*this, &SingleBusSystem::onBusCycle, 0,
+                        event_priority::kUpdate, "bus-cycle");
 
     if (!cfg_.moduleWeights.empty()) {
         weightCdf_.resize(cfg_.moduleWeights.size());
@@ -62,6 +68,41 @@ SingleBusSystem::SingleBusSystem(const SystemConfig &config)
                           20.0 * static_cast<double>(cfg_.processorCycle()),
                           200);
     }
+
+    // Pre-size every container the hot path touches so steady-state
+    // simulation performs no allocations (asserted by the perf tests
+    // via scratchCapacities()).
+    candProcs_.reserve(static_cast<std::size_t>(cfg_.numProcessors));
+    candMods_.reserve(static_cast<std::size_t>(cfg_.numModules));
+    if (cycleSkip_) {
+        const auto pc = static_cast<std::size_t>(cfg_.processorCycle());
+        thinkBuckets_.resize(pc);
+        for (auto &bucket : thinkBuckets_)
+            bucket.reserve(static_cast<std::size_t>(cfg_.numProcessors));
+        thinkBucketDue_.assign(pc, 0);
+        thinkMaskUsable_ = pc <= 63;
+        thinkMaskAll_ = thinkMaskUsable_ ? (1ull << pc) - 1 : 0;
+        candProcSet_.resize(static_cast<std::size_t>(cfg_.numProcessors));
+        candModSet_.resize(static_cast<std::size_t>(cfg_.numModules));
+        waiterSets_.assign(
+            static_cast<std::size_t>(cfg_.numModules),
+            IndexSet(static_cast<std::size_t>(cfg_.numProcessors)));
+        // Every module starts idle and empty: accepting, no response.
+        modCanAccept_.assign(static_cast<std::size_t>(cfg_.numModules), 1);
+        modHasResponse_.assign(static_cast<std::size_t>(cfg_.numModules),
+                               0);
+    }
+}
+
+std::vector<std::size_t>
+SingleBusSystem::scratchCapacities() const
+{
+    std::vector<std::size_t> caps;
+    caps.push_back(candProcs_.capacity());
+    caps.push_back(candMods_.capacity());
+    for (const auto &bucket : thinkBuckets_)
+        caps.push_back(bucket.capacity());
+    return caps;
 }
 
 int
@@ -103,22 +144,64 @@ SingleBusSystem::moduleHasResponse(const Module &mod) const
 }
 
 void
+SingleBusSystem::procBecomesWaiting(int proc, int target)
+{
+    waiterSets_[target].insert(proc);
+    if (modCanAccept_[target])
+        candProcSet_.insert(proc);
+}
+
+void
+SingleBusSystem::refreshModule(int module)
+{
+    const Module &mod = mods_[module];
+    const bool accept = moduleCanAcceptRequest(mod);
+    if (accept != static_cast<bool>(modCanAccept_[module])) {
+        modCanAccept_[module] = accept ? 1 : 0;
+        if (!waiterSets_[module].empty()) {
+            if (accept)
+                candProcSet_.insertAll(waiterSets_[module]);
+            else
+                candProcSet_.eraseAll(waiterSets_[module]);
+        }
+    }
+    const bool response = moduleHasResponse(mod);
+    if (response != static_cast<bool>(modHasResponse_[module])) {
+        modHasResponse_[module] = response ? 1 : 0;
+        if (response)
+            candModSet_.insert(module);
+        else
+            candModSet_.erase(module);
+    }
+}
+
+void
 SingleBusSystem::requestArbitration(Tick at)
 {
     // While arbitrate() itself runs (granting), candidates surfacing
     // from its side effects are covered by the post-grant arbitration
     // at the next cycle; scheduling here would double-grant the bus
     // within one cycle.
-    if (inArbitration_ || arbitrationEvent_->scheduled())
+    if (inArbitration_ || arbitrationEvent_.scheduled())
         return;
-    sim_.queue().schedule(*arbitrationEvent_, at);
+    if (cycleSkip_) {
+        // The coalesced bus cycle already ends in an arbitration.
+        if (inBusCycle_ || busCycleEvent_.scheduled())
+            return;
+        // With incrementally maintained candidate sets an empty-handed
+        // arbitration is knowable in advance; classic schedules it and
+        // lets it find nothing (no RNG, no state change either way).
+        if (candProcSet_.empty() && candModSet_.empty())
+            return;
+    }
+    sim_.queue().schedule(arbitrationEvent_, at);
 }
 
-void
-SingleBusSystem::processorReady(int proc)
+bool
+SingleBusSystem::drawProcessor(int proc, Tick now)
 {
-    const Tick now = sim_.now();
     Processor &p = procs_[proc];
+    ++thinkDraws_;
 
     if (rng_.bernoulli(cfg_.requestProbability)) {
         p.state = ProcState::WaitingGrant;
@@ -131,23 +214,137 @@ SingleBusSystem::processorReady(int proc)
         }
         if (inWindow(now))
             ++issued_;
-        if (moduleCanAcceptRequest(mods_[p.target]))
+        if (cycleSkip_) {
+            procBecomesWaiting(proc, p.target);
+            if (modCanAccept_[p.target])
+                requestArbitration(now);
+        } else if (moduleCanAcceptRequest(mods_[p.target])) {
             requestArbitration(now);
-    } else {
-        // One processor cycle of internal work, then draw again
-        // (hypothesis (f): requests only start on processor-cycle
-        // boundaries).
-        p.state = ProcState::Thinking;
-        if (cfg_.trace) {
-            cfg_.trace->record(
-                now, "proc",
-                traceText("proc ", proc, " thinks until ",
-                          now + static_cast<Tick>(cfg_.processorCycle())));
         }
-        sim_.queue().schedule(
-            *p.readyEvent,
-            now + static_cast<Tick>(cfg_.processorCycle()));
+        return true;
     }
+
+    // One processor cycle of internal work, then draw again
+    // (hypothesis (f): requests only start on processor-cycle
+    // boundaries).
+    p.state = ProcState::Thinking;
+    if (cfg_.trace) {
+        cfg_.trace->record(
+            now, "proc",
+            traceText("proc ", proc, " thinks until ",
+                      now + static_cast<Tick>(cfg_.processorCycle())));
+    }
+    return false;
+}
+
+void
+SingleBusSystem::processorReady(int proc)
+{
+    const Tick now = sim_.now();
+    if (drawProcessor(proc, now))
+        return;
+    if (cycleSkip_)
+        enterThinking(proc, now);
+    else
+        sim_.queue().schedule(
+            procs_[proc].readyEvent,
+            now + static_cast<Tick>(cfg_.processorCycle()));
+}
+
+void
+SingleBusSystem::enterThinking(int proc, Tick now)
+{
+    const auto pc = static_cast<Tick>(cfg_.processorCycle());
+    const Tick due = now + pc;
+    const auto idx = static_cast<std::size_t>(due % pc);
+    auto &bucket = thinkBuckets_[idx];
+    if (bucket.empty()) {
+        thinkBucketDue_[idx] = due;
+        if (thinkMaskUsable_)
+            thinkMask_ |= 1ull << idx;
+    } else {
+        sbn_assert(thinkBucketDue_[idx] == due,
+                   "think bucket due-tick invariant violated");
+    }
+    bucket.push_back(proc);
+    if (thinkingCount_++ == 0 || due < thinkNextDue_) {
+        thinkNextDue_ = due;
+        thinkNextIdx_ = idx;
+    }
+}
+
+void
+SingleBusSystem::refreshNextThink(Tick now, std::size_t r0)
+{
+    const auto pc = static_cast<Tick>(cfg_.processorCycle());
+    if (thinkingCount_ == 0) {
+        thinkNextDue_ = kNever;
+        return;
+    }
+    if (thinkMaskUsable_) {
+        // Every nonempty bucket is due within (now, now + pc], and
+        // residues come due in cyclic order, so rotating the
+        // nonempty mask to put now's residue at bit 0 turns the
+        // lookup into a count-trailing-zeros. Bit 0 after rotation
+        // is now's own bucket, just processed: due a full cycle out.
+        std::uint64_t rotated = thinkMask_;
+        if (r0 != 0) {
+            rotated = (rotated >> r0) |
+                      (rotated << (static_cast<unsigned>(pc) -
+                                   static_cast<unsigned>(r0)));
+            rotated &= thinkMaskAll_;
+        }
+        sbn_assert(rotated != 0, "refreshNextThink with no thinkers");
+        Tick dist;
+        if ((rotated & 1u) != 0 && (rotated &= rotated - 1) == 0)
+            dist = pc;
+        else
+            dist = static_cast<Tick>(__builtin_ctzll(rotated));
+        const Tick raw = static_cast<Tick>(r0) + dist;
+        thinkNextIdx_ =
+            static_cast<std::size_t>(raw >= pc ? raw - pc : raw);
+        thinkNextDue_ = now + dist;
+        return;
+    }
+
+    Tick next = kNever;
+    std::size_t idx = 0;
+    for (std::size_t b = 0; b < thinkBuckets_.size(); ++b) {
+        if (!thinkBuckets_[b].empty() && thinkBucketDue_[b] < next) {
+            next = thinkBucketDue_[b];
+            idx = b;
+        }
+    }
+    thinkNextDue_ = next;
+    thinkNextIdx_ = idx;
+}
+
+void
+SingleBusSystem::processThinkTick(Tick now, std::size_t idx)
+{
+    const auto pc = static_cast<Tick>(cfg_.processorCycle());
+    auto &bucket = thinkBuckets_[idx];
+    sbn_assert(!bucket.empty() && thinkBucketDue_[idx] == now,
+               "processing a think bucket at the wrong tick");
+
+    // Draw in bucket order (== classic event sequence order). A
+    // failure's next draw is due exactly one processor cycle later,
+    // i.e. in this same bucket: compact survivors in place, stably.
+    // Issue side effects never append to the calendar synchronously,
+    // so the snapshot count is safe.
+    const std::size_t count = bucket.size();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const int proc = bucket[i];
+        if (!drawProcessor(proc, now))
+            bucket[keep++] = proc;
+    }
+    bucket.resize(keep);
+    thinkBucketDue_[idx] = now + pc;
+    thinkingCount_ -= static_cast<int>(count - keep);
+    if (keep == 0 && thinkMaskUsable_)
+        thinkMask_ &= ~(1ull << idx);
+    refreshNextThink(now, idx);
 }
 
 void
@@ -167,6 +364,8 @@ SingleBusSystem::memoryCompletion(int module)
                    "completion on non-accessing module");
         mod.state = ModState::HoldingResponse;
         recordAccessSpan(mod.accessStart, now);
+        if (cycleSkip_)
+            refreshModule(module);
         requestArbitration(now);
         return;
     }
@@ -175,6 +374,8 @@ SingleBusSystem::memoryCompletion(int module)
     mod.accessing = false;
     mod.servingProc = -1;
     recordAccessSpan(mod.accessStart, now);
+    if (cycleSkip_)
+        refreshModule(module);
     maybeStartBufferedAccess(module);
     requestArbitration(now);
 }
@@ -200,8 +401,10 @@ SingleBusSystem::maybeStartBufferedAccess(int module)
                                      " starts access for proc ",
                                      mod.servingProc));
     }
-    sim_.queue().schedule(*mod.completionEvent,
+    sim_.queue().schedule(mod.completionEvent,
                           now + static_cast<Tick>(cfg_.memoryRatio));
+    if (cycleSkip_)
+        refreshModule(module);
     // An input slot freed: a waiting processor may now be eligible.
     requestArbitration(now);
 }
@@ -228,12 +431,16 @@ SingleBusSystem::transferDone()
                                              xfer.proc));
             }
             sim_.queue().schedule(
-                *mod.completionEvent,
+                mod.completionEvent,
                 now + static_cast<Tick>(cfg_.memoryRatio));
+            if (cycleSkip_)
+                refreshModule(xfer.module);
         } else {
             --mod.reservedInput;
             sbn_assert(mod.reservedInput >= 0, "reservation underflow");
             mod.inputQueue.push_back(xfer.proc);
+            if (cycleSkip_)
+                refreshModule(xfer.module);
             maybeStartBufferedAccess(xfer.module);
         }
         return;
@@ -248,6 +455,8 @@ SingleBusSystem::transferDone()
                    "response finished from module in wrong state");
         mod.state = ModState::Idle;
         mod.servingProc = -1;
+        if (cycleSkip_)
+            refreshModule(xfer.module);
         // Requests queued for this module become eligible.
         requestArbitration(now);
     }
@@ -264,13 +473,21 @@ SingleBusSystem::transferDone()
 }
 
 void
-SingleBusSystem::arbitrate()
+SingleBusSystem::onBusCycle(int)
 {
-    const Tick now = sim_.now();
-    sbn_assert(busTransfer_.kind == BusTransfer::Kind::None,
-               "arbitrating while the bus is busy");
-    inArbitration_ = true;
+    // Coalesced bus cycle (cycle-skip kernel): the transfer completes,
+    // then -- all same-tick state updates having already run, since
+    // nothing can enqueue between the two -- the next arbitration
+    // decides, exactly where classic's separate kDecide event ran.
+    inBusCycle_ = true;
+    transferDone();
+    inBusCycle_ = false;
+    arbitrate();
+}
 
+void
+SingleBusSystem::selectScan(int &chosen_proc, int &chosen_mod)
+{
     candProcs_.clear();
     for (int p = 0; p < cfg_.numProcessors; ++p) {
         if (procs_[p].state == ProcState::WaitingGrant &&
@@ -283,11 +500,8 @@ SingleBusSystem::arbitrate()
             candMods_.push_back(m);
     }
 
-    if (candProcs_.empty() && candMods_.empty()) {
-        // Bus goes idle; a future state change reschedules us.
-        inArbitration_ = false;
+    if (candProcs_.empty() && candMods_.empty())
         return;
-    }
 
     const bool procs_first =
         cfg_.policy == ArbitrationPolicy::ProcessorPriority;
@@ -303,7 +517,7 @@ SingleBusSystem::arbitrate()
                 if (procs_[p].issueTick < procs_[chosen].issueTick)
                     chosen = p;
         }
-        grantRequest(chosen);
+        chosen_proc = chosen;
     } else {
         int chosen = candMods_.front();
         if (cfg_.selection == SelectionRule::Random) {
@@ -320,14 +534,104 @@ SingleBusSystem::arbitrate()
                 if (ready(m) < ready(chosen))
                     chosen = m;
         }
-        grantResponse(chosen);
+        chosen_mod = chosen;
     }
+}
+
+void
+SingleBusSystem::selectIncremental(int &chosen_proc, int &chosen_mod)
+{
+    if (candProcSet_.empty() && candModSet_.empty())
+        return;
+
+    const bool procs_first =
+        cfg_.policy == ArbitrationPolicy::ProcessorPriority;
+    const bool grant_proc =
+        !candProcSet_.empty() && (procs_first || candModSet_.empty());
+
+    // Both selection rules reproduce the classic scan exactly: the
+    // sets iterate in ascending index order (the scan's order), FCFS
+    // keeps the strict-< lowest-index tie-break, and Random draws
+    // pickIndex over the same candidate count.
+    if (grant_proc) {
+        int chosen;
+        if (cfg_.selection == SelectionRule::Random) {
+            chosen = static_cast<int>(
+                candProcSet_.nth(rng_.pickIndex(candProcSet_.count())));
+        } else {
+            int best = -1;
+            candProcSet_.forEach([&](std::size_t p) {
+                const int proc = static_cast<int>(p);
+                if (best < 0 ||
+                    procs_[proc].issueTick < procs_[best].issueTick)
+                    best = proc;
+            });
+            chosen = best;
+        }
+        chosen_proc = chosen;
+    } else {
+        int chosen;
+        if (cfg_.selection == SelectionRule::Random) {
+            chosen = static_cast<int>(
+                candModSet_.nth(rng_.pickIndex(candModSet_.count())));
+        } else {
+            auto ready = [&](int m) {
+                const Module &mod = mods_[m];
+                return cfg_.buffered ? mod.outputQueue.front().readyTick
+                                     : mod.accessStart +
+                                           static_cast<Tick>(
+                                               cfg_.memoryRatio);
+            };
+            int best = -1;
+            candModSet_.forEach([&](std::size_t m) {
+                const int mod = static_cast<int>(m);
+                if (best < 0 || ready(mod) < ready(best))
+                    best = mod;
+            });
+            chosen = best;
+        }
+        chosen_mod = chosen;
+    }
+}
+
+void
+SingleBusSystem::arbitrate()
+{
+    const Tick now = sim_.now();
+    sbn_assert(busTransfer_.kind == BusTransfer::Kind::None,
+               "arbitrating while the bus is busy");
+    inArbitration_ = true;
+
+    int chosen_proc = -1;
+    int chosen_mod = -1;
+    if (cycleSkip_)
+        selectIncremental(chosen_proc, chosen_mod);
+    else
+        selectScan(chosen_proc, chosen_mod);
+
+    if (chosen_proc < 0 && chosen_mod < 0) {
+        // Bus goes idle; a future state change reschedules us.
+        inArbitration_ = false;
+        return;
+    }
+
+    if (chosen_proc >= 0)
+        grantRequest(chosen_proc);
+    else
+        grantResponse(chosen_mod);
 
     if (inWindow(now))
         ++busBusy_;
-    sim_.queue().schedule(*transferDoneEvent_, now + 1);
-    inArbitration_ = false;
-    sim_.queue().schedule(*arbitrationEvent_, now + 1);
+    if (cycleSkip_) {
+        // One coalesced event replaces the transfer-done/arbitrate
+        // pair: the bus stays busy through the next cycle either way.
+        sim_.queue().schedule(busCycleEvent_, now + 1);
+        inArbitration_ = false;
+    } else {
+        sim_.queue().schedule(transferDoneEvent_, now + 1);
+        inArbitration_ = false;
+        sim_.queue().schedule(arbitrationEvent_, now + 1);
+    }
 }
 
 void
@@ -337,6 +641,11 @@ SingleBusSystem::grantRequest(int proc)
     Module &mod = mods_[p.target];
     p.state = ProcState::WaitingResponse;
 
+    if (cycleSkip_) {
+        waiterSets_[p.target].erase(proc);
+        candProcSet_.erase(proc);
+    }
+
     if (!cfg_.buffered) {
         sbn_assert(mod.state == ModState::Idle,
                    "request granted to a non-idle module");
@@ -344,6 +653,8 @@ SingleBusSystem::grantRequest(int proc)
     } else {
         ++mod.reservedInput;
     }
+    if (cycleSkip_)
+        refreshModule(p.target);
 
     busTransfer_ = BusTransfer{BusTransfer::Kind::Request, proc, p.target};
     if (cfg_.trace) {
@@ -365,9 +676,13 @@ SingleBusSystem::grantResponse(int module)
                    "response granted from module in wrong state");
         proc = mod.servingProc;
         mod.state = ModState::ResponseInFlight;
+        if (cycleSkip_)
+            refreshModule(module);
     } else {
         proc = mod.outputQueue.front().proc;
         mod.outputQueue.pop_front();
+        if (cycleSkip_)
+            refreshModule(module);
         // The output slot freed; a blocked module can resume.
         maybeStartBufferedAccess(module);
     }
@@ -408,15 +723,66 @@ SingleBusSystem::recordAccessSpan(Tick start, Tick end)
         accessCycles_ += static_cast<double>(hi - lo);
 }
 
+void
+SingleBusSystem::runClassic()
+{
+    for (auto &p : procs_)
+        sim_.queue().schedule(p.readyEvent, 0);
+    sim_.run(windowEnd_);
+}
+
+void
+SingleBusSystem::runCycleSkip()
+{
+    // Seed: every processor draws at tick 0, in index order (the
+    // classic kernel schedules their ready events in the same order).
+    auto &bucket0 = thinkBuckets_[0];
+    for (int p = 0; p < cfg_.numProcessors; ++p)
+        bucket0.push_back(p);
+    thinkBucketDue_[0] = 0;
+    if (thinkMaskUsable_)
+        thinkMask_ |= 1ull << 0;
+    thinkingCount_ = cfg_.numProcessors;
+    thinkNextDue_ = 0;
+    thinkNextIdx_ = 0;
+
+    // Hybrid driver: interleave calendar think-ticks with heap events
+    // in global tick order. On a tie the calendar goes first -- its
+    // draws correspond to classic ready events, which were scheduled
+    // a full processor cycle earlier than any same-tick heap event
+    // and therefore carry the smallest sequence numbers. The heap's
+    // next tick is cached and refreshed only when the heap actually
+    // changes (a think pass can only add events, growing size()).
+    EventQueue &queue = sim_.queue();
+    Tick te = kNever;
+    while (true) {
+        const Tick tc = thinkingCount_ > 0 ? thinkNextDue_ : kNever;
+        const Tick next = std::min(tc, te);
+        if (next >= windowEnd_)
+            break;
+        if (tc <= te) {
+            const std::uint64_t live = queue.size();
+            queue.advanceTo(tc);
+            processThinkTick(tc, thinkNextIdx_);
+            if (queue.size() != live)
+                te = queue.nextTick();
+        } else {
+            queue.runOne();
+            te = !queue.empty() ? queue.nextTick() : kNever;
+        }
+    }
+}
+
 Metrics
 SingleBusSystem::run()
 {
     sbn_assert(!ran_, "SingleBusSystem::run may only be called once");
     ran_ = true;
 
-    for (auto &p : procs_)
-        sim_.queue().schedule(*p.readyEvent, 0);
-    sim_.run(windowEnd_);
+    if (cycleSkip_)
+        runCycleSkip();
+    else
+        runClassic();
 
     Metrics out;
     out.measuredCycles = windowEnd_ - windowStart_;

@@ -17,19 +17,40 @@
  *                     processor think-expiries -- all state updates;
  *   priority kDecide: bus arbitration, which therefore observes a
  *                     consistent end-of-cycle state.
+ *
+ * Two kernels implement this schedule (SystemConfig::kernel):
+ *
+ *  - Classic: every thinking processor reschedules a heap event each
+ *    processor cycle, and arbitrate() rebuilds its candidate lists
+ *    with a full O(n+m) scan every bus cycle.
+ *
+ *  - CycleSkip (default): thinking processors sit in a calendar of
+ *    processorCycle() tick-buckets processed by a hybrid driver loop
+ *    outside the event heap, so a think redraw costs one Bernoulli
+ *    and O(1) bucket work instead of a heap operation; arbitration
+ *    candidates are bit-sets maintained incrementally at the state
+ *    transitions that change eligibility; and the post-grant
+ *    transfer-done/arbitrate pair shares one coalesced event.
+ *
+ * Both kernels consume the shared RNG stream in the same order (the
+ * calendar replays draws tick-by-tick in classic event order -- a
+ * per-processor geometric batch would interleave the stream
+ * differently) and make identical grant decisions, so Metrics are
+ * bit-identical for a given config+seed. tests/test_kernel_diff.cc
+ * enforces this across the config grid.
  */
 
 #ifndef SBN_CORE_SYSTEM_HH
 #define SBN_CORE_SYSTEM_HH
 
 #include <deque>
-#include <memory>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "desim/simulation.hh"
 #include "desim/trace.hh"
+#include "util/index_set.hh"
 #include "util/random.hh"
 
 namespace sbn {
@@ -53,6 +74,22 @@ class SingleBusSystem
     /** Current simulated bus cycle (exposed for tests). */
     Tick now() const { return sim_.now(); }
 
+    /** Heap events executed so far (perf accounting). */
+    std::uint64_t heapEventsExecuted() const
+    {
+        return sim_.queue().executed();
+    }
+
+    /** Bernoulli think/issue draws performed (perf accounting). */
+    std::uint64_t thinkDraws() const { return thinkDraws_; }
+
+    /**
+     * Capacities of every scratch/eligibility container arbitration
+     * touches, in a fixed order (exposed for the zero-steady-state-
+     * allocation test: capacities must not change across run()).
+     */
+    std::vector<std::size_t> scratchCapacities() const;
+
   private:
     /** What a processor is doing. */
     enum class ProcState
@@ -62,12 +99,16 @@ class SingleBusSystem
         WaitingResponse, //!< request in the memory subsystem
     };
 
+    /** Event type used by both kernels: no allocation, no type-erased
+     *  callback, just (system, member function, index). */
+    using SysEvent = MemberEvent<SingleBusSystem>;
+
     struct Processor
     {
         ProcState state = ProcState::Thinking;
         int target = -1;  //!< module of the outstanding request
         Tick issueTick = 0;
-        std::unique_ptr<EventFunction> readyEvent;
+        SysEvent readyEvent; //!< classic kernel only
     };
 
     /** Unbuffered module service stages. */
@@ -99,7 +140,7 @@ class SingleBusSystem
         int reservedInput = 0; //!< granted requests still on the bus
 
         Tick accessStart = 0;
-        std::unique_ptr<EventFunction> completionEvent;
+        SysEvent completionEvent;
     };
 
     /** The transfer currently occupying the bus. */
@@ -116,6 +157,11 @@ class SingleBusSystem
     void transferDone();
     void arbitrate();
 
+    // MemberEvent adapters for the no-index handlers.
+    void onTransferDone(int) { transferDone(); }
+    void onArbitrate(int) { arbitrate(); }
+    void onBusCycle(int);
+
     void requestArbitration(Tick at);
     bool moduleCanAcceptRequest(const Module &mod) const;
     bool moduleHasResponse(const Module &mod) const;
@@ -124,6 +170,24 @@ class SingleBusSystem
 
     void grantRequest(int proc);
     void grantResponse(int module);
+
+    /**
+     * One processor-cycle draw: issue (true) or think (false). The
+     * single place both kernels consume processor RNG.
+     */
+    bool drawProcessor(int proc, Tick now);
+
+    // --- cycle-skip kernel --------------------------------------------
+    void runClassic();
+    void runCycleSkip();
+    void processThinkTick(Tick now, std::size_t bucket_idx);
+    void refreshNextThink(Tick now, std::size_t r0);
+    void enterThinking(int proc, Tick now);
+
+    void procBecomesWaiting(int proc, int target);
+    void refreshModule(int module);
+    void selectScan(int &chosen_proc, int &chosen_mod);
+    void selectIncremental(int &chosen_proc, int &chosen_mod);
 
     // --- bookkeeping --------------------------------------------------
     bool inWindow(Tick t) const
@@ -136,16 +200,63 @@ class SingleBusSystem
     SystemConfig cfg_;
     Simulation sim_;
     RandomGenerator rng_;
+    bool cycleSkip_ = true; //!< cfg_.kernel == KernelKind::CycleSkip
 
     std::vector<Processor> procs_;
     std::vector<Module> mods_;
 
     BusTransfer busTransfer_;
-    std::unique_ptr<EventFunction> transferDoneEvent_;
-    std::unique_ptr<EventFunction> arbitrationEvent_;
+    SysEvent transferDoneEvent_; //!< classic kernel only
+    SysEvent arbitrationEvent_;  //!< idle-bus wakeups (both kernels)
+    SysEvent busCycleEvent_;     //!< coalesced transfer+arbitrate
     bool inArbitration_ = false; //!< guards re-entrant rescheduling
+    bool inBusCycle_ = false;    //!< transfer phase of busCycleEvent_
 
     std::vector<double> weightCdf_; //!< non-uniform reference, optional
+
+    /**
+     * Think calendar (cycle-skip kernel): bucket b holds, in classic
+     * event order, the thinking processors whose next draw is due at
+     * thinkBucketDue_[b] (always congruent to b mod processorCycle()).
+     * Redraw ticks advance in strides of exactly one processor cycle,
+     * so every pending entry of a bucket shares one due tick and a
+     * failed draw stays in its bucket in place.
+     */
+    std::vector<std::vector<int>> thinkBuckets_;
+    std::vector<Tick> thinkBucketDue_;
+    int thinkingCount_ = 0;
+    std::uint64_t thinkDraws_ = 0;
+
+    /**
+     * Bit b set <=> thinkBuckets_[b] nonempty, for processor cycles
+     * of at most 63 ticks (thinkMaskUsable_). Buckets come due in
+     * cyclic residue order, so the next think tick is a rotate+ctz
+     * instead of an O(processorCycle) scan of the due array.
+     */
+    std::uint64_t thinkMask_ = 0;
+    std::uint64_t thinkMaskAll_ = 0; //!< low processorCycle() bits
+    bool thinkMaskUsable_ = false;
+
+    /**
+     * Cached earliest pending think tick and its bucket, so the
+     * driver loop compares two integers instead of recomputing;
+     * maintained by processThinkTick (full refresh, residue already
+     * in hand) and enterThinking (min-update).
+     */
+    Tick thinkNextDue_ = 0;
+    std::size_t thinkNextIdx_ = 0;
+
+    /**
+     * Incremental arbitration eligibility (cycle-skip kernel), kept
+     * in lockstep with processor/module state transitions:
+     * candProcSet_ = waiting processors whose target can accept,
+     * candModSet_ = modules holding a deliverable response.
+     */
+    IndexSet candProcSet_;
+    IndexSet candModSet_;
+    std::vector<IndexSet> waiterSets_; //!< per module: waiting procs
+    std::vector<char> modCanAccept_;   //!< cached acceptance flags
+    std::vector<char> modHasResponse_; //!< cached response flags
 
     // Measurement window and counters.
     Tick windowStart_ = 0;
@@ -159,7 +270,8 @@ class SingleBusSystem
     std::vector<std::uint64_t> perProcCompleted_;
     std::optional<Histogram> waitHist_;
 
-    // Scratch buffers reused by arbitrate() to avoid allocation.
+    // Scratch buffers reused by the classic kernel's arbitration scan
+    // to avoid allocation (reserved to full size in the constructor).
     std::vector<int> candProcs_;
     std::vector<int> candMods_;
 

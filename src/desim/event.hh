@@ -15,7 +15,8 @@
 
 #include <cstdint>
 #include <functional>
-#include <string>
+
+#include "util/logging.hh"
 
 namespace sbn {
 
@@ -45,8 +46,8 @@ class Event
 {
   public:
     explicit Event(EventPriority priority = event_priority::kUpdate,
-                   std::string name = "event")
-        : priority_(priority), name_(std::move(name))
+                   const char *name = "event")
+        : priority_(priority), name_(name)
     {}
 
     virtual ~Event() = default;
@@ -57,8 +58,8 @@ class Event
     /** Priority within a tick (lower first). */
     EventPriority priority() const { return priority_; }
 
-    /** Diagnostic name. */
-    const std::string &name() const { return name_; }
+    /** Diagnostic name (a string literal; never owned). */
+    const char *name() const { return name_; }
 
     /** True while the event sits in an EventQueue. */
     bool scheduled() const { return scheduled_; }
@@ -70,28 +71,72 @@ class Event
     friend class EventQueue;
 
     EventPriority priority_;
-    std::string name_;
+    const char *name_;
     bool scheduled_ = false;
     Tick when_ = 0;
     std::uint64_t sequence_ = 0;
     std::size_t heapIndex_ = 0; //!< slot in the owning queue's heap
 };
 
-/** Event that runs a std::function; the common case. */
+/** Event that runs a std::function; convenient for tests and tools. */
 class EventFunction : public Event
 {
   public:
     EventFunction(std::function<void()> callback,
                   EventPriority priority = event_priority::kUpdate,
-                  std::string name = "lambda-event")
-        : Event(priority, std::move(name)),
-          callback_(std::move(callback))
+                  const char *name = "lambda-event")
+        : Event(priority, name), callback_(std::move(callback))
     {}
 
     void process() override { callback_(); }
 
   private:
     std::function<void()> callback_;
+};
+
+/**
+ * Intrusive event dispatching straight to a member function with a
+ * bound integer argument (a processor or module index). Compared to
+ * EventFunction this removes the std::function indirection and its
+ * potential allocation, so simulators can embed their events by value
+ * and construct systems without any per-event heap traffic.
+ *
+ * Default-constructed instances are inert placeholders; bind() them
+ * before scheduling. The target object must outlive the event.
+ */
+template <typename T>
+class MemberEvent final : public Event
+{
+  public:
+    using Handler = void (T::*)(int);
+
+    MemberEvent() = default;
+
+    MemberEvent(T &target, Handler handler, int index,
+                EventPriority priority = event_priority::kUpdate,
+                const char *name = "member-event")
+        : Event(priority, name), target_(&target), handler_(handler),
+          index_(index)
+    {}
+
+    /** (Re)point the event; only valid while not scheduled. */
+    void
+    bind(T &target, Handler handler, int index,
+         EventPriority priority = event_priority::kUpdate,
+         const char *name = "member-event")
+    {
+        sbn_assert(!scheduled(),
+                   "rebinding a scheduled event would corrupt the "
+                   "queue's bookkeeping");
+        *this = MemberEvent(target, handler, index, priority, name);
+    }
+
+    void process() override { (target_->*handler_)(index_); }
+
+  private:
+    T *target_ = nullptr;
+    Handler handler_ = nullptr;
+    int index_ = 0;
 };
 
 } // namespace sbn

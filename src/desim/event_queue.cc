@@ -74,6 +74,16 @@ EventQueue::compactIfWorthwhile()
     }
 }
 
+void
+EventQueue::advanceTo(Tick when)
+{
+    sbn_assert(when >= now_, "advanceTo moving time backwards: ", when,
+               " < now ", now_);
+    sbn_assert(live_ == 0 || nextTick() >= when,
+               "advanceTo skipping over a pending event");
+    now_ = when;
+}
+
 const EventQueue::Entry &
 EventQueue::top() const
 {

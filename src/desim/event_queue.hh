@@ -67,6 +67,15 @@ class EventQueue
     /** Current simulated time (tick of the last serviced event). */
     Tick now() const { return now_; }
 
+    /**
+     * Advance now() to @p when without running anything. Used by
+     * hybrid drivers that process some work (e.g. batched processor
+     * think spans) outside the heap but still schedule follow-up
+     * events against it. @pre when >= now() and no live event is
+     * pending before @p when.
+     */
+    void advanceTo(Tick when);
+
     /** Total events executed (for perf reporting). */
     std::uint64_t executed() const { return executed_; }
 

@@ -1,6 +1,7 @@
 #include "exec/parallel_runner.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -24,17 +25,43 @@ threadsFromEnvironment()
         const char *env = std::getenv("SBN_THREADS");
         if (env == nullptr)
             return 1u;
-        const long parsed = std::strtol(env, nullptr, 10);
-        if (parsed <= 0)
-            return 1u;
-        // Sanity cap: a typo in the environment must not translate
-        // into thousands of worker threads.
-        return static_cast<unsigned>(std::min(parsed, 4096l));
+        const unsigned parsed = parseThreadsSpec(env);
+        return parsed != 0 ? parsed : ThreadPool::hardwareThreads();
     }();
     return cached;
 }
 
 } // namespace
+
+unsigned
+parseThreadsSpec(const char *spec)
+{
+    if (spec == nullptr)
+        sbn_fatal("SBN_THREADS: null thread-count spec");
+
+    const char *cursor = spec;
+    while (*cursor == ' ' || *cursor == '\t')
+        ++cursor;
+    if (*cursor == '\0')
+        sbn_fatal("SBN_THREADS: empty value (expected a thread count)");
+
+    char *end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(cursor, &end, 10);
+    while (end != nullptr && (*end == ' ' || *end == '\t'))
+        ++end;
+    if (end == cursor || end == nullptr || *end != '\0')
+        sbn_fatal("SBN_THREADS: '", spec,
+                  "' is not a number (expected a decimal thread count)");
+    if (errno == ERANGE || parsed > 4096)
+        sbn_fatal("SBN_THREADS: '", spec,
+                  "' is out of range (max 4096 worker threads)");
+    if (parsed < 0)
+        sbn_fatal("SBN_THREADS: '", spec,
+                  "' is negative (expected >= 0; 0 = all hardware "
+                  "threads)");
+    return static_cast<unsigned>(parsed);
+}
 
 unsigned
 defaultExecThreads()

@@ -42,6 +42,16 @@ unsigned defaultExecThreads();
 void setDefaultExecThreads(unsigned threads);
 
 /**
+ * Parse an SBN_THREADS-style worker-count spec. Accepts a positive
+ * decimal integer (surrounding whitespace allowed), capped at 4096;
+ * "0" means "all hardware threads" and resolves to 0. Anything else
+ * (empty, non-numeric, negative, trailing junk) is a configuration
+ * error and calls sbn_fatal with a message naming the bad value --
+ * a typo must not silently degrade a sweep to serial execution.
+ */
+unsigned parseThreadsSpec(const char *spec);
+
+/**
  * Runs independent work items across a worker pool, deterministically.
  *
  * A runner with T threads uses T-1 pool workers plus the calling

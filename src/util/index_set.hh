@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Fixed-capacity ordered set of small integer indices.
+ *
+ * A bitset of 64-bit words plus a live count. Iteration and nth()
+ * always walk members in ascending index order, which is what lets
+ * the incremental arbitration candidate sets reproduce the classic
+ * kernel's index-ordered scans (and their Random-selection RNG
+ * consumption) exactly. All mutating operations are allocation-free
+ * after construction.
+ */
+
+#ifndef SBN_UTIL_INDEX_SET_HH
+#define SBN_UTIL_INDEX_SET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace sbn {
+
+class IndexSet
+{
+  public:
+    IndexSet() = default;
+
+    explicit IndexSet(std::size_t capacity) { resize(capacity); }
+
+    /** Reset to empty with room for indices [0, capacity). */
+    void
+    resize(std::size_t capacity)
+    {
+        capacity_ = capacity;
+        words_.assign((capacity + 63) / 64, 0);
+        count_ = 0;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    bool
+    contains(std::size_t index) const
+    {
+        sbn_assert(index < capacity_, "IndexSet contains out of range");
+        return (words_[index / 64] >> (index % 64)) & 1u;
+    }
+
+    /** Add @p index; returns true if it was not already a member. */
+    bool
+    insert(std::size_t index)
+    {
+        sbn_assert(index < capacity_, "IndexSet insert out of range");
+        std::uint64_t &word = words_[index / 64];
+        const std::uint64_t bit = 1ull << (index % 64);
+        if (word & bit)
+            return false;
+        word |= bit;
+        ++count_;
+        return true;
+    }
+
+    /** Remove @p index; returns true if it was a member. */
+    bool
+    erase(std::size_t index)
+    {
+        sbn_assert(index < capacity_, "IndexSet erase out of range");
+        std::uint64_t &word = words_[index / 64];
+        const std::uint64_t bit = 1ull << (index % 64);
+        if (!(word & bit))
+            return false;
+        word &= ~bit;
+        --count_;
+        return true;
+    }
+
+    void
+    clear()
+    {
+        for (auto &word : words_)
+            word = 0;
+        count_ = 0;
+    }
+
+    /** Union @p other in (capacities must match). */
+    void
+    insertAll(const IndexSet &other)
+    {
+        sbn_assert(other.words_.size() == words_.size(),
+                   "IndexSet capacity mismatch");
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            const std::uint64_t added = other.words_[w] & ~words_[w];
+            words_[w] |= added;
+            count_ += static_cast<std::size_t>(
+                __builtin_popcountll(added));
+        }
+    }
+
+    /** Remove every member of @p other (capacities must match). */
+    void
+    eraseAll(const IndexSet &other)
+    {
+        sbn_assert(other.words_.size() == words_.size(),
+                   "IndexSet capacity mismatch");
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            const std::uint64_t removed = other.words_[w] & words_[w];
+            words_[w] &= ~removed;
+            count_ -= static_cast<std::size_t>(
+                __builtin_popcountll(removed));
+        }
+    }
+
+    /** The k-th smallest member (0-based). @pre k < count() */
+    std::size_t
+    nth(std::size_t k) const
+    {
+        sbn_assert(k < count_, "IndexSet::nth out of range");
+        for (std::size_t w = 0;; ++w) {
+            std::uint64_t word = words_[w];
+            const auto populated = static_cast<std::size_t>(
+                __builtin_popcountll(word));
+            if (k >= populated) {
+                k -= populated;
+                continue;
+            }
+            while (k-- > 0)
+                word &= word - 1; // drop lowest set bit
+            return w * 64 + static_cast<std::size_t>(
+                                __builtin_ctzll(word));
+        }
+    }
+
+    /** Visit members in ascending order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const auto bit = static_cast<std::size_t>(
+                    __builtin_ctzll(word));
+                fn(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t capacity_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace sbn
+
+#endif // SBN_UTIL_INDEX_SET_HH

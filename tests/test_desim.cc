@@ -300,5 +300,74 @@ TEST(Simulation, CascadedScheduling)
     EXPECT_EQ(sim.now(), 999u);
 }
 
+namespace {
+
+/** Target for MemberEvent dispatch tests. */
+struct Widget
+{
+    std::vector<int> hits;
+    void poke(int index) { hits.push_back(index); }
+};
+
+} // namespace
+
+TEST(MemberEvent, DispatchesToBoundMemberWithIndex)
+{
+    Simulation sim;
+    Widget widget;
+    MemberEvent<Widget> a(widget, &Widget::poke, 7);
+    MemberEvent<Widget> b;
+    b.bind(widget, &Widget::poke, 42, event_priority::kDecide,
+           "widget-poke");
+
+    sim.queue().schedule(b, 5); // kDecide: runs after a at tick 5
+    sim.queue().schedule(a, 5);
+    sim.runAll();
+    EXPECT_EQ(widget.hits, (std::vector<int>{7, 42}));
+    EXPECT_STREQ(b.name(), "widget-poke");
+}
+
+TEST(MemberEvent, ReschedulableLikeAnyEvent)
+{
+    Simulation sim;
+    Widget widget;
+    MemberEvent<Widget> e(widget, &Widget::poke, 1);
+    sim.queue().schedule(e, 3);
+    sim.queue().deschedule(e);
+    sim.queue().schedule(e, 4);
+    sim.runAll();
+    EXPECT_EQ(widget.hits.size(), 1u);
+    EXPECT_EQ(sim.now(), 4u);
+}
+
+TEST(EventQueueAdvanceTo, MovesTimeWithoutRunningEvents)
+{
+    Simulation sim;
+    int fired = 0;
+    EventFunction e([&] { ++fired; });
+    sim.queue().schedule(e, 100);
+
+    sim.queue().advanceTo(40);
+    EXPECT_EQ(sim.now(), 40u);
+    EXPECT_EQ(fired, 0);
+
+    // Scheduling against the advanced clock works as usual.
+    EventFunction f([&] { fired += 10; });
+    sim.queue().schedule(f, 50);
+    sim.runAll();
+    EXPECT_EQ(fired, 11);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(EventQueueAdvanceTo, RefusesToSkipPendingEvents)
+{
+    Simulation sim;
+    EventFunction e([] {});
+    sim.queue().schedule(e, 10);
+    EXPECT_DEATH(sim.queue().advanceTo(11), "skipping over a pending");
+    sim.queue().advanceTo(10); // exactly the pending tick is fine
+    EXPECT_DEATH(sim.queue().advanceTo(9), "moving time backwards");
+}
+
 } // namespace
 } // namespace sbn

@@ -595,5 +595,29 @@ TEST(Exec, DefaultThreadsOverrideRoundTrips)
     EXPECT_GE(defaultExecThreads(), 1u);
 }
 
+TEST(Exec, ParseThreadsSpecAcceptsSaneValues)
+{
+    EXPECT_EQ(parseThreadsSpec("1"), 1u);
+    EXPECT_EQ(parseThreadsSpec("16"), 16u);
+    EXPECT_EQ(parseThreadsSpec("4096"), 4096u);
+    EXPECT_EQ(parseThreadsSpec(" 8 "), 8u);
+    EXPECT_EQ(parseThreadsSpec("0"), 0u); // 0 = all hardware threads
+}
+
+TEST(Exec, ParseThreadsSpecRejectsGarbageLoudly)
+{
+    // A typo in SBN_THREADS must fail fast with a clear message, not
+    // silently fall back to serial execution.
+    EXPECT_DEATH((void)parseThreadsSpec(""), "empty value");
+    EXPECT_DEATH((void)parseThreadsSpec("   "), "empty value");
+    EXPECT_DEATH((void)parseThreadsSpec("four"), "not a number");
+    EXPECT_DEATH((void)parseThreadsSpec("8x"), "not a number");
+    EXPECT_DEATH((void)parseThreadsSpec("2.5"), "not a number");
+    EXPECT_DEATH((void)parseThreadsSpec("-4"), "negative");
+    EXPECT_DEATH((void)parseThreadsSpec("5000"), "out of range");
+    EXPECT_DEATH((void)parseThreadsSpec("99999999999999999999"),
+                 "out of range");
+}
+
 } // namespace
 } // namespace sbn

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Kernel-differential tests: the cycle-skipping kernel must produce
+ * bit-identical Metrics to the classic kernel -- same completions,
+ * same per-processor counts, same wait histogram, exactly -- across
+ * the whole configuration grid. Any divergence means a random draw
+ * or a grant decision moved, which is a correctness bug, not noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+
+namespace sbn {
+namespace {
+
+struct KernelDiffCase
+{
+    std::string name;
+    SystemConfig config;
+};
+
+std::ostream &
+operator<<(std::ostream &os, const KernelDiffCase &c)
+{
+    return os << c.name;
+}
+
+SystemConfig
+diffBase()
+{
+    SystemConfig cfg;
+    cfg.numProcessors = 8;
+    cfg.numModules = 8;
+    cfg.memoryRatio = 8;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 30000;
+    cfg.seed = 9001;
+    cfg.collectWaitHistogram = true;
+    return cfg;
+}
+
+std::vector<KernelDiffCase>
+diffGrid()
+{
+    std::vector<KernelDiffCase> grid;
+
+    // Full cross of organization x policy x selection at a moderate
+    // request probability: every arbitration code path.
+    for (bool buffered : {false, true}) {
+        for (auto policy : {ArbitrationPolicy::ProcessorPriority,
+                            ArbitrationPolicy::MemoryPriority}) {
+            for (auto selection :
+                 {SelectionRule::Random, SelectionRule::OldestFirst}) {
+                SystemConfig cfg = diffBase();
+                cfg.buffered = buffered;
+                cfg.policy = policy;
+                cfg.selection = selection;
+                cfg.requestProbability = 0.4;
+                grid.push_back(
+                    {std::string(buffered ? "buf" : "unbuf") +
+                         (policy == ArbitrationPolicy::ProcessorPriority
+                              ? "_procprio"
+                              : "_memprio") +
+                         (selection == SelectionRule::Random ? "_random"
+                                                             : "_fcfs"),
+                     cfg});
+            }
+        }
+    }
+
+    // Low request probability: long think spans, the calendar's
+    // heaviest regime (and the Fig. 2/3 sweep regime).
+    for (double p : {0.02, 0.1}) {
+        for (bool buffered : {false, true}) {
+            SystemConfig cfg = diffBase();
+            cfg.requestProbability = p;
+            cfg.buffered = buffered;
+            cfg.numProcessors = 12;
+            cfg.numModules = 6;
+            grid.push_back({"lowp_" + std::to_string(p).substr(0, 4) +
+                                (buffered ? "_buf" : "_unbuf"),
+                            cfg});
+        }
+    }
+
+    // Saturation: every processor issues back to back.
+    {
+        SystemConfig cfg = diffBase();
+        cfg.requestProbability = 1.0;
+        cfg.numProcessors = 9;
+        cfg.numModules = 3;
+        grid.push_back({"saturated", cfg});
+    }
+
+    // Non-uniform module weights (hot module) with both selections.
+    for (auto selection :
+         {SelectionRule::Random, SelectionRule::OldestFirst}) {
+        SystemConfig cfg = diffBase();
+        cfg.numProcessors = 6;
+        cfg.numModules = 4;
+        cfg.requestProbability = 0.3;
+        cfg.moduleWeights = {4.0, 1.0, 1.0, 2.0};
+        cfg.selection = selection;
+        grid.push_back({std::string("weighted") +
+                            (selection == SelectionRule::Random
+                                 ? "_random"
+                                 : "_fcfs"),
+                        cfg});
+    }
+
+    // Finite buffer capacities: acceptance flips on queue occupancy
+    // and output-blocked modules resume on response drain.
+    {
+        SystemConfig cfg = diffBase();
+        cfg.buffered = true;
+        cfg.inputCapacity = 2;
+        cfg.outputCapacity = 1;
+        cfg.numProcessors = 10;
+        cfg.numModules = 3;
+        cfg.requestProbability = 0.7;
+        grid.push_back({"capacity_limited", cfg});
+    }
+
+    // Degenerate shapes and short memory: r = 1 makes completion and
+    // transfer events collide on the same tick.
+    {
+        SystemConfig cfg = diffBase();
+        cfg.numProcessors = 1;
+        cfg.numModules = 5;
+        cfg.memoryRatio = 1;
+        cfg.requestProbability = 0.5;
+        grid.push_back({"single_proc_r1", cfg});
+    }
+    {
+        SystemConfig cfg = diffBase();
+        cfg.numProcessors = 7;
+        cfg.numModules = 1;
+        cfg.memoryRatio = 2;
+        cfg.requestProbability = 0.8;
+        cfg.policy = ArbitrationPolicy::MemoryPriority;
+        grid.push_back({"single_module_memprio", cfg});
+    }
+
+    // Silent system: p = 0 exercises the calendar with no RNG at all.
+    {
+        SystemConfig cfg = diffBase();
+        cfg.requestProbability = 0.0;
+        cfg.measureCycles = 5000;
+        grid.push_back({"silent", cfg});
+    }
+
+    // Processor cycle > 63 ticks: the think calendar's bitmask cannot
+    // represent the buckets, forcing the linear-scan fallback.
+    {
+        SystemConfig cfg = diffBase();
+        cfg.memoryRatio = 70;
+        cfg.numProcessors = 5;
+        cfg.numModules = 4;
+        cfg.requestProbability = 0.2;
+        grid.push_back({"wide_cycle_mask_fallback", cfg});
+    }
+
+    return grid;
+}
+
+/** Exact, field-by-field Metrics comparison (no tolerances). */
+void
+expectIdenticalMetrics(const Metrics &classic, const Metrics &skip)
+{
+    EXPECT_EQ(classic.measuredCycles, skip.measuredCycles);
+    EXPECT_EQ(classic.completedRequests, skip.completedRequests);
+    EXPECT_EQ(classic.issuedRequests, skip.issuedRequests);
+    EXPECT_EQ(classic.busBusyCycles, skip.busBusyCycles);
+    EXPECT_EQ(classic.ebw, skip.ebw);
+    EXPECT_EQ(classic.ebwFromBusUtilization, skip.ebwFromBusUtilization);
+    EXPECT_EQ(classic.busUtilization, skip.busUtilization);
+    EXPECT_EQ(classic.meanModuleUtilization, skip.meanModuleUtilization);
+    EXPECT_EQ(classic.processorEfficiency, skip.processorEfficiency);
+    EXPECT_EQ(classic.meanWaitCycles, skip.meanWaitCycles);
+    EXPECT_EQ(classic.meanServiceCycles, skip.meanServiceCycles);
+
+    EXPECT_EQ(classic.waitStats.count(), skip.waitStats.count());
+    EXPECT_EQ(classic.waitStats.mean(), skip.waitStats.mean());
+    EXPECT_EQ(classic.waitStats.variance(), skip.waitStats.variance());
+    EXPECT_EQ(classic.waitStats.min(), skip.waitStats.min());
+    EXPECT_EQ(classic.waitStats.max(), skip.waitStats.max());
+
+    EXPECT_EQ(classic.perProcessorCompletions,
+              skip.perProcessorCompletions);
+
+    ASSERT_EQ(classic.waitHistogram.has_value(),
+              skip.waitHistogram.has_value());
+    if (classic.waitHistogram.has_value()) {
+        const Histogram &a = *classic.waitHistogram;
+        const Histogram &b = *skip.waitHistogram;
+        ASSERT_EQ(a.numBins(), b.numBins());
+        EXPECT_EQ(a.count(), b.count());
+        EXPECT_EQ(a.underflow(), b.underflow());
+        EXPECT_EQ(a.overflow(), b.overflow());
+        EXPECT_EQ(a.mean(), b.mean());
+        for (std::size_t bin = 0; bin < a.numBins(); ++bin)
+            EXPECT_EQ(a.binCount(bin), b.binCount(bin)) << "bin " << bin;
+    }
+}
+
+class KernelDiff : public ::testing::TestWithParam<KernelDiffCase>
+{};
+
+TEST_P(KernelDiff, BitIdenticalMetrics)
+{
+    SystemConfig classic_cfg = GetParam().config;
+    classic_cfg.kernel = KernelKind::Classic;
+    SystemConfig skip_cfg = GetParam().config;
+    skip_cfg.kernel = KernelKind::CycleSkip;
+
+    const Metrics classic = runOnce(classic_cfg);
+    const Metrics skip = runOnce(skip_cfg);
+    expectIdenticalMetrics(classic, skip);
+}
+
+TEST_P(KernelDiff, BitIdenticalAcrossSeeds)
+{
+    for (std::uint64_t seed : {1ull, 77ull, 123456789ull}) {
+        SystemConfig classic_cfg = GetParam().config;
+        classic_cfg.kernel = KernelKind::Classic;
+        classic_cfg.seed = seed;
+        classic_cfg.measureCycles = 8000;
+        SystemConfig skip_cfg = classic_cfg;
+        skip_cfg.kernel = KernelKind::CycleSkip;
+
+        const Metrics classic = runOnce(classic_cfg);
+        const Metrics skip = runOnce(skip_cfg);
+        expectIdenticalMetrics(classic, skip);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KernelDiff, ::testing::ValuesIn(diffGrid()),
+    [](const ::testing::TestParamInfo<KernelDiffCase> &info) {
+        std::string name = info.param.name;
+        for (char &c : name)
+            if (c == '.' || c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(KernelDiffExtras, DefaultKernelIsCycleSkip)
+{
+    SystemConfig cfg;
+    EXPECT_EQ(cfg.kernel, KernelKind::CycleSkip);
+}
+
+TEST(KernelDiffExtras, CycleSkipSchedulesFarFewerHeapEvents)
+{
+    SystemConfig cfg = diffBase();
+    cfg.requestProbability = 0.05;
+    cfg.numProcessors = 16;
+    cfg.numModules = 16;
+    cfg.warmupCycles = 0;
+    cfg.measureCycles = 50000;
+
+    cfg.kernel = KernelKind::Classic;
+    SingleBusSystem classic(cfg);
+    (void)classic.run();
+
+    cfg.kernel = KernelKind::CycleSkip;
+    SingleBusSystem skip(cfg);
+    (void)skip.run();
+
+    // Identical Bernoulli/issue draw counts (the RNG stream contract)
+    // but a much lighter event heap: thinking no longer costs events.
+    EXPECT_EQ(classic.thinkDraws(), skip.thinkDraws());
+    EXPECT_LT(skip.heapEventsExecuted(),
+              classic.heapEventsExecuted() / 4);
+}
+
+TEST(KernelDiffExtras, SteadyStateArbitrationDoesNotReallocate)
+{
+    for (auto kernel : {KernelKind::Classic, KernelKind::CycleSkip}) {
+        for (bool buffered : {false, true}) {
+            SystemConfig cfg = diffBase();
+            cfg.kernel = kernel;
+            cfg.buffered = buffered;
+            cfg.requestProbability = 0.6;
+            cfg.numProcessors = 24;
+            cfg.numModules = 6;
+            cfg.measureCycles = 20000;
+
+            SingleBusSystem system(cfg);
+            const auto before = system.scratchCapacities();
+            (void)system.run();
+            EXPECT_EQ(before, system.scratchCapacities())
+                << "scratch container reallocated during run "
+                << "(kernel=" << (kernel == KernelKind::Classic ? "classic"
+                                                                : "skip")
+                << " buffered=" << buffered << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace sbn

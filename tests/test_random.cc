@@ -148,5 +148,60 @@ TEST(Random, DeriveSeedDeterministic)
         EXPECT_EQ(a.deriveSeed(), b.deriveSeed());
 }
 
+// The next four tests pin *stream position* semantics: geometric(p)
+// consumes exactly one Bernoulli per failure plus one for the
+// success, and degenerate Bernoulli probabilities consume nothing.
+// The cycle-skipping kernel's think calendar replays per-cycle
+// Bernoulli draws in classic event order (it deliberately does NOT
+// batch them through geometric(), which would reorder the shared
+// stream across processors -- see src/core/system.hh); these tests
+// guard the draw-count contract that makes the two framings
+// equivalent for a lone thinker and keep geometric() honest for any
+// future consumer.
+
+TEST(Random, GeometricMatchesManualBernoulliLoop)
+{
+    for (double p : {0.15, 0.5, 0.85}) {
+        RandomGenerator batched(421), manual(421);
+        for (int trial = 0; trial < 200; ++trial) {
+            const std::uint64_t failures = batched.geometric(p);
+            std::uint64_t expected = 0;
+            while (!manual.bernoulli(p))
+                ++expected;
+            EXPECT_EQ(failures, expected) << "p=" << p;
+        }
+        // Both generators must sit at the same stream position.
+        EXPECT_EQ(batched.next(), manual.next()) << "p=" << p;
+    }
+}
+
+TEST(Random, GeometricConsumesOneDrawPerTrial)
+{
+    RandomGenerator counted(77), reference(77);
+    std::uint64_t draws = 0;
+    for (int trial = 0; trial < 100; ++trial)
+        draws += counted.geometric(0.25) + 1; // failures + the success
+    for (std::uint64_t i = 0; i < draws; ++i)
+        (void)reference.uniformReal(); // one next() per Bernoulli
+    EXPECT_EQ(counted.next(), reference.next());
+}
+
+TEST(Random, GeometricCertainSuccessConsumesNothing)
+{
+    RandomGenerator a(99), b(99);
+    EXPECT_EQ(a.geometric(1.0), 0u);
+    EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DegenerateBernoulliConsumesNothing)
+{
+    RandomGenerator a(1234), b(1234);
+    EXPECT_FALSE(a.bernoulli(0.0));
+    EXPECT_FALSE(a.bernoulli(-1.0));
+    EXPECT_TRUE(a.bernoulli(1.0));
+    EXPECT_TRUE(a.bernoulli(2.0));
+    EXPECT_EQ(a.next(), b.next());
+}
+
 } // namespace
 } // namespace sbn

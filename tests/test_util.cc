@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "util/cli.hh"
+#include "util/index_set.hh"
 #include "util/table.hh"
 
 namespace sbn {
@@ -131,6 +132,60 @@ TEST(CommandLineDeath, BadIntegerIsFatal)
 {
     const auto cli = parse({"--n=abc"});
     EXPECT_DEATH((void)cli.getInt("n", 0), "expects an integer");
+}
+
+TEST(IndexSet, InsertEraseContainsCount)
+{
+    IndexSet set(130); // spans three words
+    EXPECT_TRUE(set.empty());
+    EXPECT_TRUE(set.insert(0));
+    EXPECT_TRUE(set.insert(65));
+    EXPECT_TRUE(set.insert(129));
+    EXPECT_FALSE(set.insert(65)); // already present
+    EXPECT_EQ(set.count(), 3u);
+    EXPECT_TRUE(set.contains(65));
+    EXPECT_FALSE(set.contains(64));
+    EXPECT_TRUE(set.erase(65));
+    EXPECT_FALSE(set.erase(65));
+    EXPECT_EQ(set.count(), 2u);
+}
+
+TEST(IndexSet, NthAndForEachAscend)
+{
+    IndexSet set(200);
+    const std::vector<std::size_t> members{3, 7, 64, 65, 190};
+    for (auto i : {65, 3, 190, 7, 64}) // insertion order irrelevant
+        set.insert(static_cast<std::size_t>(i));
+
+    for (std::size_t k = 0; k < members.size(); ++k)
+        EXPECT_EQ(set.nth(k), members[k]) << "k=" << k;
+
+    std::vector<std::size_t> visited;
+    set.forEach([&](std::size_t i) { visited.push_back(i); });
+    EXPECT_EQ(visited, members);
+}
+
+TEST(IndexSet, BulkUnionAndDifferenceTrackCounts)
+{
+    IndexSet a(100), b(100);
+    for (auto i : {1, 50, 99})
+        a.insert(static_cast<std::size_t>(i));
+    for (auto i : {50, 60})
+        b.insert(static_cast<std::size_t>(i));
+
+    a.insertAll(b); // {1, 50, 60, 99}
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_TRUE(a.contains(60));
+
+    a.eraseAll(b); // {1, 99}
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_FALSE(a.contains(50));
+    EXPECT_FALSE(a.contains(60));
+    EXPECT_TRUE(a.contains(1));
+    EXPECT_TRUE(a.contains(99));
+
+    a.clear();
+    EXPECT_TRUE(a.empty());
 }
 
 } // namespace
