@@ -15,9 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -26,6 +30,7 @@
 #include "exec/adaptive.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/sweep.hh"
+#include "shard/runner.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -82,10 +87,129 @@ runner()
     return shared;
 }
 
+/**
+ * Sharded bench execution (see docs/sharding.md). Every fig/table
+ * binary accepts, in addition to the google-benchmark flags:
+ *
+ *   --shard=i/N        run only shard i of N of each sweep grid,
+ *                      appending JSONL records per completed point
+ *   --shard-dir=DIR    record directory (default bench-shards)
+ *   --shard-layout=L   contiguous (default) or strided
+ *   --shard-resume     skip points with matching records on disk
+ *
+ * In shard mode the sweep helpers below compute only the shard's
+ * points (values at other grid cells print as nan) and write each
+ * sweep's records to DIR/<bench>-sweep<k>-shard-i-of-N.jsonl, where
+ * k counts the binary's sweeps in issue order. Merge one sweep's
+ * files with `sbn_sweep --merge --size=<grid> --files=a,b,...` or
+ * the shard library. Values are bit-identical to the unsharded
+ * run's.
+ */
+struct ShardMode
+{
+    bool active = false;
+    ShardSpec shard;
+    ShardLayout layout = ShardLayout::Contiguous;
+    std::string dir = "bench-shards";
+    bool resume = false;
+    std::string benchName = "bench";
+    unsigned sweepCounter = 0;
+
+    /** Record path of the next sweep this binary issues. */
+    std::string
+    nextPath()
+    {
+        return dir + "/" + benchName + "-sweep" +
+               std::to_string(sweepCounter++) + "-shard-" +
+               std::to_string(shard.index) + "-of-" +
+               std::to_string(shard.count) + ".jsonl";
+    }
+};
+
+inline ShardMode &
+shardMode()
+{
+    static ShardMode mode;
+    return mode;
+}
+
+/**
+ * Strip the shard flags from argv (before benchmark::Initialize sees
+ * them) and configure shardMode(). Called by SBN_BENCH_MAIN.
+ */
+inline void
+initShardArgs(int *argc, char **argv)
+{
+    ShardMode &mode = shardMode();
+    if (*argc > 0) {
+        const std::string prog = argv[0];
+        const std::size_t slash = prog.find_last_of('/');
+        mode.benchName =
+            slash == std::string::npos ? prog : prog.substr(slash + 1);
+    }
+
+    int kept = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--shard=", 0) == 0) {
+            mode.active = true;
+            mode.shard = ShardSpec::parse(arg.substr(8));
+        } else if (arg.rfind("--shard-dir=", 0) == 0) {
+            mode.dir = arg.substr(12);
+        } else if (arg.rfind("--shard-layout=", 0) == 0) {
+            mode.layout = parseShardLayout(arg.substr(15));
+        } else if (arg == "--shard-resume") {
+            mode.resume = true;
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    *argc = kept;
+
+    if (mode.active) {
+        if (mkdir(mode.dir.c_str(), 0777) != 0 && errno != EEXIST)
+            sbn_fatal("cannot create shard directory '", mode.dir,
+                      "'");
+        std::printf("shard mode: %s of each sweep grid (%s), records "
+                    "under %s/\n",
+                    mode.shard.toString().c_str(),
+                    shardLayoutName(mode.layout), mode.dir.c_str());
+    }
+}
+
+/**
+ * Shard-mode backend of the sweep helpers: run this process's shard
+ * of @p points through the shard runner (records on disk), then
+ * surface the shard's values at their grid cells; cells other shards
+ * own read back as NaN and print as nan.
+ */
+inline std::vector<double>
+shardedSweepEbw(const std::vector<SystemConfig> &points)
+{
+    ShardMode &mode = shardMode();
+    const std::string path = mode.nextPath();
+    const ShardRunStats stats = runShardSweep(
+        points, mode.shard, mode.layout,
+        [](const SystemConfig &cfg) { return runEbw(cfg); }, path,
+        mode.resume);
+    std::printf("shard %s: %zu/%zu point(s) computed, %zu resumed "
+                "-> %s\n",
+                mode.shard.toString().c_str(), stats.computed,
+                stats.owned, stats.skipped, path.c_str());
+    std::vector<double> values(
+        points.size(), std::numeric_limits<double>::quiet_NaN());
+    for (const PointRecord &record :
+         readRecordFile(path, /*tolerate_partial_tail=*/false))
+        values[record.flatIndex] = record.mean;
+    return values;
+}
+
 /** Evaluate EBW at each materialized point of a sweep, in grid order. */
 inline std::vector<double>
 sweepEbw(const SweepSpec &spec)
 {
+    if (shardMode().active)
+        return shardedSweepEbw(spec.materialize());
     return runner().sweep(
         spec, [](const SystemConfig &cfg) { return runEbw(cfg); });
 }
@@ -94,6 +218,8 @@ sweepEbw(const SweepSpec &spec)
 inline std::vector<double>
 sweepEbw(const std::vector<SystemConfig> &points)
 {
+    if (shardMode().active)
+        return shardedSweepEbw(points);
     return runner().mapConfigs(
         points, [](const SystemConfig &cfg) { return runEbw(cfg); });
 }
@@ -114,6 +240,22 @@ sweepEbwStreamed(
 {
     sbn_assert(row_width >= 1 && spec.size() % row_width == 0,
                "row width must evenly divide the sweep grid");
+    if (shardMode().active) {
+        // Shard mode: rows materialize after the shard finishes
+        // (cells other shards own are nan), so stream them all at
+        // the end instead of progressively.
+        const std::vector<double> values =
+            shardedSweepEbw(spec.materialize());
+        for (std::size_t row = 0; row * row_width < values.size();
+             ++row)
+            onRow(row,
+                  std::vector<double>(
+                      values.begin() +
+                          static_cast<std::ptrdiff_t>(row * row_width),
+                      values.begin() + static_cast<std::ptrdiff_t>(
+                                           (row + 1) * row_width)));
+        return values;
+    }
     std::vector<double> cells;
     cells.reserve(row_width);
     std::size_t row = 0;
@@ -142,15 +284,47 @@ adaptiveSweepEbw(const SweepSpec &spec, const PrecisionTarget &target,
                  const RoundSchedule &schedule,
                  const AdaptiveReplicator::PointCallback &onPoint = {})
 {
+    const auto experiment = [](const SystemConfig &cfg,
+                               std::uint64_t seed) {
+        SystemConfig c = cfg;
+        c.seed = seed;
+        return runEbw(c);
+    };
+
+    if (shardMode().active) {
+        ShardMode &mode = shardMode();
+        const std::vector<SystemConfig> points = spec.materialize();
+        const std::string path = mode.nextPath();
+        const ShardRunStats stats = runShardAdaptive(
+            points, mode.shard, mode.layout, target, schedule,
+            experiment, path, mode.resume);
+        std::printf("shard %s: %zu/%zu point(s) computed, %zu "
+                    "resumed -> %s\n",
+                    mode.shard.toString().c_str(), stats.computed,
+                    stats.owned, stats.skipped, path.c_str());
+
+        // Off-shard cells report NaN with zero samples; the summary
+        // and table printers treat them as "not computed here".
+        std::vector<AdaptiveEstimate> estimates(points.size());
+        for (AdaptiveEstimate &e : estimates)
+            e.estimate.mean = std::numeric_limits<double>::quiet_NaN();
+        for (const PointRecord &record :
+             readRecordFile(path, /*tolerate_partial_tail=*/false)) {
+            AdaptiveEstimate &e = estimates[record.flatIndex];
+            e.estimate.mean = record.mean;
+            e.estimate.halfWidth = record.halfWidth;
+            e.estimate.samples = record.replications;
+            e.rounds = record.rounds;
+            e.converged = record.converged;
+            if (onPoint)
+                onPoint(record.flatIndex, points[record.flatIndex],
+                        e);
+        }
+        return estimates;
+    }
+
     const AdaptiveReplicator replicator(runner(), target, schedule);
-    return replicator.sweep(
-        spec,
-        [](const SystemConfig &cfg, std::uint64_t seed) {
-            SystemConfig c = cfg;
-            c.seed = seed;
-            return runEbw(c);
-        },
-        onPoint);
+    return replicator.sweep(spec, experiment, onPoint);
 }
 
 /** One-line adaptivity summary for an adaptive sweep's estimates. */
@@ -161,8 +335,11 @@ reportAdaptivity(const std::vector<AdaptiveEstimate> &estimates)
         return;
     std::uint64_t total = 0, lo = ~0ull, hi = 0;
     double worst_hw = 0.0;
-    std::size_t capped = 0;
+    std::size_t capped = 0, counted = 0;
     for (const AdaptiveEstimate &e : estimates) {
+        if (e.estimate.samples == 0)
+            continue; // off-shard cell in shard mode
+        ++counted;
         total += e.estimate.samples;
         lo = std::min<std::uint64_t>(lo, e.estimate.samples);
         hi = std::max<std::uint64_t>(hi, e.estimate.samples);
@@ -170,11 +347,12 @@ reportAdaptivity(const std::vector<AdaptiveEstimate> &estimates)
         if (!e.converged)
             ++capped;
     }
+    if (counted == 0)
+        return;
     std::printf("adaptive precision: %llu replications over %zu "
                 "points (%llu-%llu per point), worst CI half-width "
                 "%.4f, %zu point(s) hit the cap\n",
-                static_cast<unsigned long long>(total),
-                estimates.size(),
+                static_cast<unsigned long long>(total), counted,
                 static_cast<unsigned long long>(lo),
                 static_cast<unsigned long long>(hi), worst_hw, capped);
 }
@@ -189,6 +367,8 @@ class DiffTracker
     void
     add(double paper, double ours)
     {
+        if (std::isnan(ours))
+            return; // off-shard cell in bench shard mode
         const double rel = std::abs(ours - paper) / paper;
         sum_ += rel;
         ++count_;
@@ -223,10 +403,14 @@ class DiffTracker
 /**
  * Every bench defines printReproduction() and registers BENCHMARK
  * cases, then uses this main: reproduction first, timings second.
+ * Shard flags (--shard=i/N, --shard-dir, --shard-layout,
+ * --shard-resume; see ShardMode) are consumed before
+ * google-benchmark parses the rest.
  */
 #define SBN_BENCH_MAIN(print_reproduction)                                 \
     int main(int argc, char **argv)                                       \
     {                                                                      \
+        ::sbn::bench::initShardArgs(&argc, argv);                         \
         print_reproduction();                                             \
         ::benchmark::Initialize(&argc, argv);                             \
         if (::benchmark::ReportUnrecognizedArguments(argc, argv))         \

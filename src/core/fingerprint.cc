@@ -1,0 +1,124 @@
+#include "core/fingerprint.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sbn {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/** Running FNV-1a over typed field values. */
+class Hasher
+{
+  public:
+    void
+    u64(std::uint64_t value)
+    {
+        state_ = fingerprintMix(state_, value);
+    }
+
+    void
+    i64(std::int64_t value)
+    {
+        u64(static_cast<std::uint64_t>(value));
+    }
+
+    void
+    f64(double value)
+    {
+        // Hash the IEEE-754 bit pattern: two configs fingerprint
+        // equal exactly when the doubles compare bit-equal, which is
+        // the same equivalence the bit-exact record format uses.
+        u64(doubleFingerprintBits(value));
+    }
+
+    std::uint64_t
+    digest() const
+    {
+        return state_;
+    }
+
+  private:
+    std::uint64_t state_ = kFnvOffset;
+};
+
+} // namespace
+
+std::uint64_t
+fingerprintMix(std::uint64_t state, std::uint64_t value)
+{
+    constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+    for (int byte = 0; byte < 8; ++byte) {
+        state ^= (value >> (8 * byte)) & 0xffu;
+        state *= kFnvPrime;
+    }
+    return state;
+}
+
+std::uint64_t
+doubleFingerprintBits(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof value, "IEEE-754 double");
+    std::memcpy(&bits, &value, sizeof bits);
+    return bits;
+}
+
+std::uint64_t
+configFingerprint(const SystemConfig &config)
+{
+    Hasher h;
+    // A leading version tag so a future field addition can change
+    // every fingerprint at once instead of colliding silently.
+    h.u64(0x53424e4650563031ull); // "SBNFPV01"
+    h.i64(config.numProcessors);
+    h.i64(config.numModules);
+    h.i64(config.memoryRatio);
+    h.f64(config.requestProbability);
+    h.i64(static_cast<std::int64_t>(config.policy));
+    h.i64(static_cast<std::int64_t>(config.selection));
+    h.u64(config.buffered ? 1 : 0);
+    h.i64(config.inputCapacity);
+    h.i64(config.outputCapacity);
+    h.u64(config.moduleWeights.size());
+    for (double w : config.moduleWeights)
+        h.f64(w);
+    h.u64(config.seed);
+    h.u64(static_cast<std::uint64_t>(config.warmupCycles));
+    h.u64(static_cast<std::uint64_t>(config.measureCycles));
+    return h.digest();
+}
+
+std::string
+formatFingerprint(std::uint64_t fingerprint)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    return buffer;
+}
+
+bool
+parseFingerprint(const std::string &text, std::uint64_t &out)
+{
+    if (text.size() != 18 || text[0] != '0' || text[1] != 'x')
+        return false;
+    std::uint64_t value = 0;
+    for (std::size_t i = 2; i < text.size(); ++i) {
+        const char c = text[i];
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | digit;
+    }
+    out = value;
+    return true;
+}
+
+} // namespace sbn

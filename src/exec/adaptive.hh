@@ -134,6 +134,26 @@ class AdaptiveReplicator
                                          std::uint64_t)> &experiment,
               const PointCallback &onPoint = {}) const;
 
+    /**
+     * Shard-aware form of runPoints(): adaptively estimate only the
+     * points whose global flat indices are in @p subset (strictly
+     * increasing), invoking @p onPoint with global indices. Result
+     * slot k corresponds to subset[k].
+     *
+     * A point's round schedule, seed stream and convergence decision
+     * depend only on that point's own config (seeds derive from
+     * config.seed, the schedule is fixed), never on which other
+     * points share the batch - so each subset estimate is
+     * bit-identical to the same point's estimate in the full run, at
+     * any thread count. The sharded-sweep merge layer relies on this.
+     */
+    std::vector<AdaptiveEstimate>
+    runPointsSubset(const std::vector<SystemConfig> &points,
+                    const std::vector<std::size_t> &subset,
+                    const std::function<double(const SystemConfig &,
+                                               std::uint64_t)> &experiment,
+                    const PointCallback &onPoint = {}) const;
+
   private:
     ParallelRunner &runner_;
     PrecisionTarget target_;

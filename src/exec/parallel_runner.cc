@@ -226,6 +226,28 @@ ParallelRunner::mapConfigsStreamed(
         });
 }
 
+std::vector<double>
+ParallelRunner::mapConfigsStreamedSubset(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &subset,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const SweepCallback &onPoint)
+{
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+        sbn_assert(subset[k] < points.size(),
+                   "shard subset index out of range");
+        sbn_assert(k == 0 || subset[k - 1] < subset[k],
+                   "shard subset indices must be strictly increasing");
+    }
+    return stream<double>(
+        subset.size(),
+        [&](std::size_t k) { return evaluate(points[subset[k]]); },
+        [&](std::size_t k, const double &value) {
+            if (onPoint)
+                onPoint(subset[k], points[subset[k]], value);
+        });
+}
+
 ParallelRunner &
 sharedParallelRunner(unsigned threads)
 {

@@ -191,6 +191,24 @@ class ParallelRunner
         const std::function<double(const SystemConfig &)> &evaluate,
         const SweepCallback &onPoint);
 
+    /**
+     * Shard-aware streaming entry point: evaluate only the points
+     * whose *global* flat indices are listed in @p subset (strictly
+     * increasing, all < points.size()), streaming them through
+     * @p onPoint with their global indices in increasing order.
+     * Result slot k corresponds to subset[k].
+     *
+     * Because every point is an independent seeded run, the value
+     * computed for global index i here is bit-identical to the value
+     * the full mapConfigsStreamed() run computes for i - this is the
+     * property the sharded-sweep merge layer (src/shard/) rests on.
+     */
+    std::vector<double> mapConfigsStreamedSubset(
+        const std::vector<SystemConfig> &points,
+        const std::vector<std::size_t> &subset,
+        const std::function<double(const SystemConfig &)> &evaluate,
+        const SweepCallback &onPoint);
+
   private:
     unsigned threads_;
     std::unique_ptr<ThreadPool> pool_; // null when threads_ == 1

@@ -1,5 +1,10 @@
 #include "exec/sweep.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
 namespace sbn {
 
 namespace {
@@ -14,6 +19,55 @@ axisSize(const std::vector<T> &axis)
 
 } // namespace
 
+namespace {
+
+/** Fatal if @p axis repeats a value (the same grid point twice). */
+template <typename T>
+void
+rejectDuplicates(const std::vector<T> &axis, const char *name)
+{
+    for (std::size_t i = 0; i < axis.size(); ++i)
+        for (std::size_t j = i + 1; j < axis.size(); ++j)
+            if (axis[i] == axis[j])
+                sbn_fatal("SweepSpec: axis '", name,
+                          "' lists the same value twice (entries ", i,
+                          " and ", j,
+                          ") - the grid point would run twice and its "
+                          "flat index would be ambiguous");
+}
+
+} // namespace
+
+void
+SweepSpec::validate() const
+{
+    rejectDuplicates(processors, "processors");
+    rejectDuplicates(modules, "modules");
+    rejectDuplicates(memoryRatios, "memoryRatios");
+    rejectDuplicates(requestProbabilities, "requestProbabilities");
+    rejectDuplicates(policies, "policies");
+    rejectDuplicates(buffering, "buffering");
+
+    for (int n : processors)
+        if (n < 1)
+            sbn_fatal("SweepSpec: processors axis value ", n,
+                      " (must be >= 1)");
+    for (int m : modules)
+        if (m < 1)
+            sbn_fatal("SweepSpec: modules axis value ", m,
+                      " (must be >= 1)");
+    for (int r : memoryRatios)
+        if (r < 1)
+            sbn_fatal("SweepSpec: memoryRatios axis value ", r,
+                      " (must be >= 1)");
+    for (double p : requestProbabilities)
+        if (!(p >= 0.0 && p <= 1.0))
+            sbn_fatal("SweepSpec: requestProbabilities axis value ", p,
+                      " (must be in [0,1])");
+
+    base.validate();
+}
+
 std::size_t
 SweepSpec::size() const
 {
@@ -25,6 +79,8 @@ SweepSpec::size() const
 std::vector<SystemConfig>
 SweepSpec::materialize() const
 {
+    validate();
+
     std::vector<SystemConfig> points;
     points.reserve(size());
 

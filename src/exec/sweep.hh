@@ -43,9 +43,23 @@ struct SweepSpec
     std::size_t size() const;
 
     /**
+     * Fatal-diagnose malformed grids before any point runs:
+     *  - a repeated value inside one axis (the same grid point would
+     *    run twice, and the duplicate flat indices would collide in
+     *    sharded record files);
+     *  - per-axis values outside the simulator's domain (processors /
+     *    modules / ratio < 1, p outside [0, 1]);
+     *  - an invalid base configuration (delegates to base.validate()).
+     * An *empty* axis is not an error - it is the documented "use the
+     * base value" convention. materialize() validates implicitly, so
+     * every sweep/shard entry point rejects bad specs up front.
+     */
+    void validate() const;
+
+    /**
      * Expand the grid into concrete configurations, in the documented
-     * nested-loop order. Every point inherits everything else
-     * (seed, cycle counts, weights, ...) from @p base.
+     * nested-loop order (validate()s first). Every point inherits
+     * everything else (seed, cycle counts, weights, ...) from @p base.
      */
     std::vector<SystemConfig> materialize() const;
 };

@@ -1,12 +1,14 @@
 #include "exec/thread_pool.hh"
 
+#include <unistd.h>
+
 #include <exception>
 
 #include "util/logging.hh"
 
 namespace sbn {
 
-ThreadPool::ThreadPool(unsigned threads)
+ThreadPool::ThreadPool(unsigned threads) : ownerPid_(getpid())
 {
     sbn_assert(threads >= 1, "thread pool needs at least one worker");
     workers_.reserve(threads);
@@ -16,6 +18,18 @@ ThreadPool::ThreadPool(unsigned threads)
 
 ThreadPool::~ThreadPool()
 {
+    // Fork safety: in a forked child (shard --spawn workers, death
+    // tests) the worker threads do not exist - only the forking
+    // thread survives fork() - and the mutex/condvar state is
+    // whatever the parent's threads left mid-flight. Touching either
+    // or joining the phantom std::thread handles would deadlock the
+    // child's exit path, so detach the handles and walk away; the
+    // parent still owns and joins the real threads.
+    if (getpid() != ownerPid_) {
+        for (auto &worker : workers_)
+            worker.detach();
+        return;
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;

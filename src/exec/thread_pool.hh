@@ -13,6 +13,8 @@
 #ifndef SBN_EXEC_THREAD_POOL_HH
 #define SBN_EXEC_THREAD_POOL_HH
 
+#include <sys/types.h>
+
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -60,6 +62,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stopping_ = false;
+    pid_t ownerPid_; //!< fork detection; see ~ThreadPool()
 };
 
 } // namespace sbn

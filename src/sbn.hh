@@ -11,6 +11,8 @@
  *  - stats/     estimation utilities
  *  - desim/     the discrete-event kernel (for building new models)
  *  - exec/      deterministic parallel replication / sweep execution
+ *  - shard/     multi-process sharded sweeps: deterministic plans,
+ *               serialized point records, merge + resume
  *
  * Include the individual headers instead when compile time matters.
  */
@@ -34,10 +36,16 @@
 #include "desim/event_queue.hh"
 #include "desim/simulation.hh"
 #include "desim/trace.hh"
+#include "core/fingerprint.hh"
+#include "exec/adaptive.hh"
 #include "exec/parallel_runner.hh"
 #include "exec/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "markov/dtmc.hh"
+#include "shard/merge.hh"
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+#include "shard/runner.hh"
 #include "stats/accumulator.hh"
 #include "stats/batch_means.hh"
 #include "stats/histogram.hh"

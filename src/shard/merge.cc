@@ -1,0 +1,145 @@
+#include "shard/merge.hh"
+
+#include <memory>
+
+#include "core/fingerprint.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+MergeCheck
+sweepMergeCheck(const std::vector<SystemConfig> &points)
+{
+    MergeCheck check;
+    check.gridSize = points.size();
+    check.expectedRunFp.reserve(points.size());
+    for (const SystemConfig &point : points)
+        check.expectedRunFp.push_back(
+            sweepRunFingerprint(configFingerprint(point)));
+    return check;
+}
+
+MergeCheck
+adaptiveMergeCheck(const std::vector<SystemConfig> &points,
+                   const PrecisionTarget &target,
+                   const RoundSchedule &schedule)
+{
+    MergeCheck check;
+    check.gridSize = points.size();
+    check.expectedRunFp.reserve(points.size());
+    for (const SystemConfig &point : points)
+        check.expectedRunFp.push_back(adaptiveRunFingerprint(
+            configFingerprint(point), target, schedule));
+    return check;
+}
+
+MergeCheck
+structuralMergeCheck(std::size_t grid_size)
+{
+    MergeCheck check;
+    check.gridSize = grid_size;
+    return check;
+}
+
+std::string
+shardFilePath(const std::string &dir, const ShardSpec &shard)
+{
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "shard-" + std::to_string(shard.index) + "-of-" +
+            std::to_string(shard.count) + ".jsonl";
+    return path;
+}
+
+std::vector<std::string>
+shardFilePaths(const std::string &dir, std::size_t shard_count)
+{
+    sbn_assert(shard_count >= 1, "need at least one shard file");
+    std::vector<std::string> paths;
+    paths.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i)
+        paths.push_back(shardFilePath(dir, {i, shard_count}));
+    return paths;
+}
+
+std::vector<PointRecord>
+mergeRecordFiles(const std::vector<std::string> &paths,
+                 const MergeCheck &check)
+{
+    sbn_assert(check.expectedRunFp.empty() ||
+                   check.expectedRunFp.size() == check.gridSize,
+               "merge check fingerprint list does not match the grid");
+
+    std::vector<std::unique_ptr<PointRecord>> slots(check.gridSize);
+    for (const std::string &path : paths) {
+        const std::vector<PointRecord> records =
+            readRecordFile(path, /*tolerate_partial_tail=*/false);
+        for (const PointRecord &record : records) {
+            if (record.flatIndex >= check.gridSize)
+                sbn_fatal("merge: record in '", path,
+                          "' addresses flat index ", record.flatIndex,
+                          " outside the ", check.gridSize,
+                          "-point grid");
+            if (!check.expectedRunFp.empty() &&
+                record.runFp !=
+                    check.expectedRunFp[record.flatIndex])
+                sbn_fatal(
+                    "merge: record for flat index ", record.flatIndex,
+                    " in '", path, "' carries run fingerprint ",
+                    formatFingerprint(record.runFp),
+                    " but the sweep expects ",
+                    formatFingerprint(
+                        check.expectedRunFp[record.flatIndex]),
+                    " - it belongs to a different grid, seed, or "
+                    "precision setup");
+            auto &slot = slots[record.flatIndex];
+            if (slot) {
+                if (!slot->bitIdentical(record))
+                    sbn_fatal(
+                        "merge: flat index ", record.flatIndex,
+                        " appears twice with different contents "
+                        "(second copy in '", path,
+                        "') - determinism guarantees duplicates are "
+                        "bit-identical, so one of the files is "
+                        "corrupt or from a different run");
+                continue; // benign recomputation, keep the first copy
+            }
+            slot = std::make_unique<PointRecord>(record);
+        }
+    }
+
+    std::size_t missing = 0;
+    std::string examples;
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        if (slots[i])
+            continue;
+        ++missing;
+        if (missing <= 8) {
+            if (!examples.empty())
+                examples += ", ";
+            examples += std::to_string(i);
+        }
+    }
+    if (missing != 0)
+        sbn_fatal("merge: ", missing, " of ", check.gridSize,
+                  " grid points have no record (first missing flat "
+                  "indices: ",
+                  examples, missing > 8 ? ", ..." : "",
+                  ") - did every shard finish?");
+
+    std::vector<PointRecord> merged;
+    merged.reserve(slots.size());
+    for (const auto &slot : slots)
+        merged.push_back(*slot);
+    return merged;
+}
+
+void
+writeRecords(std::ostream &os, const std::vector<PointRecord> &records)
+{
+    for (const PointRecord &record : records)
+        os << formatRecord(record) << '\n';
+}
+
+} // namespace sbn

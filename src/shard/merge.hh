@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reassembly of shard record files into the flat-grid ordered stream.
+ *
+ * The merge layer reads every shard's JSONL file, validates the
+ * records against the sweep they claim to belong to, and returns them
+ * sorted by flat index - the same order, and (because records
+ * serialize deterministically) the same bytes, as the single-process
+ * streamed run would have produced. Validation is strict:
+ *
+ *  - every flat index in [0, gridSize) must be present exactly once;
+ *    a missing point names the holes, a duplicated point is accepted
+ *    only if the copies are bit-identical (two shards may legally
+ *    recompute the same point - determinism makes the copies equal);
+ *  - when per-point run fingerprints are supplied, every record must
+ *    carry the expected fingerprint for its index, so records from a
+ *    different grid, seed, or adaptive setup are rejected instead of
+ *    silently merged.
+ */
+
+#ifndef SBN_SHARD_MERGE_HH
+#define SBN_SHARD_MERGE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+
+namespace sbn {
+
+/** What a merge validates incoming records against. */
+struct MergeCheck
+{
+    std::size_t gridSize = 0;
+    /** Per-point expected run fingerprints (empty = structure-only
+     *  validation: indices, completeness, duplicate consistency). */
+    std::vector<std::uint64_t> expectedRunFp;
+};
+
+/** Full-validation check for a plain sweep over @p points. */
+MergeCheck sweepMergeCheck(const std::vector<SystemConfig> &points);
+
+/** Full-validation check for an adaptive sweep over @p points. */
+MergeCheck adaptiveMergeCheck(const std::vector<SystemConfig> &points,
+                              const PrecisionTarget &target,
+                              const RoundSchedule &schedule);
+
+/** Structure-only check when the spec is not at hand. */
+MergeCheck structuralMergeCheck(std::size_t grid_size);
+
+/** Canonical shard file name: dir/shard-<i>-of-<N>.jsonl. */
+std::string shardFilePath(const std::string &dir,
+                          const ShardSpec &shard);
+
+/** The canonical file paths of every shard of an N-shard run. */
+std::vector<std::string> shardFilePaths(const std::string &dir,
+                                        std::size_t shard_count);
+
+/**
+ * Read, validate and order the records of @p paths under @p check.
+ * Fatal (with the offending file/index named) on any validation
+ * failure; the result holds exactly gridSize records in flat order.
+ */
+std::vector<PointRecord>
+mergeRecordFiles(const std::vector<std::string> &paths,
+                 const MergeCheck &check);
+
+/** Serialize @p records (one line each) in the given order. */
+void writeRecords(std::ostream &os,
+                  const std::vector<PointRecord> &records);
+
+} // namespace sbn
+
+#endif // SBN_SHARD_MERGE_HH

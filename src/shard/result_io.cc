@@ -1,0 +1,539 @@
+#include "shard/result_io.hh"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "core/fingerprint.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+constexpr const char *kRecordType = "sbn.point.v1";
+
+/** Shared with configFingerprint so the two can never drift. */
+std::uint64_t
+doubleBits(double value)
+{
+    return doubleFingerprintBits(value);
+}
+
+double
+bitsToDouble(std::uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
+} // namespace
+
+const char *
+runModeName(RunMode mode)
+{
+    return mode == RunMode::Sweep ? "sweep" : "adaptive";
+}
+
+bool
+PointRecord::bitIdentical(const PointRecord &other) const
+{
+    return flatIndex == other.flatIndex &&
+           configFp == other.configFp && runFp == other.runFp &&
+           masterSeed == other.masterSeed && mode == other.mode &&
+           replications == other.replications &&
+           rounds == other.rounds && converged == other.converged &&
+           doubleBits(mean) == doubleBits(other.mean) &&
+           doubleBits(halfWidth) == doubleBits(other.halfWidth);
+}
+
+std::uint64_t
+sweepRunFingerprint(std::uint64_t config_fp)
+{
+    return fingerprintMix(config_fp, 0x53574545502e7631ull);
+}
+
+std::uint64_t
+adaptiveRunFingerprint(std::uint64_t config_fp,
+                       const PrecisionTarget &target,
+                       const RoundSchedule &schedule)
+{
+    std::uint64_t state =
+        fingerprintMix(config_fp, 0x41444150542e7631ull);
+    state = fingerprintMix(state, doubleBits(target.relative));
+    state = fingerprintMix(state, doubleBits(target.absolute));
+    state = fingerprintMix(state, doubleBits(target.level));
+    state = fingerprintMix(state, schedule.initial);
+    state = fingerprintMix(state, doubleBits(schedule.growth));
+    state = fingerprintMix(state, schedule.cap);
+    return state;
+}
+
+PointRecord
+makeSweepRecord(std::size_t flat_index, const SystemConfig &config,
+                double value)
+{
+    PointRecord record;
+    record.flatIndex = flat_index;
+    record.configFp = configFingerprint(config);
+    record.runFp = sweepRunFingerprint(record.configFp);
+    record.masterSeed = config.seed;
+    record.mode = RunMode::Sweep;
+    record.replications = 1;
+    record.rounds = 0;
+    record.converged = true;
+    record.mean = value;
+    record.halfWidth = 0.0;
+    return record;
+}
+
+PointRecord
+makeAdaptiveRecord(std::size_t flat_index, const SystemConfig &config,
+                   const AdaptiveEstimate &estimate,
+                   const PrecisionTarget &target,
+                   const RoundSchedule &schedule)
+{
+    PointRecord record;
+    record.flatIndex = flat_index;
+    record.configFp = configFingerprint(config);
+    record.runFp =
+        adaptiveRunFingerprint(record.configFp, target, schedule);
+    record.masterSeed = config.seed;
+    record.mode = RunMode::Adaptive;
+    record.replications = estimate.estimate.samples;
+    record.rounds = estimate.rounds;
+    record.converged = estimate.converged;
+    record.mean = estimate.estimate.mean;
+    record.halfWidth = estimate.estimate.halfWidth;
+    return record;
+}
+
+std::string
+formatRecord(const PointRecord &record)
+{
+    std::string out;
+    out.reserve(256);
+    out += "{\"type\":\"";
+    out += kRecordType;
+    out += "\",\"i\":";
+    out += std::to_string(record.flatIndex);
+    out += ",\"config\":\"";
+    out += formatFingerprint(record.configFp);
+    out += "\",\"run\":\"";
+    out += formatFingerprint(record.runFp);
+    out += "\",\"seed\":";
+    out += std::to_string(record.masterSeed);
+    out += ",\"mode\":\"";
+    out += runModeName(record.mode);
+    out += "\",\"reps\":";
+    out += std::to_string(record.replications);
+    out += ",\"rounds\":";
+    out += std::to_string(record.rounds);
+    out += ",\"converged\":";
+    out += record.converged ? "true" : "false";
+    out += ",\"mean\":";
+    out += formatDouble(record.mean);
+    out += ",\"mean_bits\":\"";
+    out += formatFingerprint(doubleBits(record.mean));
+    out += "\",\"hw\":";
+    out += formatDouble(record.halfWidth);
+    out += ",\"hw_bits\":\"";
+    out += formatFingerprint(doubleBits(record.halfWidth));
+    out += "\"}";
+    return out;
+}
+
+namespace {
+
+/** One parsed key/value of the flat record object. */
+struct RawValue
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Bool
+    };
+    Kind kind;
+    std::string text; //!< string contents / number text / "true"...
+};
+
+/**
+ * Tokenize a flat one-line JSON object into key -> raw value. No
+ * nesting, no escapes, no null - the record grammar is deliberately
+ * tiny so validation can be airtight. Returns false + error.
+ */
+bool
+tokenizeFlatObject(const std::string &line,
+                   std::map<std::string, RawValue> &out,
+                   std::string &error)
+{
+    std::size_t pos = 0;
+    const auto skipSpace = [&] {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+    };
+    const auto fail = [&](const std::string &what) {
+        error = what + " at column " + std::to_string(pos + 1);
+        return false;
+    };
+    const auto parseString = [&](std::string &text) {
+        if (pos >= line.size() || line[pos] != '"')
+            return false;
+        ++pos;
+        const std::size_t begin = pos;
+        while (pos < line.size() && line[pos] != '"') {
+            const char c = line[pos];
+            if (c == '\\' || static_cast<unsigned char>(c) < 0x20)
+                return false; // no escapes in the record grammar
+            ++pos;
+        }
+        if (pos >= line.size())
+            return false;
+        text.assign(line, begin, pos - begin);
+        ++pos;
+        return true;
+    };
+
+    skipSpace();
+    if (pos >= line.size() || line[pos] != '{')
+        return fail("expected '{'");
+    ++pos;
+
+    bool first = true;
+    for (;;) {
+        skipSpace();
+        if (pos < line.size() && line[pos] == '}') {
+            ++pos;
+            break;
+        }
+        if (!first) {
+            if (pos >= line.size() || line[pos] != ',')
+                return fail("expected ',' or '}'");
+            ++pos;
+            skipSpace();
+        }
+        first = false;
+
+        std::string key;
+        if (!parseString(key))
+            return fail("expected a string key");
+        skipSpace();
+        if (pos >= line.size() || line[pos] != ':')
+            return fail("expected ':'");
+        ++pos;
+        skipSpace();
+
+        RawValue value;
+        if (pos < line.size() && line[pos] == '"') {
+            value.kind = RawValue::Kind::String;
+            if (!parseString(value.text))
+                return fail("unterminated string value");
+        } else if (line.compare(pos, 4, "true") == 0) {
+            value.kind = RawValue::Kind::Bool;
+            value.text = "true";
+            pos += 4;
+        } else if (line.compare(pos, 5, "false") == 0) {
+            value.kind = RawValue::Kind::Bool;
+            value.text = "false";
+            pos += 5;
+        } else {
+            const std::size_t begin = pos;
+            while (pos < line.size() &&
+                   (std::isdigit(static_cast<unsigned char>(
+                        line[pos])) ||
+                    line[pos] == '-' || line[pos] == '+' ||
+                    line[pos] == '.' || line[pos] == 'e' ||
+                    line[pos] == 'E' || line[pos] == 'n' ||
+                    line[pos] == 'a' || line[pos] == 'i' ||
+                    line[pos] == 'f'))
+                ++pos; // digits plus nan/inf spellings
+            if (pos == begin)
+                return fail("expected a value");
+            value.kind = RawValue::Kind::Number;
+            value.text.assign(line, begin, pos - begin);
+        }
+
+        if (!out.emplace(key, value).second) {
+            error = "duplicate key '" + key + "'";
+            return false;
+        }
+    }
+    skipSpace();
+    if (pos != line.size()) {
+        error = "trailing characters after the record object";
+        return false;
+    }
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno == ERANGE)
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseDecimalDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace
+
+bool
+parseRecord(const std::string &line, PointRecord &out,
+            std::string &error)
+{
+    std::map<std::string, RawValue> fields;
+    if (!tokenizeFlatObject(line, fields, error))
+        return false;
+
+    const auto take = [&](const char *key, RawValue::Kind kind,
+                          std::string &text) {
+        const auto it = fields.find(key);
+        if (it == fields.end()) {
+            error = std::string("missing key '") + key + "'";
+            return false;
+        }
+        if (it->second.kind != kind) {
+            error = std::string("key '") + key + "' has the wrong type";
+            return false;
+        }
+        text = it->second.text;
+        fields.erase(it);
+        return true;
+    };
+
+    PointRecord record;
+    std::string text;
+
+    if (!take("type", RawValue::Kind::String, text))
+        return false;
+    if (text != kRecordType) {
+        error = "unknown record type '" + text + "' (expected " +
+                kRecordType + ")";
+        return false;
+    }
+
+    std::uint64_t number;
+    if (!take("i", RawValue::Kind::Number, text))
+        return false;
+    if (!parseUnsigned(text, number)) {
+        error = "'i' is not an unsigned integer: " + text;
+        return false;
+    }
+    record.flatIndex = static_cast<std::size_t>(number);
+
+    if (!take("config", RawValue::Kind::String, text))
+        return false;
+    if (!parseFingerprint(text, record.configFp)) {
+        error = "'config' is not a 0x fingerprint: " + text;
+        return false;
+    }
+    if (!take("run", RawValue::Kind::String, text))
+        return false;
+    if (!parseFingerprint(text, record.runFp)) {
+        error = "'run' is not a 0x fingerprint: " + text;
+        return false;
+    }
+
+    if (!take("seed", RawValue::Kind::Number, text))
+        return false;
+    if (!parseUnsigned(text, record.masterSeed)) {
+        error = "'seed' is not an unsigned integer: " + text;
+        return false;
+    }
+
+    if (!take("mode", RawValue::Kind::String, text))
+        return false;
+    if (text == "sweep") {
+        record.mode = RunMode::Sweep;
+    } else if (text == "adaptive") {
+        record.mode = RunMode::Adaptive;
+    } else {
+        error = "unknown mode '" + text + "'";
+        return false;
+    }
+
+    if (!take("reps", RawValue::Kind::Number, text))
+        return false;
+    if (!parseUnsigned(text, record.replications) ||
+        record.replications == 0) {
+        error = "'reps' must be a positive integer: " + text;
+        return false;
+    }
+
+    if (!take("rounds", RawValue::Kind::Number, text))
+        return false;
+    if (!parseUnsigned(text, number) || number > 0xffffffffull) {
+        error = "'rounds' is not a valid count: " + text;
+        return false;
+    }
+    record.rounds = static_cast<std::uint32_t>(number);
+
+    if (!take("converged", RawValue::Kind::Bool, text))
+        return false;
+    record.converged = text == "true";
+
+    const auto takeDoublePair = [&](const char *dec_key,
+                                    const char *bits_key,
+                                    double &value) {
+        std::string dec_text, bits_text;
+        if (!take(dec_key, RawValue::Kind::Number, dec_text) ||
+            !take(bits_key, RawValue::Kind::String, bits_text))
+            return false;
+        std::uint64_t bits;
+        if (!parseFingerprint(bits_text, bits)) {
+            error = std::string("'") + bits_key +
+                    "' is not a 0x bit pattern: " + bits_text;
+            return false;
+        }
+        double decimal;
+        if (!parseDecimalDouble(dec_text, decimal)) {
+            error = std::string("'") + dec_key +
+                    "' is not a number: " + dec_text;
+            return false;
+        }
+        value = bitsToDouble(bits);
+        // The decimal is %.17g of the bits, which round-trips
+        // exactly; any mismatch means the record was edited or
+        // corrupted (NaN decimals lose their payload, so NaN==NaN is
+        // the comparison there).
+        const bool both_nan =
+            std::isnan(decimal) && std::isnan(value);
+        if (!both_nan && doubleBits(decimal) != bits) {
+            error = std::string("'") + dec_key + "' (" + dec_text +
+                    ") disagrees with '" + bits_key + "' (" +
+                    bits_text + ")";
+            return false;
+        }
+        return true;
+    };
+
+    if (!takeDoublePair("mean", "mean_bits", record.mean))
+        return false;
+    if (!takeDoublePair("hw", "hw_bits", record.halfWidth))
+        return false;
+
+    if (!fields.empty()) {
+        error = "unknown key '" + fields.begin()->first + "'";
+        return false;
+    }
+
+    out = record;
+    return true;
+}
+
+std::vector<PointRecord>
+readRecordFile(const std::string &path, bool tolerate_partial_tail)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        // Lenient mode forgives only a file that does not exist (a
+        // fresh shard). A file that is *present* but unreadable
+        // (permissions, I/O error) must fail loudly: a resume that
+        // shrugged it off would rewrite the shard from scratch and
+        // silently discard every finished point.
+        struct stat info;
+        if (tolerate_partial_tail &&
+            stat(path.c_str(), &info) != 0 && errno == ENOENT)
+            return {};
+        sbn_fatal("cannot open shard record file '", path, "'");
+    }
+
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+
+    std::vector<PointRecord> records;
+    records.reserve(lines.size());
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        PointRecord record;
+        std::string error;
+        if (parseRecord(lines[i], record, error)) {
+            records.push_back(record);
+            continue;
+        }
+        if (tolerate_partial_tail && i + 1 == lines.size()) {
+            sbn_warn("dropping truncated final record of '", path,
+                     "' (line ", i + 1, ": ", error,
+                     ") - the writer was likely killed mid-append");
+            break;
+        }
+        sbn_fatal("malformed record in '", path, "' line ", i + 1,
+                  ": ", error);
+    }
+    return records;
+}
+
+void
+rewriteRecordsAtomic(const std::string &path,
+                     const std::vector<PointRecord> &records)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        RecordWriter writer(tmp, /*append=*/false);
+        for (const PointRecord &record : records)
+            writer.add(record);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        sbn_fatal("cannot rename '", tmp, "' over '", path, "'");
+}
+
+RecordWriter::RecordWriter(const std::string &path, bool append)
+    : path_(path),
+      out_(path, append ? std::ios::out | std::ios::app
+                        : std::ios::out | std::ios::trunc)
+{
+    if (!out_.good())
+        sbn_fatal("cannot open shard record file '", path,
+                  "' for writing");
+}
+
+void
+RecordWriter::add(const PointRecord &record)
+{
+    out_ << formatRecord(record) << '\n';
+    out_.flush();
+    if (!out_.good())
+        sbn_fatal("write error on shard record file '", path_, "'");
+    ++written_;
+}
+
+} // namespace sbn

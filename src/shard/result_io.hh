@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Serialized per-point sweep results: one self-describing JSONL
+ * record per completed grid point.
+ *
+ * Records are the unit of exchange between shard workers, the merge
+ * layer and resume: a worker appends one line per finished point; a
+ * resumed worker skips points whose records already exist and
+ * fingerprint-match; the merger reassembles shard files into the
+ * flat-grid ordered stream.
+ *
+ * Every double is written twice: a %.17g decimal (human-readable,
+ * round-trips exactly) and the raw IEEE-754 bit pattern ("0x%016x").
+ * The bits are authoritative - parsing validates that the decimal
+ * re-parses to the same bit pattern - which is what lets the merged
+ * stream be *bit*-identical to the single-process run rather than
+ * merely close. The record layout itself is deterministic (fixed key
+ * order, fixed number formatting), so the same point always
+ * serializes to the same bytes no matter which shard, process or host
+ * computed it.
+ */
+
+#ifndef SBN_SHARD_RESULT_IO_HH
+#define SBN_SHARD_RESULT_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exec/adaptive.hh"
+
+namespace sbn {
+
+/** Execution mode a record was produced under. */
+enum class RunMode
+{
+    Sweep,    //!< one seeded run per point (plain sweep)
+    Adaptive, //!< adaptive-precision replications per point
+};
+
+/** Canonical record name of a mode ("sweep" / "adaptive"). */
+const char *runModeName(RunMode mode);
+
+/**
+ * One completed grid point, as serialized to a shard file.
+ *
+ * Provenance fields: flatIndex addresses the point in the documented
+ * SweepSpec grid order; configFp is configFingerprint() of the
+ * materialized point (including its seed - the seed provenance);
+ * runFp additionally mixes in the run mode and, for adaptive runs,
+ * the PrecisionTarget/RoundSchedule, so records from a different
+ * experiment setup never silently satisfy a resume or merge.
+ */
+struct PointRecord
+{
+    std::size_t flatIndex = 0;
+    std::uint64_t configFp = 0;
+    std::uint64_t runFp = 0;
+    std::uint64_t masterSeed = 0;    //!< the point's config.seed
+    RunMode mode = RunMode::Sweep;
+    std::uint64_t replications = 0;  //!< runs behind the value (>= 1)
+    std::uint32_t rounds = 0;        //!< adaptive rounds (0 for sweep)
+    bool converged = true;           //!< false: adaptive cap reached
+    double mean = 0.0;               //!< point value / estimate mean
+    double halfWidth = 0.0;          //!< CI half-width (0 for sweep)
+
+    /** Field-wise equality with doubles compared bit-for-bit. */
+    bool bitIdentical(const PointRecord &other) const;
+};
+
+/** Run fingerprint of a plain sweep over the point with @p config_fp. */
+std::uint64_t sweepRunFingerprint(std::uint64_t config_fp);
+
+/** Run fingerprint of an adaptive run (mixes target + schedule). */
+std::uint64_t adaptiveRunFingerprint(std::uint64_t config_fp,
+                                     const PrecisionTarget &target,
+                                     const RoundSchedule &schedule);
+
+/** The record of one plain-sweep point (reps 1, half-width 0). */
+PointRecord makeSweepRecord(std::size_t flat_index,
+                            const SystemConfig &config, double value);
+
+/** The record of one adaptive-precision point. */
+PointRecord makeAdaptiveRecord(std::size_t flat_index,
+                               const SystemConfig &config,
+                               const AdaptiveEstimate &estimate,
+                               const PrecisionTarget &target,
+                               const RoundSchedule &schedule);
+
+/** Serialize to the canonical one-line JSON form (no newline). */
+std::string formatRecord(const PointRecord &record);
+
+/**
+ * Parse one record line. Strict: the line must be a flat JSON object
+ * carrying exactly the expected keys (any order), with types, the
+ * "sbn.point.v1" type tag, a known mode, and decimal/bit double pairs
+ * that agree. On failure returns false and sets @p error.
+ */
+bool parseRecord(const std::string &line, PointRecord &out,
+                 std::string &error);
+
+/**
+ * Read every record of a shard file.
+ *
+ * In strict mode (@p tolerate_partial_tail false) any malformed line
+ * is fatal, naming the file and line number. With
+ * @p tolerate_partial_tail true, a malformed *final* line is dropped
+ * with a warning instead - a worker killed mid-append leaves exactly
+ * that artifact, and resume must be able to pick up behind it; a
+ * malformed line elsewhere is still fatal.
+ *
+ * A nonexistent file is fatal in strict mode and reads as empty (a
+ * fresh shard has no file yet) otherwise; a file that exists but
+ * cannot be opened is fatal in both modes, so a permissions or I/O
+ * error can never make a resume silently restart from zero.
+ */
+std::vector<PointRecord> readRecordFile(const std::string &path,
+                                        bool tolerate_partial_tail);
+
+/**
+ * Atomically replace @p path with exactly @p records (one line
+ * each, given order): writes path+".tmp" then rename()s it over the
+ * original, so a crash mid-rewrite leaves either the old file or the
+ * new one - never a half-written mix. Used by resume's cleanup
+ * rewrites, which must not weaken the "a kill loses at most the line
+ * being written" durability bound.
+ */
+void rewriteRecordsAtomic(const std::string &path,
+                          const std::vector<PointRecord> &records);
+
+/**
+ * Append-style record writer: one add() = one line + flush, so a
+ * record is either fully on disk or (on a crash mid-write) a
+ * truncated final line that lenient reads drop.
+ */
+class RecordWriter
+{
+  public:
+    /** Opens @p path (append when @p append, else truncate). Fatal on
+     *  failure to open. */
+    RecordWriter(const std::string &path, bool append);
+
+    /** Serialize + write + flush one record. Fatal on write error. */
+    void add(const PointRecord &record);
+
+    const std::string &path() const { return path_; }
+    std::size_t written() const { return written_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t written_ = 0;
+};
+
+} // namespace sbn
+
+#endif // SBN_SHARD_RESULT_IO_HH

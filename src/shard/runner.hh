@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Execution of one shard of a sweep, with resume.
+ *
+ * runShardSweep()/runShardAdaptive() compute the grid points a
+ * ShardSpec owns under a ShardPlan and append one PointRecord per
+ * finished point to the shard's JSONL file, flushing per record so a
+ * killed worker loses at most the line it was writing.
+ *
+ * Resume (@p resume = true) first reads the existing file leniently
+ * (a truncated final line - the kill artifact - is dropped), keeps
+ * every record whose run fingerprint matches the point the sweep
+ * expects at that index, and only computes the points still missing.
+ * Records from a different grid, seed or precision setup never match
+ * and are discarded with a warning, so a stale file cannot poison a
+ * resumed run. A clean file (exactly the kept records, canonical
+ * order - the common case) is appended to in place; when cleanup is
+ * needed (dropped records, a truncated tail, or out-of-order resume
+ * interleaving) the file is replaced via an atomic temp+rename
+ * rewrite, so the durability bound above survives crashes at any
+ * point and a finished resumed shard file is byte-identical to an
+ * uninterrupted run's.
+ *
+ * Determinism: the values computed here are bit-identical to the
+ * single-process streamed run's values for the same points (see the
+ * exec-layer subset entry points), so merging shard files reproduces
+ * the serial result stream exactly.
+ */
+
+#ifndef SBN_SHARD_RUNNER_HH
+#define SBN_SHARD_RUNNER_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/adaptive.hh"
+#include "exec/sweep.hh"
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+
+namespace sbn {
+
+/** What one shard run did. */
+struct ShardRunStats
+{
+    std::size_t owned = 0;    //!< points the shard is responsible for
+    std::size_t skipped = 0;  //!< satisfied by resumed records
+    std::size_t computed = 0; //!< freshly simulated this run
+};
+
+/**
+ * Run shard @p shard of a plain sweep over @p points (one seeded
+ * evaluation per point), writing records to @p out_path.
+ *
+ * @param evaluate point evaluator (e.g. runEbw); must be safe to
+ *                 call concurrently when threads > 1
+ * @param threads  worker count; 0 = defaultExecThreads()
+ */
+ShardRunStats runShardSweep(
+    const std::vector<SystemConfig> &points, const ShardSpec &shard,
+    ShardLayout layout,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+/** runShardSweep() over a SweepSpec (materializes, then runs). */
+ShardRunStats runShardSweep(
+    const SweepSpec &spec, const ShardSpec &shard, ShardLayout layout,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+/**
+ * Run shard @p shard of an adaptive-precision sweep: each owned point
+ * replicates (seeds derived from its config.seed) until @p target or
+ * the @p schedule cap, exactly as the single-process adaptive sweep
+ * would for that point.
+ */
+ShardRunStats runShardAdaptive(
+    const std::vector<SystemConfig> &points, const ShardSpec &shard,
+    ShardLayout layout, const PrecisionTarget &target,
+    const RoundSchedule &schedule,
+    const std::function<double(const SystemConfig &, std::uint64_t)>
+        &experiment,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+/** runShardAdaptive() over a SweepSpec. */
+ShardRunStats runShardAdaptive(
+    const SweepSpec &spec, const ShardSpec &shard, ShardLayout layout,
+    const PrecisionTarget &target, const RoundSchedule &schedule,
+    const std::function<double(const SystemConfig &, std::uint64_t)>
+        &experiment,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+} // namespace sbn
+
+#endif // SBN_SHARD_RUNNER_HH

@@ -36,6 +36,11 @@ CommandLine::CommandLine(int argc, const char *const *argv,
         if (!known.count(name))
             sbn_fatal("unknown option --", name,
                       " (try --help for the option list)");
+        if (values_.count(name))
+            sbn_fatal("option --", name,
+                      " given twice - a repeated option (e.g. a sweep "
+                      "axis named again) silently discarding the "
+                      "first value is never what you want");
         values_[name] = have_value ? value : "true";
     }
 }
@@ -107,6 +112,36 @@ CommandLine::getBool(const std::string &name, bool def) const
     sbn_fatal("option --", name, " expects a boolean, got '", v, "'");
 }
 
+namespace {
+
+/** Split a comma list into non-empty elements; empty lists and empty
+ *  elements (",,", trailing ",") are configuration errors. */
+std::vector<std::string>
+splitList(const std::string &name, const std::string &text)
+{
+    std::vector<std::string> elements;
+    std::string cur;
+    auto flush = [&] {
+        if (cur.empty())
+            sbn_fatal("option --", name,
+                      ": empty list element (a value list like "
+                      "'2,4,8' must name at least one value and no "
+                      "blanks)");
+        elements.push_back(cur);
+        cur.clear();
+    };
+    for (char c : text) {
+        if (c == ',')
+            flush();
+        else
+            cur.push_back(c);
+    }
+    flush();
+    return elements;
+}
+
+} // namespace
+
 std::vector<std::int64_t>
 CommandLine::getIntList(const std::string &name,
                         const std::vector<std::int64_t> &def) const
@@ -115,23 +150,41 @@ CommandLine::getIntList(const std::string &name,
     if (it == values_.end())
         return def;
     std::vector<std::int64_t> out;
-    std::string cur;
-    auto flush = [&] {
-        if (cur.empty())
-            return;
+    for (const std::string &element : splitList(name, it->second)) {
         char *end = nullptr;
-        out.push_back(std::strtoll(cur.c_str(), &end, 10));
-        if (end == cur.c_str() || *end != '\0')
-            sbn_fatal("option --", name, ": bad list element '", cur, "'");
-        cur.clear();
-    };
-    for (char c : it->second) {
-        if (c == ',')
-            flush();
-        else
-            cur.push_back(c);
+        out.push_back(std::strtoll(element.c_str(), &end, 10));
+        if (end == element.c_str() || *end != '\0')
+            sbn_fatal("option --", name, ": bad list element '",
+                      element, "'");
     }
-    flush();
+    return out;
+}
+
+std::vector<std::string>
+CommandLine::getStringList(const std::string &name,
+                           const std::vector<std::string> &def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    return splitList(name, it->second);
+}
+
+std::vector<double>
+CommandLine::getDoubleList(const std::string &name,
+                           const std::vector<double> &def) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return def;
+    std::vector<double> out;
+    for (const std::string &element : splitList(name, it->second)) {
+        char *end = nullptr;
+        out.push_back(std::strtod(element.c_str(), &end));
+        if (end == element.c_str() || *end != '\0')
+            sbn_fatal("option --", name, ": bad list element '",
+                      element, "'");
+    }
     return out;
 }
 

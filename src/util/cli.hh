@@ -44,9 +44,24 @@ class CommandLine
     /** Boolean flag: present without value, or =true/=false. */
     bool getBool(const std::string &name, bool def) const;
 
-    /** Comma-separated list of integers, e.g. --r=2,4,8. */
+    /**
+     * Comma-separated list of integers, e.g. --r=2,4,8. An explicitly
+     * supplied empty list or blank element ("--r=", "--r=2,,8") is
+     * fatal: a sweep axis the user *named* must carry values.
+     */
     std::vector<std::int64_t> getIntList(
         const std::string &name, const std::vector<std::int64_t> &def) const;
+
+    /** Comma-separated list of doubles, e.g. --p=0.1,0.5,1.0 (same
+     *  empty-list rules as getIntList). */
+    std::vector<double> getDoubleList(
+        const std::string &name, const std::vector<double> &def) const;
+
+    /** Comma-separated list of strings, e.g. --policy=proc,mem (same
+     *  empty-list rules as getIntList). */
+    std::vector<std::string> getStringList(
+        const std::string &name,
+        const std::vector<std::string> &def) const;
 
     /** Program name (argv[0]). */
     const std::string &program() const { return program_; }

@@ -204,6 +204,63 @@ TEST(SweepSpec, MaterializesTheCrossProductInDocumentedOrder)
     }
 }
 
+TEST(SweepSpecDeathTest, ValidateRejectsDuplicateAxisValues)
+{
+    SweepSpec spec;
+    spec.processors = {2, 4, 2};
+    EXPECT_DEATH(spec.validate(), "axis 'processors'.*twice");
+
+    spec = SweepSpec{};
+    spec.requestProbabilities = {0.1, 0.1};
+    EXPECT_DEATH(spec.validate(),
+                 "axis 'requestProbabilities'.*twice");
+
+    spec = SweepSpec{};
+    spec.policies = {ArbitrationPolicy::MemoryPriority,
+                     ArbitrationPolicy::MemoryPriority};
+    EXPECT_DEATH(spec.validate(), "axis 'policies'.*twice");
+
+    spec = SweepSpec{};
+    spec.buffering = {true, true};
+    EXPECT_DEATH(spec.validate(), "axis 'buffering'.*twice");
+
+    // materialize() validates implicitly, so no sweep entry point
+    // runs a malformed grid.
+    spec = SweepSpec{};
+    spec.modules = {4, 4};
+    EXPECT_DEATH((void)spec.materialize(), "axis 'modules'.*twice");
+}
+
+TEST(SweepSpecDeathTest, ValidateRejectsOutOfDomainAxisValues)
+{
+    SweepSpec spec;
+    spec.processors = {0};
+    EXPECT_DEATH(spec.validate(), "processors axis value");
+
+    spec = SweepSpec{};
+    spec.memoryRatios = {4, -2};
+    EXPECT_DEATH(spec.validate(), "memoryRatios axis value");
+
+    spec = SweepSpec{};
+    spec.requestProbabilities = {0.5, 1.5};
+    EXPECT_DEATH(spec.validate(),
+                 "requestProbabilities axis value");
+
+    // The base config is validated too.
+    spec = SweepSpec{};
+    spec.base.numProcessors = -1;
+    EXPECT_DEATH(spec.validate(), "numProcessors");
+}
+
+TEST(SweepSpec, ValidateAcceptsWellFormedGrids)
+{
+    SweepSpec spec;
+    spec.processors = {2, 4};
+    spec.requestProbabilities = {0.1, 1.0};
+    spec.validate(); // empty axes mean "base value" and are fine
+    EXPECT_EQ(spec.materialize().size(), 4u);
+}
+
 TEST(ParallelRunner, SweepResultsMatchSerialEvaluationInGridOrder)
 {
     SweepSpec spec;
@@ -304,6 +361,33 @@ TEST(ParallelRunner, SweepStreamedMatchesSweepAndStreamsInGridOrder)
         ASSERT_EQ(order.size(), expected.size());
         for (std::size_t i = 0; i < order.size(); ++i)
             EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(ParallelRunner, StreamedSubsetEmitsGlobalIndicesInOrder)
+{
+    SweepSpec spec;
+    spec.base.seed = 5;
+    spec.processors = {1, 2, 3, 4, 5, 6};
+    const auto points = spec.materialize();
+    const std::vector<std::size_t> subset{1, 2, 5};
+
+    for (const unsigned threads : {1u, 4u}) {
+        ParallelRunner runner(threads);
+        std::vector<std::size_t> emitted;
+        const auto values = runner.mapConfigsStreamedSubset(
+            points, subset,
+            [](const SystemConfig &cfg) {
+                return static_cast<double>(cfg.numProcessors);
+            },
+            [&](std::size_t i, const SystemConfig &cfg,
+                double value) {
+                EXPECT_EQ(static_cast<double>(cfg.numProcessors),
+                          value);
+                emitted.push_back(i);
+            });
+        EXPECT_EQ(emitted, subset);
+        EXPECT_EQ(values, (std::vector<double>{2.0, 3.0, 6.0}));
     }
 }
 

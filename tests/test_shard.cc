@@ -1,0 +1,586 @@
+/**
+ * @file
+ * Sharded-sweep subsystem tests: deterministic partitioning, record
+ * serialization, merge validation, and the core contract - for any
+ * shard count, layout and thread count, merged shard output is
+ * byte-identical to the single-process streamed run, and a killed
+ * shard resumes without recomputing finished points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/fingerprint.hh"
+#include "exec/adaptive.hh"
+#include "exec/parallel_runner.hh"
+#include "shard/merge.hh"
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+#include "shard/runner.hh"
+
+namespace sbn {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "sbn_shard_" + name;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** The small simulation grid the determinism tests sweep. */
+SweepSpec
+testSpec()
+{
+    SweepSpec spec;
+    spec.base.numProcessors = 4;
+    spec.base.numModules = 4;
+    spec.base.warmupCycles = 200;
+    spec.base.measureCycles = 2000;
+    spec.base.seed = 99;
+    spec.memoryRatios = {2, 4};
+    spec.requestProbabilities = {0.3, 1.0};
+    spec.policies = {ArbitrationPolicy::ProcessorPriority,
+                     ArbitrationPolicy::MemoryPriority};
+    return spec;
+}
+
+double
+ebwOf(const SystemConfig &cfg)
+{
+    return runEbw(cfg);
+}
+
+double
+ebwWithSeed(const SystemConfig &cfg, std::uint64_t seed)
+{
+    SystemConfig c = cfg;
+    c.seed = seed;
+    return runEbw(c);
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(ShardPlan, PartitionsAreCompleteAndDisjoint)
+{
+    for (const std::size_t grid : {0ul, 1ul, 7ul, 12ul, 40ul}) {
+        for (const std::size_t shards : {1ul, 2ul, 3ul, 5ul, 13ul}) {
+            for (const ShardLayout layout :
+                 {ShardLayout::Contiguous, ShardLayout::Strided}) {
+                const ShardPlan plan(grid, shards, layout);
+                std::set<std::size_t> seen;
+                for (std::size_t s = 0; s < shards; ++s) {
+                    const auto indices = plan.indices(s);
+                    EXPECT_EQ(indices.size(), plan.shardSize(s));
+                    for (std::size_t k = 0; k < indices.size(); ++k) {
+                        if (k > 0) {
+                            EXPECT_LT(indices[k - 1], indices[k]);
+                        }
+                        EXPECT_LT(indices[k], grid);
+                        EXPECT_EQ(plan.owner(indices[k]), s);
+                        EXPECT_TRUE(seen.insert(indices[k]).second)
+                            << "index owned twice";
+                    }
+                }
+                EXPECT_EQ(seen.size(), grid)
+                    << "grid " << grid << " shards " << shards;
+            }
+        }
+    }
+}
+
+TEST(ShardPlan, ContiguousBalancesTheRemainderUpFront)
+{
+    const ShardPlan plan(10, 4, ShardLayout::Contiguous);
+    EXPECT_EQ(plan.shardSize(0), 3u);
+    EXPECT_EQ(plan.shardSize(1), 3u);
+    EXPECT_EQ(plan.shardSize(2), 2u);
+    EXPECT_EQ(plan.shardSize(3), 2u);
+    EXPECT_EQ(plan.indices(1), (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(ShardPlan, StridedSamplesTheWholeRange)
+{
+    const ShardPlan plan(10, 4, ShardLayout::Strided);
+    EXPECT_EQ(plan.indices(1), (std::vector<std::size_t>{1, 5, 9}));
+}
+
+TEST(ShardSpecParse, AcceptsCanonicalForms)
+{
+    const ShardSpec spec = ShardSpec::parse("2/4");
+    EXPECT_EQ(spec.index, 2u);
+    EXPECT_EQ(spec.count, 4u);
+    EXPECT_EQ(spec.toString(), "2/4");
+}
+
+TEST(ShardSpecParseDeathTest, RejectsMalformedSpecs)
+{
+    EXPECT_DEATH((void)ShardSpec::parse(""), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("3"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("/4"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("1/"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("a/4"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("1/4x"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("-1/4"), "malformed");
+    EXPECT_DEATH((void)ShardSpec::parse("4/4"), "out of range");
+    EXPECT_DEATH((void)ShardSpec::parse("0/0"), "must be >= 1");
+}
+
+// ------------------------------------------------------------- records
+
+PointRecord
+sampleRecord()
+{
+    SystemConfig cfg;
+    cfg.seed = 1234;
+    AdaptiveEstimate estimate;
+    estimate.estimate.mean = 3.0169472740767436;
+    estimate.estimate.halfWidth = 0.001953125;
+    estimate.estimate.samples = 8;
+    estimate.rounds = 2;
+    estimate.converged = true;
+    return makeAdaptiveRecord(7, cfg, estimate, PrecisionTarget{},
+                              RoundSchedule{});
+}
+
+TEST(PointRecordIo, RoundTripsBitExactly)
+{
+    const PointRecord record = sampleRecord();
+    PointRecord parsed;
+    std::string error;
+    ASSERT_TRUE(parseRecord(formatRecord(record), parsed, error))
+        << error;
+    EXPECT_TRUE(parsed.bitIdentical(record));
+    // Deterministic serialization: same record, same bytes.
+    EXPECT_EQ(formatRecord(record), formatRecord(parsed));
+}
+
+TEST(PointRecordIo, RoundTripsAwkwardDoubles)
+{
+    SystemConfig cfg;
+    for (const double value :
+         {0.0, -0.0, 1.0 / 3.0, 1e-308, 6.3e303, 0.1}) {
+        const PointRecord record = makeSweepRecord(0, cfg, value);
+        PointRecord parsed;
+        std::string error;
+        ASSERT_TRUE(parseRecord(formatRecord(record), parsed, error))
+            << error;
+        EXPECT_TRUE(parsed.bitIdentical(record)) << value;
+    }
+}
+
+TEST(PointRecordIo, StrictParserRejectsTampering)
+{
+    const std::string good = formatRecord(sampleRecord());
+    PointRecord parsed;
+    std::string error;
+
+    // Unknown type tag.
+    std::string bad = good;
+    bad.replace(bad.find("sbn.point.v1"), 12, "sbn.point.v9");
+    EXPECT_FALSE(parseRecord(bad, parsed, error));
+
+    // Missing key.
+    bad = good;
+    bad.replace(bad.find(",\"seed\""), 1, "");
+    EXPECT_FALSE(parseRecord(bad, parsed, error));
+
+    // Decimal/bits disagreement: nudge the decimal mean only.
+    bad = good;
+    const std::size_t mean_pos = bad.find("\"mean\":");
+    bad.replace(mean_pos + 7, 1, "4");
+    EXPECT_FALSE(parseRecord(bad, parsed, error));
+    EXPECT_NE(error.find("disagrees"), std::string::npos) << error;
+
+    // Trailing junk.
+    EXPECT_FALSE(parseRecord(good + "x", parsed, error));
+
+    // Unknown extra key.
+    bad = good;
+    bad.insert(bad.size() - 1, ",\"extra\":1");
+    EXPECT_FALSE(parseRecord(bad, parsed, error));
+
+    // Nested objects are not part of the grammar.
+    EXPECT_FALSE(parseRecord("{\"type\":{}}", parsed, error));
+}
+
+TEST(PointRecordIo, LenientReadDropsOnlyATruncatedTail)
+{
+    const std::string path = tempPath("lenient.jsonl");
+    const PointRecord record = sampleRecord();
+    {
+        std::ofstream out(path);
+        out << formatRecord(record) << '\n'
+            << formatRecord(record).substr(0, 40); // killed mid-append
+    }
+    const auto records =
+        readRecordFile(path, /*tolerate_partial_tail=*/true);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_TRUE(records[0].bitIdentical(record));
+    std::remove(path.c_str());
+}
+
+TEST(PointRecordIoDeathTest, StrictReadRejectsTruncatedTail)
+{
+    const std::string path = tempPath("strict.jsonl");
+    {
+        std::ofstream out(path);
+        out << formatRecord(sampleRecord()) << '\n' << "{\"type\":";
+    }
+    EXPECT_DEATH((void)readRecordFile(path, false), "malformed");
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- merge
+
+TEST(Merge, AcceptsBitIdenticalDuplicatesAcrossFiles)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string a = tempPath("dup_a.jsonl");
+    const std::string b = tempPath("dup_b.jsonl");
+    runShardSweep(points, {0, 2}, ShardLayout::Contiguous, ebwOf, a);
+    // Shard 1's file recomputes the whole grid: overlap with shard 0
+    // is bit-identical, so the merge keeps one copy of each.
+    runShardSweep(points, {0, 1}, ShardLayout::Contiguous, ebwOf, b);
+    const auto merged =
+        mergeRecordFiles({a, b}, sweepMergeCheck(points));
+    EXPECT_EQ(merged.size(), points.size());
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+TEST(MergeDeathTest, RejectsHolesConflictsAndForeignRecords)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string a = tempPath("bad_a.jsonl");
+    runShardSweep(points, {0, 2}, ShardLayout::Contiguous, ebwOf, a);
+
+    // Holes: shard 1 of 2 never ran.
+    EXPECT_DEATH(
+        (void)mergeRecordFiles({a}, sweepMergeCheck(points)),
+        "have no record");
+
+    // Foreign records: same file against a different-seed sweep.
+    std::vector<SystemConfig> other = points;
+    for (SystemConfig &cfg : other)
+        cfg.seed += 1;
+    EXPECT_DEATH(
+        (void)mergeRecordFiles({a}, sweepMergeCheck(other)),
+        "different grid, seed, or precision");
+
+    // Conflicting duplicate: flip a value but keep fingerprints.
+    const auto records = readRecordFile(a, false);
+    const std::string b = tempPath("bad_b.jsonl");
+    {
+        RecordWriter writer(b, false);
+        PointRecord tampered = records[0];
+        tampered.mean += 1.0;
+        writer.add(tampered);
+    }
+    EXPECT_DEATH((void)mergeRecordFiles(
+                     {a, b}, structuralMergeCheck(points.size())),
+                 "appears twice with different contents");
+
+    std::remove(a.c_str());
+    std::remove(b.c_str());
+}
+
+// -------------------------------------------------- determinism core
+
+/** Serial reference: the streamed run's records, serialized. */
+std::string
+serialSweepBytes(const std::vector<SystemConfig> &points,
+                 unsigned threads)
+{
+    ParallelRunner runner(threads);
+    std::ostringstream os;
+    runner.mapConfigsStreamed(
+        points, ebwOf,
+        [&](std::size_t i, const SystemConfig &cfg, double value) {
+            os << formatRecord(makeSweepRecord(i, cfg, value))
+               << '\n';
+        });
+    return os.str();
+}
+
+std::string
+serialAdaptiveBytes(const std::vector<SystemConfig> &points,
+                    const PrecisionTarget &target,
+                    const RoundSchedule &schedule, unsigned threads)
+{
+    ParallelRunner runner(threads);
+    const AdaptiveReplicator replicator(runner, target, schedule);
+    std::ostringstream os;
+    replicator.runPoints(
+        points, ebwWithSeed,
+        [&](std::size_t i, const SystemConfig &cfg,
+            const AdaptiveEstimate &estimate) {
+            os << formatRecord(makeAdaptiveRecord(i, cfg, estimate,
+                                                  target, schedule))
+               << '\n';
+        });
+    return os.str();
+}
+
+std::string
+mergedBytes(const std::vector<PointRecord> &records)
+{
+    std::ostringstream os;
+    writeRecords(os, records);
+    return os.str();
+}
+
+TEST(ShardDeterminism, MergedSweepIsByteIdenticalToSerial)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string serial = serialSweepBytes(points, 1);
+
+    for (const unsigned threads : {1u, 4u}) {
+        // The serial stream itself is thread-count invariant.
+        EXPECT_EQ(serialSweepBytes(points, threads), serial);
+
+        for (const std::size_t shards : {1ul, 2ul, 3ul, 5ul}) {
+            for (const ShardLayout layout :
+                 {ShardLayout::Contiguous, ShardLayout::Strided}) {
+                std::vector<std::string> paths;
+                for (std::size_t s = 0; s < shards; ++s) {
+                    paths.push_back(tempPath(
+                        "det_" + std::to_string(threads) + "_" +
+                        std::to_string(shards) + "_" +
+                        std::to_string(s) + ".jsonl"));
+                    runShardSweep(points, {s, shards}, layout, ebwOf,
+                                  paths.back(), false, threads);
+                }
+                const auto merged = mergeRecordFiles(
+                    paths, sweepMergeCheck(points));
+                EXPECT_EQ(mergedBytes(merged), serial)
+                    << shards << " shards, " << threads
+                    << " thread(s), " << shardLayoutName(layout);
+                for (const std::string &path : paths)
+                    std::remove(path.c_str());
+            }
+        }
+    }
+}
+
+TEST(ShardDeterminism, MergedAdaptiveSweepIsByteIdenticalToSerial)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    PrecisionTarget target;
+    target.relative = 0.02;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+
+    const std::string serial =
+        serialAdaptiveBytes(points, target, schedule, 1);
+    EXPECT_EQ(serialAdaptiveBytes(points, target, schedule, 4),
+              serial);
+
+    for (const std::size_t shards : {2ul, 4ul}) {
+        for (const unsigned threads : {1u, 4u}) {
+            std::vector<std::string> paths;
+            for (std::size_t s = 0; s < shards; ++s) {
+                paths.push_back(tempPath(
+                    "adet_" + std::to_string(threads) + "_" +
+                    std::to_string(shards) + "_" +
+                    std::to_string(s) + ".jsonl"));
+                runShardAdaptive(points, {s, shards},
+                                 ShardLayout::Strided, target,
+                                 schedule, ebwWithSeed, paths.back(),
+                                 false, threads);
+            }
+            const auto merged = mergeRecordFiles(
+                paths, adaptiveMergeCheck(points, target, schedule));
+            EXPECT_EQ(mergedBytes(merged), serial)
+                << shards << " shards, " << threads << " thread(s)";
+            for (const std::string &path : paths)
+                std::remove(path.c_str());
+        }
+    }
+}
+
+// -------------------------------------------------------------- resume
+
+TEST(ShardResume, SkipsFinishedPointsAndReproducesIdenticalRecords)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const ShardSpec shard{0, 1};
+    const std::string fresh = tempPath("resume_fresh.jsonl");
+    runShardSweep(points, shard, ShardLayout::Contiguous, ebwOf,
+                  fresh);
+    const std::string fresh_bytes = fileBytes(fresh);
+
+    // Kill after 3 records plus half a line; resume must keep the 3,
+    // recompute the rest, and converge to the identical file.
+    const std::string killed = tempPath("resume_killed.jsonl");
+    {
+        const auto records = readRecordFile(fresh, false);
+        std::ofstream out(killed, std::ios::binary);
+        for (std::size_t i = 0; i < 3; ++i)
+            out << formatRecord(records[i]) << '\n';
+        out << formatRecord(records[3]).substr(0, 25);
+    }
+    std::size_t evaluated = 0;
+    const auto counting = [&](const SystemConfig &cfg) {
+        ++evaluated;
+        return runEbw(cfg);
+    };
+    const ShardRunStats stats =
+        runShardSweep(points, shard, ShardLayout::Contiguous,
+                      counting, killed, /*resume=*/true);
+    EXPECT_EQ(stats.owned, points.size());
+    EXPECT_EQ(stats.skipped, 3u);
+    EXPECT_EQ(stats.computed, points.size() - 3);
+    EXPECT_EQ(evaluated, points.size() - 3)
+        << "resume recomputed finished points";
+    EXPECT_EQ(fileBytes(killed), fresh_bytes);
+
+    // Resuming a complete file computes nothing at all.
+    evaluated = 0;
+    runShardSweep(points, shard, ShardLayout::Contiguous, counting,
+                  killed, /*resume=*/true);
+    EXPECT_EQ(evaluated, 0u);
+    EXPECT_EQ(fileBytes(killed), fresh_bytes);
+
+    std::remove(fresh.c_str());
+    std::remove(killed.c_str());
+}
+
+TEST(ShardResume, DiscardsStaleRecordsFromADifferentSetup)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const ShardSpec shard{0, 1};
+
+    // Records for a different seed: every fingerprint mismatches, so
+    // a resume recomputes everything and ends bit-identical to a
+    // fresh run.
+    std::vector<SystemConfig> other = points;
+    for (SystemConfig &cfg : other)
+        cfg.seed += 17;
+    const std::string path = tempPath("resume_stale.jsonl");
+    runShardSweep(other, shard, ShardLayout::Contiguous, ebwOf, path);
+
+    const ShardRunStats stats = runShardSweep(
+        points, shard, ShardLayout::Contiguous, ebwOf, path,
+        /*resume=*/true);
+    EXPECT_EQ(stats.skipped, 0u);
+    EXPECT_EQ(stats.computed, points.size());
+
+    const std::string fresh = tempPath("resume_stale_fresh.jsonl");
+    runShardSweep(points, shard, ShardLayout::Contiguous, ebwOf,
+                  fresh);
+    EXPECT_EQ(fileBytes(path), fileBytes(fresh));
+
+    std::remove(path.c_str());
+    std::remove(fresh.c_str());
+}
+
+TEST(ShardResume, AdaptiveResumeSkipsConvergedPoints)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    PrecisionTarget target;
+    target.relative = 0.02;
+    RoundSchedule schedule;
+    schedule.initial = 2;
+    schedule.cap = 8;
+    const ShardSpec shard{1, 2};
+
+    const std::string fresh = tempPath("aresume_fresh.jsonl");
+    runShardAdaptive(points, shard, ShardLayout::Contiguous, target,
+                     schedule, ebwWithSeed, fresh);
+    const std::string fresh_bytes = fileBytes(fresh);
+
+    const std::string killed = tempPath("aresume_killed.jsonl");
+    {
+        const auto records = readRecordFile(fresh, false);
+        std::ofstream out(killed, std::ios::binary);
+        out << formatRecord(records[0]) << '\n';
+    }
+    std::size_t evaluations = 0;
+    const ShardRunStats stats = runShardAdaptive(
+        points, shard, ShardLayout::Contiguous, target, schedule,
+        [&](const SystemConfig &cfg, std::uint64_t seed) {
+            ++evaluations;
+            return ebwWithSeed(cfg, seed);
+        },
+        killed, /*resume=*/true);
+    EXPECT_EQ(stats.skipped, 1u);
+    EXPECT_GT(evaluations, 0u);
+    EXPECT_EQ(fileBytes(killed), fresh_bytes);
+
+    std::remove(fresh.c_str());
+    std::remove(killed.c_str());
+}
+
+// ------------------------------------------------------- fingerprints
+
+TEST(Fingerprint, DistinguishesResultDeterminingFields)
+{
+    SystemConfig base;
+    const std::uint64_t fp = configFingerprint(base);
+
+    SystemConfig changed = base;
+    changed.seed += 1;
+    EXPECT_NE(configFingerprint(changed), fp);
+
+    changed = base;
+    changed.requestProbability = 0.5;
+    EXPECT_NE(configFingerprint(changed), fp);
+
+    changed = base;
+    changed.policy = ArbitrationPolicy::MemoryPriority;
+    EXPECT_NE(configFingerprint(changed), fp);
+
+    // Kernel choice is excluded: both kernels are bit-identical by
+    // contract, and records must outlive the Classic kernel.
+    changed = base;
+    changed.kernel = KernelKind::Classic;
+    EXPECT_EQ(configFingerprint(changed), fp);
+
+    EXPECT_TRUE(formatFingerprint(fp).rfind("0x", 0) == 0);
+    std::uint64_t parsed = 0;
+    EXPECT_TRUE(parseFingerprint(formatFingerprint(fp), parsed));
+    EXPECT_EQ(parsed, fp);
+    EXPECT_FALSE(parseFingerprint("0x123", parsed));
+    EXPECT_FALSE(parseFingerprint("123", parsed));
+}
+
+TEST(Fingerprint, RunFingerprintsBindTheMode)
+{
+    const std::uint64_t config_fp = configFingerprint(SystemConfig{});
+    const std::uint64_t sweep_fp = sweepRunFingerprint(config_fp);
+    PrecisionTarget target;
+    RoundSchedule schedule;
+    const std::uint64_t adaptive_fp =
+        adaptiveRunFingerprint(config_fp, target, schedule);
+    EXPECT_NE(sweep_fp, adaptive_fp);
+
+    PrecisionTarget tighter = target;
+    tighter.relative = 0.01;
+    EXPECT_NE(adaptiveRunFingerprint(config_fp, tighter, schedule),
+              adaptive_fp);
+    RoundSchedule larger = schedule;
+    larger.cap = 128;
+    EXPECT_NE(adaptiveRunFingerprint(config_fp, target, larger),
+              adaptive_fp);
+}
+
+} // namespace
+} // namespace sbn

@@ -134,6 +134,37 @@ TEST(CommandLineDeath, BadIntegerIsFatal)
     EXPECT_DEATH((void)cli.getInt("n", 0), "expects an integer");
 }
 
+TEST(CommandLine, DoubleLists)
+{
+    const auto cli = parse({"--p=0.1,0.5,1"});
+    const auto ps = cli.getDoubleList("p", {});
+    ASSERT_EQ(ps.size(), 3u);
+    EXPECT_DOUBLE_EQ(ps[0], 0.1);
+    EXPECT_DOUBLE_EQ(ps[2], 1.0);
+    const auto def = cli.getDoubleList("n", {0.25});
+    ASSERT_EQ(def.size(), 1u);
+    EXPECT_DOUBLE_EQ(def[0], 0.25);
+}
+
+TEST(CommandLineDeath, RepeatedOptionIsFatal)
+{
+    // A repeated option (e.g. a sweep axis named twice) must not
+    // silently drop the first value.
+    EXPECT_DEATH((void)parse({"--n=4", "--n=8"}), "given twice");
+}
+
+TEST(CommandLineDeath, EmptyAndBlankListsAreFatal)
+{
+    EXPECT_DEATH((void)parse({"--rs="}).getIntList("rs", {}),
+                 "empty list element");
+    EXPECT_DEATH((void)parse({"--rs=2,,8"}).getIntList("rs", {}),
+                 "empty list element");
+    EXPECT_DEATH((void)parse({"--rs=2,4,"}).getIntList("rs", {}),
+                 "empty list element");
+    EXPECT_DEATH((void)parse({"--p=,"}).getDoubleList("p", {}),
+                 "empty list element");
+}
+
 TEST(IndexSet, InsertEraseContainsCount)
 {
     IndexSet set(130); // spans three words

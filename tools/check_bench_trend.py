@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Kernel-bench trend check: fail CI on a cycles/s regression.
+
+Compares the BENCH_kernel.json written by bench_perf against the
+committed bench/baseline_kernel.json, per sample configuration, and
+exits nonzero when the cycle-skipping kernel regressed by more than
+the tolerance (default 20%, the ROADMAP's threshold).
+
+CI runners and the machine that committed the baseline differ in raw
+speed, so comparing absolute cycles/s across them would mostly
+measure the hardware. --normalize divides each run's cycle-skip
+cycles/s by the *same run's* classic-kernel cycles/s (the speedup):
+both kernels simulate the identical trajectory in the same process on
+the same machine, so their ratio cancels the machine out and isolates
+the code's relative performance. Absolute cycles/s are still printed
+and checked, but in --normalize mode an absolute-only regression just
+warns.
+
+Usage:
+    check_bench_trend.py --baseline bench/baseline_kernel.json \
+        --current BENCH_kernel.json [--tolerance 0.20] [--normalize]
+
+Only sample names present in both files are compared (adding or
+retiring a bench sample is not a regression); a current file with no
+overlapping samples is an error, as is any sample whose two kernels
+stopped producing identical metrics.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_samples(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    samples = doc.get("configs")
+    if not isinstance(samples, list) or not samples:
+        sys.exit(f"error: {path} carries no kernel-bench configs")
+    return {sample["name"]: sample for sample in samples}
+
+
+def cycles_per_s(sample, kernel):
+    """cycles/s of one kernel's run, or None if the sample does not
+    carry that kernel (e.g. after KernelKind::Classic is retired)."""
+    data = sample.get(kernel)
+    if not isinstance(data, dict) or "cycles_per_s" not in data:
+        return None
+    return float(data["cycles_per_s"])
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="fractional regression that fails "
+                             "(default 0.20)")
+    parser.add_argument("--normalize", action="store_true",
+                        help="judge the classic-normalized speedup "
+                             "(machine-independent); absolute "
+                             "cycles/s regressions then only warn")
+    args = parser.parse_args()
+
+    baseline = load_samples(args.baseline)
+    current = load_samples(args.current)
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("error: no sample names shared between "
+                 f"{args.baseline} and {args.current}")
+
+    failures = []
+    warnings = []
+    print(f"kernel-bench trend vs {args.baseline} "
+          f"(tolerance {args.tolerance:.0%}"
+          f"{', normalized by classic' if args.normalize else ''}):")
+    for name in shared:
+        base, cur = baseline[name], current[name]
+
+        # The identical-metrics gate only means something while the
+        # bench still runs both kernels; after Classic's retirement
+        # the field is gone along with the comparison.
+        both_kernels = (cycles_per_s(cur, "classic") is not None
+                        and cycles_per_s(cur, "cycleskip") is not None)
+        if both_kernels and cur.get("identical_metrics") is not True:
+            failures.append(
+                f"{name}: kernels no longer produce identical "
+                "metrics - correctness, not performance")
+            continue
+
+        abs_base = cycles_per_s(base, "cycleskip")
+        abs_cur = cycles_per_s(cur, "cycleskip")
+        if abs_base is None or abs_cur is None:
+            failures.append(
+                f"{name}: no cycleskip cycles_per_s in one of the "
+                "files - the bench output format changed")
+            continue
+        abs_change = abs_cur / abs_base - 1.0
+
+        # The classic kernel is the on-machine yardstick; once it is
+        # retired from the bench output the normalized comparison is
+        # simply unavailable.
+        classic_base = cycles_per_s(base, "classic")
+        classic_cur = cycles_per_s(cur, "classic")
+        norm_change = None
+        speedups = ""
+        if classic_base is not None and classic_cur is not None:
+            norm_base = abs_base / classic_base
+            norm_cur = abs_cur / classic_cur
+            norm_change = norm_cur / norm_base - 1.0
+            speedups = (f"   speedup {norm_base:5.2f}x -> "
+                        f"{norm_cur:5.2f}x ({norm_change:+7.1%})")
+        elif args.normalize:
+            warnings.append(
+                f"{name}: no classic-kernel data to normalize by "
+                "(retired?) - judging absolute cycles/s; refresh the "
+                "baseline on comparable hardware or drop --normalize")
+
+        judge_normalized = args.normalize and norm_change is not None
+        judged_change = norm_change if judge_normalized else abs_change
+        verdict = "ok"
+        if judged_change < -args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: "
+                f"{'speedup' if judge_normalized else 'cycles/s'}"
+                f" regressed {-judged_change:.1%}"
+                f" (beyond {args.tolerance:.0%})")
+        elif judge_normalized and abs_change < -args.tolerance:
+            verdict = "abs-warn"
+            warnings.append(
+                f"{name}: absolute cycles/s down {-abs_change:.1%} "
+                "but speedup held - likely a slower runner")
+
+        print(f"  {name:24s} cycles/s {abs_base:12.0f} -> "
+              f"{abs_cur:12.0f} ({abs_change:+7.1%}){speedups}"
+              f"   {verdict}")
+
+    for message in warnings:
+        print(f"warning: {message}")
+    if failures:
+        for message in failures:
+            print(f"FAIL: {message}")
+        return 1
+    print(f"trend check passed over {len(shared)} sample(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Sharded-sweep orchestrator: run, shard, spawn, merge, resume.
+ *
+ * One binary drives every stage of a distributed EBW sweep over the
+ * paper's parameter grid:
+ *
+ *   sbn_sweep --n=8 --m=16 --r=4,8 --p=0.1,0.5,1.0
+ *       Serial run: evaluate the whole grid in-process and write the
+ *       ordered record stream (JSONL, one line per point) to stdout.
+ *
+ *   sbn_sweep ... --shard=1/4 --dir=out/
+ *       Run only shard 1 of 4, appending records to
+ *       out/shard-1-of-4.jsonl. Add --resume to skip points whose
+ *       records already exist and fingerprint-match (e.g. after a
+ *       kill). Any machine can run any shard; the plan is a pure
+ *       function of the grid.
+ *
+ *   sbn_sweep ... --merge --shards=4 --dir=out/
+ *       Validate and reassemble the shard files into the flat-grid
+ *       ordered stream on stdout - byte-identical to the serial run.
+ *
+ *   sbn_sweep ... --spawn=4 --dir=out/
+ *       Fork 4 local worker processes (one per shard), wait for all,
+ *       then merge to stdout. Equivalent to running the four --shard
+ *       commands by hand; useful as a one-command local distributor
+ *       and as the CI determinism check.
+ *
+ * --adaptive switches every mode to adaptive-precision estimation
+ * (per-point replications grown until --rel/--abs or --cap); records
+ * then carry replication counts, rounds and the CI half-width, and
+ * the fingerprints bind them to the precision setup so mixed-mode
+ * merges are rejected.
+ */
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "exec/parallel_runner.hh"
+#include "shard/merge.hh"
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+#include "shard/runner.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace sbn;
+
+/** Everything parsed from the command line. */
+struct Options
+{
+    SweepSpec spec;
+    bool adaptive = false;
+    PrecisionTarget target;
+    RoundSchedule schedule;
+    unsigned threads = 0; //!< 0 = defaultExecThreads()
+    ShardLayout layout = ShardLayout::Contiguous;
+    std::string dir = "sbn-sweep-out";
+    bool resume = false;
+};
+
+std::vector<ArbitrationPolicy>
+parsePolicyList(const std::vector<std::string> &names)
+{
+    std::vector<ArbitrationPolicy> policies;
+    for (const std::string &name : names) {
+        if (name == "proc")
+            policies.push_back(ArbitrationPolicy::ProcessorPriority);
+        else if (name == "mem")
+            policies.push_back(ArbitrationPolicy::MemoryPriority);
+        else
+            sbn_fatal("--policy: unknown policy '", name,
+                      "' (expected 'proc' or 'mem')");
+    }
+    return policies;
+}
+
+Options
+parseOptions(const CommandLine &cli)
+{
+    Options opt;
+
+    SweepSpec &spec = opt.spec;
+    spec.base.seed =
+        static_cast<std::uint64_t>(cli.getInt("seed", 20260611));
+    spec.base.warmupCycles = cli.getInt("warmup", 20000);
+    spec.base.measureCycles = cli.getInt("measure", 200000);
+
+    for (std::int64_t n : cli.getIntList("n", {}))
+        spec.processors.push_back(static_cast<int>(n));
+    for (std::int64_t m : cli.getIntList("m", {}))
+        spec.modules.push_back(static_cast<int>(m));
+    for (std::int64_t r : cli.getIntList("r", {}))
+        spec.memoryRatios.push_back(static_cast<int>(r));
+    spec.requestProbabilities = cli.getDoubleList("p", {});
+    if (cli.has("policy"))
+        spec.policies =
+            parsePolicyList(cli.getStringList("policy", {}));
+    for (std::int64_t b : cli.getIntList("buffered", {}))
+        spec.buffering.push_back(b != 0);
+
+    opt.adaptive = cli.getBool("adaptive", false);
+    opt.target.relative = cli.getDouble("rel", 0.05);
+    opt.target.absolute = cli.getDouble("abs", 0.0);
+    opt.target.level = cli.getDouble("level", 0.95);
+
+    // Range-check the schedule here, naming the flags: a negative
+    // value narrowed to unsigned would otherwise surface as an
+    // unrelated internal assertion (or a ~4e9-replication round).
+    const std::int64_t initial = cli.getInt("initial", 4);
+    if (initial < 2)
+        sbn_fatal("--initial must be >= 2 (got ", initial,
+                  "); the first round needs a confidence interval");
+    const std::int64_t cap = cli.getInt("cap", 64);
+    if (cap < initial)
+        sbn_fatal("--cap must be >= --initial (got cap=", cap,
+                  ", initial=", initial, ")");
+    opt.schedule.initial = static_cast<unsigned>(initial);
+    opt.schedule.growth = cli.getDouble("growth", 2.0);
+    if (!(opt.schedule.growth > 1.0))
+        sbn_fatal("--growth must be > 1 (got ", opt.schedule.growth,
+                  "); rounds must add replications");
+    opt.schedule.cap = static_cast<unsigned>(cap);
+
+    if (cli.has("threads")) {
+        opt.threads =
+            parseThreadsSpec(cli.getString("threads", "1").c_str());
+        // parseThreadsSpec keeps "0 = all hardware threads" symbolic;
+        // resolve it here so 0 never reaches the runShard*/runner
+        // plumbing, where 0 means "defaultExecThreads()" (serial
+        // unless SBN_THREADS is set) instead.
+        if (opt.threads == 0)
+            opt.threads = ThreadPool::hardwareThreads();
+    }
+    opt.layout =
+        parseShardLayout(cli.getString("layout", "contiguous"));
+    opt.dir = cli.getString("dir", opt.dir);
+    opt.resume = cli.getBool("resume", false);
+
+    spec.validate();
+    return opt;
+}
+
+/** Create the shard directory if needed (one level, like mkdir). */
+void
+ensureDir(const std::string &dir)
+{
+    if (mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
+        return;
+    sbn_fatal("cannot create shard directory '", dir, "'");
+}
+
+double
+evaluatePoint(const SystemConfig &cfg)
+{
+    return runEbw(cfg);
+}
+
+double
+evaluateReplication(const SystemConfig &cfg, std::uint64_t seed)
+{
+    SystemConfig c = cfg;
+    c.seed = seed;
+    return runEbw(c);
+}
+
+/** Run one shard to its canonical file; report stats on stderr. */
+void
+runOneShard(const Options &opt, const ShardSpec &shard)
+{
+    const std::string path = shardFilePath(opt.dir, shard);
+    ShardRunStats stats;
+    if (opt.adaptive)
+        stats = runShardAdaptive(opt.spec, shard, opt.layout,
+                                 opt.target, opt.schedule,
+                                 evaluateReplication, path,
+                                 opt.resume, opt.threads);
+    else
+        stats = runShardSweep(opt.spec, shard, opt.layout,
+                              evaluatePoint, path, opt.resume,
+                              opt.threads);
+    std::fprintf(stderr,
+                 "shard %s (%s): %zu point(s) owned, %zu resumed, "
+                 "%zu computed -> %s\n",
+                 shard.toString().c_str(),
+                 shardLayoutName(opt.layout), stats.owned,
+                 stats.skipped, stats.computed, path.c_str());
+}
+
+MergeCheck
+checkFor(const Options &opt, const std::vector<SystemConfig> &points)
+{
+    return opt.adaptive
+               ? adaptiveMergeCheck(points, opt.target, opt.schedule)
+               : sweepMergeCheck(points);
+}
+
+/**
+ * Merge shard record files and stream the records to stdout. The
+ * files are either the canonical dir/shard-i-of-N.jsonl set
+ * (@p shard_count != 0) or an explicit @p files list (e.g. the
+ * per-sweep files the bench binaries write in --shard mode). With
+ * @p structural_size != 0 the merge validates structure only (for
+ * record files whose grid flags are not at hand); otherwise the
+ * records must fingerprint-match the spec's grid.
+ */
+void
+mergeShards(const Options &opt, std::size_t shard_count,
+            const std::vector<std::string> &files,
+            std::size_t structural_size)
+{
+    const MergeCheck check =
+        structural_size != 0
+            ? structuralMergeCheck(structural_size)
+            : checkFor(opt, opt.spec.materialize());
+    const std::vector<std::string> paths =
+        files.empty() ? shardFilePaths(opt.dir, shard_count) : files;
+    const std::vector<PointRecord> merged =
+        mergeRecordFiles(paths, check);
+    writeRecords(std::cout, merged);
+    std::fprintf(stderr, "merged %zu record(s) from %zu file(s)\n",
+                 merged.size(), paths.size());
+}
+
+/** Serial reference run: full grid in-process, records to stdout. */
+void
+runSerial(const Options &opt)
+{
+    const std::vector<SystemConfig> points = opt.spec.materialize();
+    ParallelRunner &runner = sharedParallelRunner(
+        opt.threads != 0 ? opt.threads : defaultExecThreads());
+
+    if (opt.adaptive) {
+        const AdaptiveReplicator replicator(runner, opt.target,
+                                            opt.schedule);
+        replicator.runPoints(
+            points, evaluateReplication,
+            [&](std::size_t i, const SystemConfig &cfg,
+                const AdaptiveEstimate &estimate) {
+                std::cout << formatRecord(makeAdaptiveRecord(
+                                 i, cfg, estimate, opt.target,
+                                 opt.schedule))
+                          << '\n';
+            });
+    } else {
+        runner.mapConfigsStreamed(
+            points, evaluatePoint,
+            [&](std::size_t i, const SystemConfig &cfg,
+                double value) {
+                std::cout << formatRecord(
+                                 makeSweepRecord(i, cfg, value))
+                          << '\n';
+            });
+    }
+    std::fprintf(stderr, "swept %zu point(s)\n", points.size());
+}
+
+/** Fork one worker per shard, wait, then merge to stdout. */
+void
+spawnAndMerge(const Options &opt, std::size_t shard_count)
+{
+    // Workers are forked before this process creates any thread
+    // pool, so each child owns a clean single-threaded image and
+    // builds its own pool. Each worker defaults to one thread; pass
+    // --threads to give every worker its own pool.
+    std::vector<pid_t> children;
+    children.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+        const pid_t pid = fork();
+        if (pid < 0)
+            sbn_fatal("--spawn: fork failed for shard ", i);
+        if (pid == 0) {
+            Options worker = opt;
+            if (worker.threads == 0)
+                worker.threads = 1;
+            runOneShard(worker, {i, shard_count});
+            std::exit(0);
+        }
+        children.push_back(pid);
+    }
+
+    bool failed = false;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        int status = 0;
+        if (waitpid(children[i], &status, 0) < 0 ||
+            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            sbn_warn("--spawn: shard ", i, "/", shard_count,
+                     " worker failed (status ", status,
+                     ") - rerun with --shard=", i, "/", shard_count,
+                     " --resume to finish it");
+            failed = true;
+        }
+    }
+    if (failed)
+        sbn_fatal("--spawn: not all shard workers succeeded; the "
+                  "finished shards' records are preserved under '",
+                  opt.dir, "'");
+    mergeShards(opt, shard_count, {}, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::map<std::string, std::string> known{
+        {"n", "processor-count axis, e.g. 8 or 4,8,16"},
+        {"m", "memory-module axis"},
+        {"r", "memory/bus ratio axis"},
+        {"p", "request-probability axis, e.g. 0.1,0.5,1.0"},
+        {"policy", "arbitration axis: proc, mem or proc,mem"},
+        {"buffered", "Section-6 buffering axis: 0, 1 or 0,1"},
+        {"seed", "base RNG seed (per-point seeds derive from it)"},
+        {"warmup", "warmup bus cycles per run"},
+        {"measure", "measured bus cycles per run"},
+        {"adaptive", "adaptive-precision replications per point"},
+        {"rel", "adaptive: relative CI half-width target"},
+        {"abs", "adaptive: absolute CI half-width target"},
+        {"level", "adaptive: confidence level"},
+        {"initial", "adaptive: first-round replications"},
+        {"growth", "adaptive: round growth factor"},
+        {"cap", "adaptive: replication cap"},
+        {"threads", "worker threads (0 = all hardware threads)"},
+        {"shard", "run one shard: i/N (0-based)"},
+        {"shards", "shard count for --merge"},
+        {"files", "merge: explicit record files instead of the "
+                  "canonical shard-i-of-N.jsonl set"},
+        {"size", "merge: validate structure only, for a grid of this "
+                 "many points (skips fingerprint checks)"},
+        {"layout", "shard layout: contiguous or strided"},
+        {"dir", "shard file directory"},
+        {"resume", "skip points with matching records on disk"},
+        {"merge", "merge shard files to stdout"},
+        {"spawn", "fork N local shard workers, then merge"},
+    };
+    const CommandLine cli(argc, argv, known);
+    const Options opt = parseOptions(cli);
+
+    const bool has_shard = cli.has("shard");
+    const bool has_merge = cli.getBool("merge", false);
+    const bool has_spawn = cli.has("spawn");
+    if (has_shard + has_merge + has_spawn > 1)
+        sbn_fatal("--shard, --merge and --spawn are mutually "
+                  "exclusive (shard and merge are separate stages; "
+                  "spawn is both)");
+
+    if (has_shard) {
+        ensureDir(opt.dir);
+        runOneShard(opt, ShardSpec::parse(cli.getString("shard", "")));
+    } else if (has_merge) {
+        const std::vector<std::string> files =
+            cli.getStringList("files", {});
+        const std::int64_t shards = cli.getInt("shards", 0);
+        if (files.empty() && shards < 1)
+            sbn_fatal("--merge needs --shards=N (the canonical "
+                      "dir/shard-i-of-N.jsonl set) or --files=a,b,... "
+                      "(explicit record files, e.g. bench shards)");
+        const std::int64_t size = cli.getInt("size", 0);
+        if (size < 0)
+            sbn_fatal("--size must be a positive point count");
+        mergeShards(opt, static_cast<std::size_t>(shards), files,
+                    static_cast<std::size_t>(size));
+    } else if (has_spawn) {
+        const std::int64_t shards = cli.getInt("spawn", 0);
+        if (shards < 1)
+            sbn_fatal("--spawn=K needs K >= 1 worker processes");
+        ensureDir(opt.dir);
+        spawnAndMerge(opt, static_cast<std::size_t>(shards));
+    } else {
+        runSerial(opt);
+    }
+    return 0;
+}
