@@ -125,7 +125,8 @@ printReproduction()
             weights[0] = w;
             SystemConfig plain = simConfig(
                 8, 8, 8, ArbitrationPolicy::ProcessorPriority, false);
-            plain.moduleWeights = weights;
+            plain.workload.pattern = ReferencePattern::Weighted;
+            plain.workload.moduleWeights = weights;
             SystemConfig buf = plain;
             buf.buffered = true;
             points.push_back(plain);

@@ -167,9 +167,9 @@ initShardArgs(int *argc, char **argv)
     *argc = kept;
 
     if (mode.active) {
-        if (mkdir(mode.dir.c_str(), 0777) != 0 && errno != EEXIST)
-            sbn_fatal("cannot create shard directory '", mode.dir,
-                      "'");
+        // Fail before any point simulates, not mid-run at the first
+        // record write (see ensureWritableShardDir).
+        ensureWritableShardDir(mode.dir);
         std::printf("shard mode: %s of each sweep grid (%s), records "
                     "under %s/\n",
                     mode.shard.toString().c_str(),

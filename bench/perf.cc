@@ -25,23 +25,19 @@
 namespace {
 
 /**
- * One classic-vs-cycle-skip measurement: wall time, heap events and
- * derived throughput for the same config run under both kernels.
+ * One kernel throughput measurement: wall time, heap events and
+ * derived cycles/s for a config.
  */
 struct KernelSample
 {
     std::string name;
     sbn::SystemConfig config;
-    double classicSeconds = 0.0;
-    double skipSeconds = 0.0;
-    std::uint64_t classicEvents = 0;
-    std::uint64_t skipEvents = 0;
+    double seconds = 0.0;
+    std::uint64_t events = 0;
     double ebw = 0.0;
-    bool identical = false;
 
-    double speedup() const { return classicSeconds / skipSeconds; }
     double
-    eventsPerCycle(std::uint64_t events) const
+    eventsPerCycle() const
     {
         return static_cast<double>(events) /
                static_cast<double>(config.warmupCycles +
@@ -50,35 +46,20 @@ struct KernelSample
 };
 
 KernelSample
-measureKernels(std::string name, sbn::SystemConfig cfg)
+measureKernel(std::string name, const sbn::SystemConfig &cfg)
 {
     using clock = std::chrono::steady_clock;
     KernelSample sample;
     sample.name = std::move(name);
     sample.config = cfg;
 
-    cfg.kernel = sbn::KernelKind::Classic;
-    sbn::SingleBusSystem classic(cfg);
-    auto t0 = clock::now();
-    const sbn::Metrics a = classic.run();
-    sample.classicSeconds =
+    sbn::SingleBusSystem system(cfg);
+    const auto t0 = clock::now();
+    const sbn::Metrics metrics = system.run();
+    sample.seconds =
         std::chrono::duration<double>(clock::now() - t0).count();
-    sample.classicEvents = classic.heapEventsExecuted();
-
-    cfg.kernel = sbn::KernelKind::CycleSkip;
-    sbn::SingleBusSystem skip(cfg);
-    t0 = clock::now();
-    const sbn::Metrics b = skip.run();
-    sample.skipSeconds =
-        std::chrono::duration<double>(clock::now() - t0).count();
-    sample.skipEvents = skip.heapEventsExecuted();
-
-    sample.ebw = b.ebw;
-    sample.identical = a.ebw == b.ebw &&
-                       a.completedRequests == b.completedRequests &&
-                       a.busBusyCycles == b.busBusyCycles &&
-                       a.perProcessorCompletions ==
-                           b.perProcessorCompletions;
+    sample.events = system.heapEventsExecuted();
+    sample.ebw = metrics.ebw;
     return sample;
 }
 
@@ -105,22 +86,12 @@ writeKernelJson(const std::vector<KernelSample> &samples,
             << "      \"buffered\": "
             << (s.config.buffered ? "true" : "false") << ",\n"
             << "      \"cycles\": " << cycles << ",\n"
-            << "      \"identical_metrics\": "
-            << (s.identical ? "true" : "false") << ",\n"
             << "      \"ebw\": " << s.ebw << ",\n"
-            << "      \"classic\": {\"wall_s\": " << s.classicSeconds
-            << ", \"heap_events\": " << s.classicEvents
-            << ", \"events_per_cycle\": "
-            << s.eventsPerCycle(s.classicEvents)
+            << "      \"cycleskip\": {\"wall_s\": " << s.seconds
+            << ", \"heap_events\": " << s.events
+            << ", \"events_per_cycle\": " << s.eventsPerCycle()
             << ", \"cycles_per_s\": "
-            << static_cast<double>(cycles) / s.classicSeconds << "},\n"
-            << "      \"cycleskip\": {\"wall_s\": " << s.skipSeconds
-            << ", \"heap_events\": " << s.skipEvents
-            << ", \"events_per_cycle\": "
-            << s.eventsPerCycle(s.skipEvents)
-            << ", \"cycles_per_s\": "
-            << static_cast<double>(cycles) / s.skipSeconds << "},\n"
-            << "      \"speedup\": " << s.speedup() << "\n"
+            << static_cast<double>(cycles) / s.seconds << "}\n"
             << "    }" << (i + 1 < samples.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
@@ -128,12 +99,15 @@ writeKernelJson(const std::vector<KernelSample> &samples,
 }
 
 /**
- * Classic-vs-cycle-skip kernel comparison over the regimes the paper
- * sweeps live in (low request probability = long think spans), plus a
- * saturated point for context. Prints a table and writes a
+ * Kernel throughput over the regimes the paper sweeps live in (low
+ * request probability = long think spans), a saturated point, and a
+ * hot-spot workload point. Prints a table and writes a
  * machine-readable BENCH_kernel.json (path overridable via the
  * SBN_BENCH_KERNEL_JSON environment variable) so CI can track the
- * kernel's perf trajectory per PR.
+ * kernel's perf trajectory per PR. The Classic reference kernel is
+ * retired; tools/check_bench_trend.py now normalizes by the same
+ * run's median cycles/s to cancel machine speed (see
+ * --normalize-by median).
  */
 void
 runKernelComparison()
@@ -152,30 +126,32 @@ runKernelComparison()
 
     std::vector<KernelSample> samples;
     samples.push_back(
-        measureKernels("fig2_lowp_n16", cfg(16, 16, 8, 0.05, false)));
+        measureKernel("fig2_lowp_n16", cfg(16, 16, 8, 0.05, false)));
     samples.push_back(
-        measureKernels("fig3_lowp_n8", cfg(8, 8, 8, 0.1, false)));
+        measureKernel("fig3_lowp_n8", cfg(8, 8, 8, 0.1, false)));
     samples.push_back(
-        measureKernels("lowp_buffered_n16", cfg(16, 16, 8, 0.1, true)));
+        measureKernel("lowp_buffered_n16", cfg(16, 16, 8, 0.1, true)));
     samples.push_back(
-        measureKernels("lowp_wide_n32", cfg(32, 32, 8, 0.05, true)));
+        measureKernel("lowp_wide_n32", cfg(32, 32, 8, 0.05, true)));
     samples.push_back(
-        measureKernels("saturated_n8", cfg(8, 8, 8, 1.0, false)));
+        measureKernel("saturated_n8", cfg(8, 8, 8, 1.0, false)));
+    {
+        SystemConfig hot = cfg(8, 8, 8, 1.0, false);
+        hot.workload.pattern = ReferencePattern::HotSpot;
+        hot.workload.hotFraction = 0.5;
+        samples.push_back(measureKernel("hotspot_h05_n8", hot));
+    }
 
-    std::printf("Kernel comparison (classic vs cycle-skip), %s:\n",
+    std::printf("Kernel throughput (cycle-skip), %s:\n",
                 "1.01M cycles per run");
-    std::printf("%-20s %9s %9s %11s %11s %8s %5s\n", "config",
-                "ev/cyc(C)", "ev/cyc(S)", "Mcyc/s(C)", "Mcyc/s(S)",
-                "speedup", "same");
+    std::printf("%-20s %9s %11s %8s\n", "config", "ev/cyc",
+                "Mcyc/s", "ebw");
     for (const KernelSample &s : samples) {
         const auto cycles = static_cast<double>(
             s.config.warmupCycles + s.config.measureCycles);
-        std::printf("%-20s %9.3f %9.3f %11.1f %11.1f %7.2fx %5s\n",
-                    s.name.c_str(), s.eventsPerCycle(s.classicEvents),
-                    s.eventsPerCycle(s.skipEvents),
-                    cycles / s.classicSeconds / 1e6,
-                    cycles / s.skipSeconds / 1e6, s.speedup(),
-                    s.identical ? "yes" : "NO");
+        std::printf("%-20s %9.3f %11.1f %8.3f\n", s.name.c_str(),
+                    s.eventsPerCycle(), cycles / s.seconds / 1e6,
+                    s.ebw);
     }
     std::printf("\n");
 
@@ -226,22 +202,20 @@ BENCHMARK(BM_SimulatorThroughput)
 
 /**
  * Low-request-probability regime (the Fig. 2/3 sweeps): most cycles
- * are think cycles, so this is where the cycle-skipping kernel's
- * event-count reduction pays. Arg 0 = classic kernel, 1 = cycle-skip.
+ * are think cycles, so this is where the cycle-skipping calendar's
+ * event-count reduction pays.
  */
 void
 BM_SimulatorLowP(benchmark::State &state)
 {
     using namespace sbn;
     using namespace sbn::bench;
-    const bool skip = state.range(0) != 0;
     std::uint64_t cycles = 0;
     std::uint64_t seed = 1;
     for (auto _ : state) {
         SystemConfig cfg = simConfig(
             16, 16, 8, ArbitrationPolicy::ProcessorPriority, false,
             0.05);
-        cfg.kernel = skip ? KernelKind::CycleSkip : KernelKind::Classic;
         cfg.warmupCycles = 0;
         cfg.measureCycles = 200000;
         cfg.seed = seed++;
@@ -251,7 +225,7 @@ BM_SimulatorLowP(benchmark::State &state)
     state.counters["cycles/s"] = benchmark::Counter(
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulatorLowP)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulatorLowP)->Unit(benchmark::kMillisecond);
 
 void
 BM_EventKernelScheduleRun(benchmark::State &state)

@@ -59,7 +59,8 @@ main(int argc, char **argv)
         cfg.numProcessors = n;
         cfg.numModules = m;
         cfg.memoryRatio = r;
-        cfg.moduleWeights = weights;
+        cfg.workload.pattern = ReferencePattern::Weighted;
+        cfg.workload.moduleWeights = weights;
         cfg.measureCycles = 300000;
 
         cfg.buffered = false;

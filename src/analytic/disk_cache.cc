@@ -1,0 +1,153 @@
+#include "analytic/disk_cache.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "core/fingerprint.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+constexpr const char *kHeader = "# sbn analytic solve cache v1";
+
+std::string
+cachePath(const std::string &stem, std::uint64_t fingerprint)
+{
+    return analyticCacheDir() + "/" + stem + "-" +
+           formatFingerprint(fingerprint) + ".txt";
+}
+
+} // namespace
+
+std::string
+analyticCacheDir()
+{
+    const char *env = std::getenv("SBN_CACHE_DIR");
+    return std::string(env != nullptr ? env : "");
+}
+
+bool
+loadCachedSolve(const std::string &stem, std::uint64_t fingerprint,
+                std::size_t expected_count,
+                std::vector<double> &values)
+{
+    if (analyticCacheDir().empty())
+        return false;
+    const std::string path = cachePath(stem, fingerprint);
+    std::ifstream in(path);
+    if (!in.good())
+        return false; // not cached yet - the common cold-start case
+
+    const auto reject = [&](const char *why) {
+        sbn_warn("ignoring analytic cache file '", path, "': ", why,
+                 " - re-solving");
+        return false;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        return reject("unrecognized header");
+    if (!std::getline(in, line) ||
+        line.rfind("fingerprint ", 0) != 0)
+        return reject("missing fingerprint line");
+    std::uint64_t stored_fp = 0;
+    if (!parseFingerprint(line.substr(12), stored_fp) ||
+        stored_fp != fingerprint)
+        return reject("fingerprint mismatch");
+    if (!std::getline(in, line) || line.rfind("count ", 0) != 0)
+        return reject("missing count line");
+    char *end = nullptr;
+    const unsigned long long count =
+        std::strtoull(line.c_str() + 6, &end, 10);
+    if (end == nullptr || *end != '\0')
+        return reject("malformed count");
+    if (expected_count != 0 && count != expected_count)
+        return reject("value count mismatch");
+
+    std::vector<double> loaded;
+    loaded.reserve(count);
+    for (unsigned long long i = 0; i < count; ++i) {
+        if (!std::getline(in, line))
+            return reject("truncated value list");
+        // "<%.17g> 0x<bits>": the bits are authoritative; the decimal
+        // must re-serialize to them (tamper/corruption check).
+        const std::size_t space = line.rfind(' ');
+        if (space == std::string::npos)
+            return reject("malformed value line");
+        std::uint64_t bits = 0;
+        if (!parseFingerprint(line.substr(space + 1), bits))
+            return reject("malformed bit pattern");
+        errno = 0;
+        end = nullptr;
+        const double decimal =
+            std::strtod(line.c_str(), &end);
+        if (end != line.c_str() + space)
+            return reject("malformed decimal value");
+        if (doubleFingerprintBits(decimal) != bits)
+            return reject("decimal/bits disagreement");
+        loaded.push_back(doubleFromFingerprintBits(bits));
+    }
+    if (std::getline(in, line))
+        return reject("trailing data");
+
+    values = std::move(loaded);
+    return true;
+}
+
+void
+storeCachedSolve(const std::string &stem, std::uint64_t fingerprint,
+                 const std::vector<double> &values)
+{
+    const std::string dir = analyticCacheDir();
+    if (dir.empty())
+        return;
+    if (mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+        sbn_warn("cannot create analytic cache directory '", dir,
+                 "' - solve not persisted");
+        return;
+    }
+
+    const std::string path = cachePath(stem, fingerprint);
+    // Unique temp name per process: concurrent solvers of the same
+    // shape each write their own file and the last rename wins with
+    // identical (deterministic) contents.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        if (!out.good()) {
+            sbn_warn("cannot write analytic cache file '", tmp,
+                     "' - solve not persisted");
+            return;
+        }
+        out << kHeader << '\n'
+            << "fingerprint " << formatFingerprint(fingerprint) << '\n'
+            << "count " << values.size() << '\n';
+        for (const double value : values) {
+            out << formatExactDouble(value) << ' '
+                << formatFingerprint(doubleFingerprintBits(value))
+                << '\n';
+        }
+        out.flush();
+        if (!out.good()) {
+            sbn_warn("write error on analytic cache file '", tmp, "'");
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        sbn_warn("cannot rename analytic cache file '", tmp,
+                 "' over '", path, "'");
+        std::remove(tmp.c_str());
+    }
+}
+
+} // namespace sbn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Disk-persistent cache for analytic solves (ROADMAP open item).
+ *
+ * The occupancy-chain solvers memoize per process, but repeated bench
+ * invocations re-enumerate the same transition systems from scratch.
+ * When the SBN_CACHE_DIR environment variable names a directory,
+ * solved results are also persisted there and reloaded by later
+ * processes.
+ *
+ * Entries are versioned and fingerprint-keyed: the file name carries
+ * a 64-bit fingerprint of (format version, solver identity, every
+ * parameter), and the file body repeats it, so a stale or foreign
+ * file can never satisfy a lookup - it is discarded with a warning
+ * and re-solved. Values are serialized as %.17g decimal plus the
+ * IEEE-754 bit pattern (the same convention as the sharded-sweep
+ * records); the bits are authoritative, so a reloaded solve is
+ * bit-identical to the original.
+ *
+ * Writes are atomic (unique temp file + rename) and best-effort: an
+ * unwritable cache directory degrades to a warning, never an error -
+ * the cache accelerates, it does not gate.
+ */
+
+#ifndef SBN_ANALYTIC_DISK_CACHE_HH
+#define SBN_ANALYTIC_DISK_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbn {
+
+/**
+ * The analytic cache directory (SBN_CACHE_DIR), or "" when the cache
+ * is disabled. Read from the environment on each call (solves are
+ * rare and tests toggle the variable); created on first store.
+ */
+std::string analyticCacheDir();
+
+/**
+ * Load the cached value vector keyed by (@p stem, @p fingerprint).
+ * Returns false - after a warning if a file existed but did not
+ * validate - when the caller must solve; @p expected_count != 0
+ * additionally requires that many values.
+ */
+bool loadCachedSolve(const std::string &stem, std::uint64_t fingerprint,
+                     std::size_t expected_count,
+                     std::vector<double> &values);
+
+/**
+ * Persist @p values under (@p stem, @p fingerprint), atomically.
+ * No-op when the cache is disabled; warns (only) on I/O failure.
+ */
+void storeCachedSolve(const std::string &stem,
+                      std::uint64_t fingerprint,
+                      const std::vector<double> &values);
+
+} // namespace sbn
+
+#endif // SBN_ANALYTIC_DISK_CACHE_HH

@@ -20,14 +20,7 @@ SystemConfig::validate() const
         sbn_fatal("buffer capacities must be >= 0 (0 = unbounded)");
     if (!buffered && (inputCapacity != 0 || outputCapacity != 0))
         sbn_fatal("buffer capacities require buffered = true");
-    if (!moduleWeights.empty()) {
-        if (static_cast<int>(moduleWeights.size()) != numModules)
-            sbn_fatal("moduleWeights size ", moduleWeights.size(),
-                      " != numModules ", numModules);
-        for (double w : moduleWeights)
-            if (w <= 0.0)
-                sbn_fatal("moduleWeights entries must be > 0");
-    }
+    workload.validate(numProcessors, numModules);
     if (measureCycles < 1)
         sbn_fatal("measureCycles must be >= 1");
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "desim/event.hh"
+#include "workload/workload.hh"
 
 namespace sbn {
 
@@ -37,32 +38,6 @@ enum class SelectionRule
 };
 
 /**
- * Which implementation of the single-bus simulation kernel to run.
- * Both kernels consume the RNG stream in the same order and make the
- * same grant decisions, so they produce bit-identical Metrics for a
- * given seed (enforced by the kernel-differential test suite); they
- * differ only in how much bookkeeping a simulated cycle costs.
- */
-enum class KernelKind
-{
-    /**
-     * Pre-PR3 kernel: one heap event per thinking processor cycle and
-     * a full O(n+m) candidate rescan in every arbitration cycle. Kept
-     * for one release as the differential-testing reference.
-     */
-    Classic,
-
-    /**
-     * Cycle-skipping kernel (default): thinking processors live in a
-     * tick-bucket calendar processed outside the event heap, bus
-     * transfer + next arbitration share one coalesced event, and
-     * arbitration candidates are maintained incrementally as bitsets
-     * at state transitions instead of rescanned per cycle.
-     */
-    CycleSkip,
-};
-
-/**
  * Full parameter set of one simulated system.
  *
  * Times are in bus cycles (the paper's unit t): memory access takes
@@ -79,14 +54,22 @@ struct SystemConfig
      * Probability p that a processor issues a new request immediately
      * after its previous service; with 1-p it spends one processor
      * cycle on internal processing and draws again (hypothesis (f)).
+     * Non-homogeneous think models in `workload` override this per
+     * processor.
      */
     double requestProbability = 1.0;
 
     ArbitrationPolicy policy = ArbitrationPolicy::ProcessorPriority;
     SelectionRule selection = SelectionRule::Random;
 
-    /** Simulation kernel; trajectories are identical either way. */
-    KernelKind kernel = KernelKind::CycleSkip;
+    /**
+     * Reference pattern + per-processor think structure (see
+     * workload/workload.hh and docs/workloads.md). The default -
+     * Uniform + Homogeneous - is the paper's hypotheses (e)/(f) and
+     * is RNG-compatible with the pre-workload simulator: identical
+     * seeds produce identical Metrics.
+     */
+    WorkloadConfig workload;
 
     /**
      * Enable the Section 6 organization: per-module input/output
@@ -106,13 +89,6 @@ struct SystemConfig
      */
     int inputCapacity = 0;
     int outputCapacity = 0;
-
-    /**
-     * Optional non-uniform memory-reference weights (extension; the
-     * paper's hypothesis (e) is uniform). Empty = uniform. Size must
-     * equal numModules; entries are relative weights > 0.
-     */
-    std::vector<double> moduleWeights;
 
     std::uint64_t seed = 1;    //!< RNG seed; fixed seed == fixed run
     Tick warmupCycles = 20000; //!< cycles discarded before measuring

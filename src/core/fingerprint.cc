@@ -66,13 +66,32 @@ doubleFingerprintBits(double value)
     return bits;
 }
 
+double
+doubleFromFingerprintBits(std::uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+std::string
+formatExactDouble(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    return buffer;
+}
+
 std::uint64_t
 configFingerprint(const SystemConfig &config)
 {
     Hasher h;
-    // A leading version tag so a future field addition can change
-    // every fingerprint at once instead of colliding silently.
-    h.u64(0x53424e4650563031ull); // "SBNFPV01"
+    // A leading version tag so a field addition changes every
+    // fingerprint at once instead of colliding silently. V02: the
+    // workload layer replaced the bare moduleWeights vector (records
+    // written under V01 no longer match and are discarded on resume,
+    // which is the safe direction).
+    h.u64(0x53424e4650563032ull); // "SBNFPV02"
     h.i64(config.numProcessors);
     h.i64(config.numModules);
     h.i64(config.memoryRatio);
@@ -82,9 +101,9 @@ configFingerprint(const SystemConfig &config)
     h.u64(config.buffered ? 1 : 0);
     h.i64(config.inputCapacity);
     h.i64(config.outputCapacity);
-    h.u64(config.moduleWeights.size());
-    for (double w : config.moduleWeights)
-        h.f64(w);
+    // Workload fields fold into an independent sub-hash (seeded at
+    // the FNV offset) committed as one value.
+    h.u64(mixWorkloadFingerprint(kFnvOffset, config.workload));
     h.u64(config.seed);
     h.u64(static_cast<std::uint64_t>(config.warmupCycles));
     h.u64(static_cast<std::uint64_t>(config.measureCycles));

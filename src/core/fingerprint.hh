@@ -4,11 +4,11 @@
  *
  * A fingerprint is a 64-bit FNV-1a hash over every SystemConfig field
  * that determines simulation *results*: grid coordinates, policies,
- * buffering, weights, seed and window lengths. Presentation-only and
- * implementation-choice fields (trace sink, wait-histogram toggle,
- * KernelKind - both kernels are bit-identical by contract) are
- * excluded, so a record written under one kernel still matches after
- * `KernelKind::Classic` is retired.
+ * buffering, the full workload description, seed and window lengths.
+ * Presentation-only fields (trace sink, wait-histogram toggle) are
+ * excluded. The leading version tag is SBNFPV02 (the workload layer
+ * replaced the bare moduleWeights vector; V01 records never match
+ * and are discarded on resume).
  *
  * Fingerprints identify grid points across processes, hosts and
  * repository revisions (they are pure arithmetic over field values,
@@ -41,6 +41,18 @@ std::uint64_t fingerprintMix(std::uint64_t state, std::uint64_t value);
 
 /** The IEEE-754 bit pattern of @p value, as fingerprint input. */
 std::uint64_t doubleFingerprintBits(double value);
+
+/** Rebuild the double behind a doubleFingerprintBits() pattern. */
+double doubleFromFingerprintBits(std::uint64_t bits);
+
+/**
+ * The canonical exact decimal form of a double: %.17g, which
+ * round-trips the bit pattern. Every serializer that pairs decimals
+ * with bit patterns (shard records, the analytic disk cache, golden
+ * files) must render through this one function so the codecs can
+ * never drift apart.
+ */
+std::string formatExactDouble(double value);
 
 /** Render a fingerprint as the canonical "0x%016x" record form. */
 std::string formatFingerprint(std::uint64_t fingerprint);

@@ -23,16 +23,12 @@ constexpr Tick kNever = std::numeric_limits<Tick>::max();
 
 SingleBusSystem::SingleBusSystem(const SystemConfig &config)
     : cfg_(config), rng_(config.seed),
-      cycleSkip_(config.kernel == KernelKind::CycleSkip)
+      // cfg_ precedes workload_ in declaration order; validate before
+      // the workload model builds alias tables from the raw fields.
+      workload_((cfg_.validate(), cfg_.workload), cfg_.numProcessors,
+                cfg_.numModules, cfg_.requestProbability)
 {
-    cfg_.validate();
-
     procs_.resize(cfg_.numProcessors);
-    for (int p = 0; p < cfg_.numProcessors; ++p) {
-        procs_[p].readyEvent.bind(*this, &SingleBusSystem::processorReady,
-                                  p, event_priority::kUpdate,
-                                  "proc-ready");
-    }
 
     mods_.resize(cfg_.numModules);
     for (int m = 0; m < cfg_.numModules; ++m) {
@@ -42,23 +38,10 @@ SingleBusSystem::SingleBusSystem(const SystemConfig &config)
                                       "mem-complete");
     }
 
-    transferDoneEvent_.bind(*this, &SingleBusSystem::onTransferDone, 0,
-                            event_priority::kUpdate, "bus-transfer-done");
     arbitrationEvent_.bind(*this, &SingleBusSystem::onArbitrate, 0,
                            event_priority::kDecide, "bus-arbitrate");
     busCycleEvent_.bind(*this, &SingleBusSystem::onBusCycle, 0,
                         event_priority::kUpdate, "bus-cycle");
-
-    if (!cfg_.moduleWeights.empty()) {
-        weightCdf_.resize(cfg_.moduleWeights.size());
-        double acc = 0.0;
-        for (std::size_t i = 0; i < cfg_.moduleWeights.size(); ++i) {
-            acc += cfg_.moduleWeights[i];
-            weightCdf_[i] = acc;
-        }
-        for (auto &v : weightCdf_)
-            v /= acc;
-    }
 
     windowStart_ = cfg_.warmupCycles;
     windowEnd_ = cfg_.warmupCycles + cfg_.measureCycles;
@@ -72,50 +55,31 @@ SingleBusSystem::SingleBusSystem(const SystemConfig &config)
     // Pre-size every container the hot path touches so steady-state
     // simulation performs no allocations (asserted by the perf tests
     // via scratchCapacities()).
-    candProcs_.reserve(static_cast<std::size_t>(cfg_.numProcessors));
-    candMods_.reserve(static_cast<std::size_t>(cfg_.numModules));
-    if (cycleSkip_) {
-        const auto pc = static_cast<std::size_t>(cfg_.processorCycle());
-        thinkBuckets_.resize(pc);
-        for (auto &bucket : thinkBuckets_)
-            bucket.reserve(static_cast<std::size_t>(cfg_.numProcessors));
-        thinkBucketDue_.assign(pc, 0);
-        thinkMaskUsable_ = pc <= 63;
-        thinkMaskAll_ = thinkMaskUsable_ ? (1ull << pc) - 1 : 0;
-        candProcSet_.resize(static_cast<std::size_t>(cfg_.numProcessors));
-        candModSet_.resize(static_cast<std::size_t>(cfg_.numModules));
-        waiterSets_.assign(
-            static_cast<std::size_t>(cfg_.numModules),
-            IndexSet(static_cast<std::size_t>(cfg_.numProcessors)));
-        // Every module starts idle and empty: accepting, no response.
-        modCanAccept_.assign(static_cast<std::size_t>(cfg_.numModules), 1);
-        modHasResponse_.assign(static_cast<std::size_t>(cfg_.numModules),
-                               0);
-    }
+    const auto pc = static_cast<std::size_t>(cfg_.processorCycle());
+    thinkBuckets_.resize(pc);
+    for (auto &bucket : thinkBuckets_)
+        bucket.reserve(static_cast<std::size_t>(cfg_.numProcessors));
+    thinkBucketDue_.assign(pc, 0);
+    thinkMaskUsable_ = pc <= 63;
+    thinkMaskAll_ = thinkMaskUsable_ ? (1ull << pc) - 1 : 0;
+    candProcSet_.resize(static_cast<std::size_t>(cfg_.numProcessors));
+    candModSet_.resize(static_cast<std::size_t>(cfg_.numModules));
+    waiterSets_.assign(
+        static_cast<std::size_t>(cfg_.numModules),
+        IndexSet(static_cast<std::size_t>(cfg_.numProcessors)));
+    // Every module starts idle and empty: accepting, no response.
+    modCanAccept_.assign(static_cast<std::size_t>(cfg_.numModules), 1);
+    modHasResponse_.assign(static_cast<std::size_t>(cfg_.numModules),
+                           0);
 }
 
 std::vector<std::size_t>
 SingleBusSystem::scratchCapacities() const
 {
     std::vector<std::size_t> caps;
-    caps.push_back(candProcs_.capacity());
-    caps.push_back(candMods_.capacity());
     for (const auto &bucket : thinkBuckets_)
         caps.push_back(bucket.capacity());
     return caps;
-}
-
-int
-SingleBusSystem::pickTargetModule()
-{
-    if (weightCdf_.empty())
-        return static_cast<int>(rng_.uniformInt(cfg_.numModules));
-    const double u = rng_.uniformReal();
-    const auto it =
-        std::upper_bound(weightCdf_.begin(), weightCdf_.end(), u);
-    return static_cast<int>(
-        std::min<std::size_t>(it - weightCdf_.begin(),
-                              weightCdf_.size() - 1));
 }
 
 bool
@@ -184,16 +148,13 @@ SingleBusSystem::requestArbitration(Tick at)
     // within one cycle.
     if (inArbitration_ || arbitrationEvent_.scheduled())
         return;
-    if (cycleSkip_) {
-        // The coalesced bus cycle already ends in an arbitration.
-        if (inBusCycle_ || busCycleEvent_.scheduled())
-            return;
-        // With incrementally maintained candidate sets an empty-handed
-        // arbitration is knowable in advance; classic schedules it and
-        // lets it find nothing (no RNG, no state change either way).
-        if (candProcSet_.empty() && candModSet_.empty())
-            return;
-    }
+    // The coalesced bus cycle already ends in an arbitration.
+    if (inBusCycle_ || busCycleEvent_.scheduled())
+        return;
+    // With incrementally maintained candidate sets an empty-handed
+    // arbitration is knowable in advance (no RNG, no state change).
+    if (candProcSet_.empty() && candModSet_.empty())
+        return;
     sim_.queue().schedule(arbitrationEvent_, at);
 }
 
@@ -203,9 +164,9 @@ SingleBusSystem::drawProcessor(int proc, Tick now)
     Processor &p = procs_[proc];
     ++thinkDraws_;
 
-    if (rng_.bernoulli(cfg_.requestProbability)) {
+    if (rng_.bernoulli(workload_.thinkProbability(proc))) {
         p.state = ProcState::WaitingGrant;
-        p.target = pickTargetModule();
+        p.target = workload_.sampleTarget(proc, rng_);
         p.issueTick = now;
         if (cfg_.trace) {
             cfg_.trace->record(now, "proc",
@@ -214,13 +175,9 @@ SingleBusSystem::drawProcessor(int proc, Tick now)
         }
         if (inWindow(now))
             ++issued_;
-        if (cycleSkip_) {
-            procBecomesWaiting(proc, p.target);
-            if (modCanAccept_[p.target])
-                requestArbitration(now);
-        } else if (moduleCanAcceptRequest(mods_[p.target])) {
+        procBecomesWaiting(proc, p.target);
+        if (modCanAccept_[p.target])
             requestArbitration(now);
-        }
         return true;
     }
 
@@ -243,12 +200,7 @@ SingleBusSystem::processorReady(int proc)
     const Tick now = sim_.now();
     if (drawProcessor(proc, now))
         return;
-    if (cycleSkip_)
-        enterThinking(proc, now);
-    else
-        sim_.queue().schedule(
-            procs_[proc].readyEvent,
-            now + static_cast<Tick>(cfg_.processorCycle()));
+    enterThinking(proc, now);
 }
 
 void
@@ -327,11 +279,11 @@ SingleBusSystem::processThinkTick(Tick now, std::size_t idx)
     sbn_assert(!bucket.empty() && thinkBucketDue_[idx] == now,
                "processing a think bucket at the wrong tick");
 
-    // Draw in bucket order (== classic event sequence order). A
-    // failure's next draw is due exactly one processor cycle later,
-    // i.e. in this same bucket: compact survivors in place, stably.
-    // Issue side effects never append to the calendar synchronously,
-    // so the snapshot count is safe.
+    // Draw in bucket order (== event sequence order). A failure's
+    // next draw is due exactly one processor cycle later, i.e. in
+    // this same bucket: compact survivors in place, stably. Issue
+    // side effects never append to the calendar synchronously, so
+    // the snapshot count is safe.
     const std::size_t count = bucket.size();
     std::size_t keep = 0;
     for (std::size_t i = 0; i < count; ++i) {
@@ -364,8 +316,7 @@ SingleBusSystem::memoryCompletion(int module)
                    "completion on non-accessing module");
         mod.state = ModState::HoldingResponse;
         recordAccessSpan(mod.accessStart, now);
-        if (cycleSkip_)
-            refreshModule(module);
+        refreshModule(module);
         requestArbitration(now);
         return;
     }
@@ -374,8 +325,7 @@ SingleBusSystem::memoryCompletion(int module)
     mod.accessing = false;
     mod.servingProc = -1;
     recordAccessSpan(mod.accessStart, now);
-    if (cycleSkip_)
-        refreshModule(module);
+    refreshModule(module);
     maybeStartBufferedAccess(module);
     requestArbitration(now);
 }
@@ -403,8 +353,7 @@ SingleBusSystem::maybeStartBufferedAccess(int module)
     }
     sim_.queue().schedule(mod.completionEvent,
                           now + static_cast<Tick>(cfg_.memoryRatio));
-    if (cycleSkip_)
-        refreshModule(module);
+    refreshModule(module);
     // An input slot freed: a waiting processor may now be eligible.
     requestArbitration(now);
 }
@@ -433,14 +382,12 @@ SingleBusSystem::transferDone()
             sim_.queue().schedule(
                 mod.completionEvent,
                 now + static_cast<Tick>(cfg_.memoryRatio));
-            if (cycleSkip_)
-                refreshModule(xfer.module);
+            refreshModule(xfer.module);
         } else {
             --mod.reservedInput;
             sbn_assert(mod.reservedInput >= 0, "reservation underflow");
             mod.inputQueue.push_back(xfer.proc);
-            if (cycleSkip_)
-                refreshModule(xfer.module);
+            refreshModule(xfer.module);
             maybeStartBufferedAccess(xfer.module);
         }
         return;
@@ -455,8 +402,7 @@ SingleBusSystem::transferDone()
                    "response finished from module in wrong state");
         mod.state = ModState::Idle;
         mod.servingProc = -1;
-        if (cycleSkip_)
-            refreshModule(xfer.module);
+        refreshModule(xfer.module);
         // Requests queued for this module become eligible.
         requestArbitration(now);
     }
@@ -475,67 +421,14 @@ SingleBusSystem::transferDone()
 void
 SingleBusSystem::onBusCycle(int)
 {
-    // Coalesced bus cycle (cycle-skip kernel): the transfer completes,
-    // then -- all same-tick state updates having already run, since
-    // nothing can enqueue between the two -- the next arbitration
-    // decides, exactly where classic's separate kDecide event ran.
+    // Coalesced bus cycle: the transfer completes, then -- all
+    // same-tick state updates having already run, since nothing can
+    // enqueue between the two -- the next arbitration decides,
+    // exactly where a separate kDecide event would have run.
     inBusCycle_ = true;
     transferDone();
     inBusCycle_ = false;
     arbitrate();
-}
-
-void
-SingleBusSystem::selectScan(int &chosen_proc, int &chosen_mod)
-{
-    candProcs_.clear();
-    for (int p = 0; p < cfg_.numProcessors; ++p) {
-        if (procs_[p].state == ProcState::WaitingGrant &&
-            moduleCanAcceptRequest(mods_[procs_[p].target]))
-            candProcs_.push_back(p);
-    }
-    candMods_.clear();
-    for (int m = 0; m < cfg_.numModules; ++m) {
-        if (moduleHasResponse(mods_[m]))
-            candMods_.push_back(m);
-    }
-
-    if (candProcs_.empty() && candMods_.empty())
-        return;
-
-    const bool procs_first =
-        cfg_.policy == ArbitrationPolicy::ProcessorPriority;
-    const bool grant_proc =
-        !candProcs_.empty() && (procs_first || candMods_.empty());
-
-    if (grant_proc) {
-        int chosen = candProcs_.front();
-        if (cfg_.selection == SelectionRule::Random) {
-            chosen = candProcs_[rng_.pickIndex(candProcs_.size())];
-        } else {
-            for (int p : candProcs_)
-                if (procs_[p].issueTick < procs_[chosen].issueTick)
-                    chosen = p;
-        }
-        chosen_proc = chosen;
-    } else {
-        int chosen = candMods_.front();
-        if (cfg_.selection == SelectionRule::Random) {
-            chosen = candMods_[rng_.pickIndex(candMods_.size())];
-        } else {
-            auto ready = [&](int m) {
-                const Module &mod = mods_[m];
-                return cfg_.buffered ? mod.outputQueue.front().readyTick
-                                     : mod.accessStart +
-                                           static_cast<Tick>(
-                                               cfg_.memoryRatio);
-            };
-            for (int m : candMods_)
-                if (ready(m) < ready(chosen))
-                    chosen = m;
-        }
-        chosen_mod = chosen;
-    }
 }
 
 void
@@ -549,10 +442,9 @@ SingleBusSystem::selectIncremental(int &chosen_proc, int &chosen_mod)
     const bool grant_proc =
         !candProcSet_.empty() && (procs_first || candModSet_.empty());
 
-    // Both selection rules reproduce the classic scan exactly: the
-    // sets iterate in ascending index order (the scan's order), FCFS
-    // keeps the strict-< lowest-index tie-break, and Random draws
-    // pickIndex over the same candidate count.
+    // The sets iterate in ascending index order, FCFS keeps the
+    // strict-< lowest-index tie-break, and Random draws pickIndex
+    // over the candidate count - the historical scan order exactly.
     if (grant_proc) {
         int chosen;
         if (cfg_.selection == SelectionRule::Random) {
@@ -604,10 +496,7 @@ SingleBusSystem::arbitrate()
 
     int chosen_proc = -1;
     int chosen_mod = -1;
-    if (cycleSkip_)
-        selectIncremental(chosen_proc, chosen_mod);
-    else
-        selectScan(chosen_proc, chosen_mod);
+    selectIncremental(chosen_proc, chosen_mod);
 
     if (chosen_proc < 0 && chosen_mod < 0) {
         // Bus goes idle; a future state change reschedules us.
@@ -622,16 +511,10 @@ SingleBusSystem::arbitrate()
 
     if (inWindow(now))
         ++busBusy_;
-    if (cycleSkip_) {
-        // One coalesced event replaces the transfer-done/arbitrate
-        // pair: the bus stays busy through the next cycle either way.
-        sim_.queue().schedule(busCycleEvent_, now + 1);
-        inArbitration_ = false;
-    } else {
-        sim_.queue().schedule(transferDoneEvent_, now + 1);
-        inArbitration_ = false;
-        sim_.queue().schedule(arbitrationEvent_, now + 1);
-    }
+    // One coalesced event replaces the transfer-done/arbitrate pair:
+    // the bus stays busy through the next cycle either way.
+    sim_.queue().schedule(busCycleEvent_, now + 1);
+    inArbitration_ = false;
 }
 
 void
@@ -641,10 +524,8 @@ SingleBusSystem::grantRequest(int proc)
     Module &mod = mods_[p.target];
     p.state = ProcState::WaitingResponse;
 
-    if (cycleSkip_) {
-        waiterSets_[p.target].erase(proc);
-        candProcSet_.erase(proc);
-    }
+    waiterSets_[p.target].erase(proc);
+    candProcSet_.erase(proc);
 
     if (!cfg_.buffered) {
         sbn_assert(mod.state == ModState::Idle,
@@ -653,8 +534,7 @@ SingleBusSystem::grantRequest(int proc)
     } else {
         ++mod.reservedInput;
     }
-    if (cycleSkip_)
-        refreshModule(p.target);
+    refreshModule(p.target);
 
     busTransfer_ = BusTransfer{BusTransfer::Kind::Request, proc, p.target};
     if (cfg_.trace) {
@@ -676,13 +556,11 @@ SingleBusSystem::grantResponse(int module)
                    "response granted from module in wrong state");
         proc = mod.servingProc;
         mod.state = ModState::ResponseInFlight;
-        if (cycleSkip_)
-            refreshModule(module);
+        refreshModule(module);
     } else {
         proc = mod.outputQueue.front().proc;
         mod.outputQueue.pop_front();
-        if (cycleSkip_)
-            refreshModule(module);
+        refreshModule(module);
         // The output slot freed; a blocked module can resume.
         maybeStartBufferedAccess(module);
     }
@@ -724,18 +602,9 @@ SingleBusSystem::recordAccessSpan(Tick start, Tick end)
 }
 
 void
-SingleBusSystem::runClassic()
-{
-    for (auto &p : procs_)
-        sim_.queue().schedule(p.readyEvent, 0);
-    sim_.run(windowEnd_);
-}
-
-void
 SingleBusSystem::runCycleSkip()
 {
-    // Seed: every processor draws at tick 0, in index order (the
-    // classic kernel schedules their ready events in the same order).
+    // Seed: every processor draws at tick 0, in index order.
     auto &bucket0 = thinkBuckets_[0];
     for (int p = 0; p < cfg_.numProcessors; ++p)
         bucket0.push_back(p);
@@ -748,7 +617,7 @@ SingleBusSystem::runCycleSkip()
 
     // Hybrid driver: interleave calendar think-ticks with heap events
     // in global tick order. On a tie the calendar goes first -- its
-    // draws correspond to classic ready events, which were scheduled
+    // draws correspond to processor-ready events that were scheduled
     // a full processor cycle earlier than any same-tick heap event
     // and therefore carry the smallest sequence numbers. The heap's
     // next tick is cached and refreshed only when the heap actually
@@ -779,10 +648,7 @@ SingleBusSystem::run()
     sbn_assert(!ran_, "SingleBusSystem::run may only be called once");
     ran_ = true;
 
-    if (cycleSkip_)
-        runCycleSkip();
-    else
-        runClassic();
+    runCycleSkip();
 
     Metrics out;
     out.measuredCycles = windowEnd_ - windowStart_;

@@ -18,26 +18,23 @@
  *   priority kDecide: bus arbitration, which therefore observes a
  *                     consistent end-of-cycle state.
  *
- * Two kernels implement this schedule (SystemConfig::kernel):
+ * The kernel is the cycle-skipping implementation introduced in PR 3
+ * (the classic one-event-per-think-cycle kernel it was differentially
+ * tested against is retired; the golden Metrics pins in
+ * tests/golden/kernel_metrics*.txt are the regression net now):
+ * thinking processors sit in a calendar of processorCycle()
+ * tick-buckets processed by a hybrid driver loop outside the event
+ * heap, so a think redraw costs one Bernoulli and O(1) bucket work
+ * instead of a heap operation; arbitration candidates are bit-sets
+ * maintained incrementally at the state transitions that change
+ * eligibility; and the post-grant transfer-done/arbitrate pair shares
+ * one coalesced event.
  *
- *  - Classic: every thinking processor reschedules a heap event each
- *    processor cycle, and arbitrate() rebuilds its candidate lists
- *    with a full O(n+m) scan every bus cycle.
- *
- *  - CycleSkip (default): thinking processors sit in a calendar of
- *    processorCycle() tick-buckets processed by a hybrid driver loop
- *    outside the event heap, so a think redraw costs one Bernoulli
- *    and O(1) bucket work instead of a heap operation; arbitration
- *    candidates are bit-sets maintained incrementally at the state
- *    transitions that change eligibility; and the post-grant
- *    transfer-done/arbitrate pair shares one coalesced event.
- *
- * Both kernels consume the shared RNG stream in the same order (the
- * calendar replays draws tick-by-tick in classic event order -- a
- * per-processor geometric batch would interleave the stream
- * differently) and make identical grant decisions, so Metrics are
- * bit-identical for a given config+seed. tests/test_kernel_diff.cc
- * enforces this across the config grid.
+ * Which module a request targets and how eagerly each processor
+ * issues is owned by the WorkloadModel (workload/workload.hh). The
+ * default Uniform + Homogeneous workload consumes the RNG stream in
+ * the exact pre-workload order (one uniformInt per issue, one
+ * bernoulli per draw), which is what keeps the golden pins valid.
  */
 
 #ifndef SBN_CORE_SYSTEM_HH
@@ -52,6 +49,7 @@
 #include "desim/trace.hh"
 #include "util/index_set.hh"
 #include "util/random.hh"
+#include "workload/workload.hh"
 
 namespace sbn {
 
@@ -99,8 +97,8 @@ class SingleBusSystem
         WaitingResponse, //!< request in the memory subsystem
     };
 
-    /** Event type used by both kernels: no allocation, no type-erased
-     *  callback, just (system, member function, index). */
+    /** Event type: no allocation, no type-erased callback, just
+     *  (system, member function, index). */
     using SysEvent = MemberEvent<SingleBusSystem>;
 
     struct Processor
@@ -108,7 +106,6 @@ class SingleBusSystem
         ProcState state = ProcState::Thinking;
         int target = -1;  //!< module of the outstanding request
         Tick issueTick = 0;
-        SysEvent readyEvent; //!< classic kernel only
     };
 
     /** Unbuffered module service stages. */
@@ -158,7 +155,6 @@ class SingleBusSystem
     void arbitrate();
 
     // MemberEvent adapters for the no-index handlers.
-    void onTransferDone(int) { transferDone(); }
     void onArbitrate(int) { arbitrate(); }
     void onBusCycle(int);
 
@@ -166,19 +162,18 @@ class SingleBusSystem
     bool moduleCanAcceptRequest(const Module &mod) const;
     bool moduleHasResponse(const Module &mod) const;
     void maybeStartBufferedAccess(int module);
-    int pickTargetModule();
 
     void grantRequest(int proc);
     void grantResponse(int module);
 
     /**
      * One processor-cycle draw: issue (true) or think (false). The
-     * single place both kernels consume processor RNG.
+     * single place the simulator consumes processor RNG; target and
+     * think probability both come from the workload model.
      */
     bool drawProcessor(int proc, Tick now);
 
     // --- cycle-skip kernel --------------------------------------------
-    void runClassic();
     void runCycleSkip();
     void processThinkTick(Tick now, std::size_t bucket_idx);
     void refreshNextThink(Tick now, std::size_t r0);
@@ -186,7 +181,6 @@ class SingleBusSystem
 
     void procBecomesWaiting(int proc, int target);
     void refreshModule(int module);
-    void selectScan(int &chosen_proc, int &chosen_mod);
     void selectIncremental(int &chosen_proc, int &chosen_mod);
 
     // --- bookkeeping --------------------------------------------------
@@ -200,27 +194,24 @@ class SingleBusSystem
     SystemConfig cfg_;
     Simulation sim_;
     RandomGenerator rng_;
-    bool cycleSkip_ = true; //!< cfg_.kernel == KernelKind::CycleSkip
+    WorkloadModel workload_;
 
     std::vector<Processor> procs_;
     std::vector<Module> mods_;
 
     BusTransfer busTransfer_;
-    SysEvent transferDoneEvent_; //!< classic kernel only
-    SysEvent arbitrationEvent_;  //!< idle-bus wakeups (both kernels)
+    SysEvent arbitrationEvent_;  //!< idle-bus wakeups
     SysEvent busCycleEvent_;     //!< coalesced transfer+arbitrate
     bool inArbitration_ = false; //!< guards re-entrant rescheduling
     bool inBusCycle_ = false;    //!< transfer phase of busCycleEvent_
 
-    std::vector<double> weightCdf_; //!< non-uniform reference, optional
-
     /**
-     * Think calendar (cycle-skip kernel): bucket b holds, in classic
-     * event order, the thinking processors whose next draw is due at
-     * thinkBucketDue_[b] (always congruent to b mod processorCycle()).
-     * Redraw ticks advance in strides of exactly one processor cycle,
-     * so every pending entry of a bucket shares one due tick and a
-     * failed draw stays in its bucket in place.
+     * Think calendar: bucket b holds, in event order, the thinking
+     * processors whose next draw is due at thinkBucketDue_[b] (always
+     * congruent to b mod processorCycle()). Redraw ticks advance in
+     * strides of exactly one processor cycle, so every pending entry
+     * of a bucket shares one due tick and a failed draw stays in its
+     * bucket in place.
      */
     std::vector<std::vector<int>> thinkBuckets_;
     std::vector<Tick> thinkBucketDue_;
@@ -247,8 +238,8 @@ class SingleBusSystem
     std::size_t thinkNextIdx_ = 0;
 
     /**
-     * Incremental arbitration eligibility (cycle-skip kernel), kept
-     * in lockstep with processor/module state transitions:
+     * Incremental arbitration eligibility, kept in lockstep with
+     * processor/module state transitions:
      * candProcSet_ = waiting processors whose target can accept,
      * candModSet_ = modules holding a deliverable response.
      */
@@ -269,11 +260,6 @@ class SingleBusSystem
     Accumulator serviceStats_;
     std::vector<std::uint64_t> perProcCompleted_;
     std::optional<Histogram> waitHist_;
-
-    // Scratch buffers reused by the classic kernel's arbitration scan
-    // to avoid allocation (reserved to full size in the constructor).
-    std::vector<int> candProcs_;
-    std::vector<int> candMods_;
 
     bool ran_ = false;
 };

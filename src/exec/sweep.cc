@@ -47,6 +47,21 @@ SweepSpec::validate() const
     rejectDuplicates(requestProbabilities, "requestProbabilities");
     rejectDuplicates(policies, "policies");
     rejectDuplicates(buffering, "buffering");
+    rejectDuplicates(hotFractions, "hotFractions");
+    rejectDuplicates(favoriteFractions, "favoriteFractions");
+
+    if (!hotFractions.empty() && !favoriteFractions.empty())
+        sbn_fatal("SweepSpec: hotFractions and favoriteFractions "
+                  "cannot both be swept (they select conflicting "
+                  "reference patterns)");
+    for (double h : hotFractions)
+        if (!(h >= 0.0 && h <= 1.0))
+            sbn_fatal("SweepSpec: hotFractions axis value ", h,
+                      " (must be in [0,1])");
+    for (double f : favoriteFractions)
+        if (!(f >= 0.0 && f <= 1.0))
+            sbn_fatal("SweepSpec: favoriteFractions axis value ", f,
+                      " (must be in [0,1])");
 
     for (int n : processors)
         if (n < 1)
@@ -73,7 +88,8 @@ SweepSpec::size() const
 {
     return axisSize(processors) * axisSize(modules) *
            axisSize(memoryRatios) * axisSize(requestProbabilities) *
-           axisSize(policies) * axisSize(buffering);
+           axisSize(policies) * axisSize(buffering) *
+           axisSize(hotFractions) * axisSize(favoriteFractions);
 }
 
 std::vector<SystemConfig>
@@ -94,6 +110,29 @@ SweepSpec::materialize() const
             visit(value);
     };
 
+    // The workload axes expand innermost; emit() applies whichever
+    // one is active (validate() rejects both at once) before the
+    // point is recorded.
+    const auto emit = [&](SystemConfig cfg) {
+        if (hotFractions.empty() && favoriteFractions.empty()) {
+            points.push_back(cfg);
+            return;
+        }
+        if (!hotFractions.empty()) {
+            cfg.workload.pattern = ReferencePattern::HotSpot;
+            for (double h : hotFractions) {
+                cfg.workload.hotFraction = h;
+                points.push_back(cfg);
+            }
+            return;
+        }
+        cfg.workload.pattern = ReferencePattern::Favorite;
+        for (double f : favoriteFractions) {
+            cfg.workload.favoriteFraction = f;
+            points.push_back(cfg);
+        }
+    };
+
     each(processors, base.numProcessors, [&](int n) {
         each(modules, base.numModules, [&](int m) {
             each(memoryRatios, base.memoryRatio, [&](int r) {
@@ -110,7 +149,7 @@ SweepSpec::materialize() const
                                            cfg.requestProbability = p;
                                            cfg.policy = g;
                                            cfg.buffered = b;
-                                           points.push_back(cfg);
+                                           emit(cfg);
                                        });
                               });
                      });

@@ -24,9 +24,11 @@ namespace sbn {
  * a non-empty axis overrides it with each listed value in turn.
  *
  * Expansion order (outermost to innermost loop): processors, modules,
- * memoryRatios, requestProbabilities, policies, buffering. The point
- * at grid coordinates (i_n, i_m, i_r, i_p, i_g, i_b) therefore lands
- * at a deterministic flat index, independent of execution order.
+ * memoryRatios, requestProbabilities, policies, buffering, then the
+ * workload axes (hotFractions, favoriteFractions). The point at grid
+ * coordinates (i_n, i_m, i_r, i_p, i_g, i_b, i_h, i_f) therefore
+ * lands at a deterministic flat index, independent of execution
+ * order.
  */
 struct SweepSpec
 {
@@ -38,6 +40,17 @@ struct SweepSpec
     std::vector<double> requestProbabilities;  //!< p axis
     std::vector<ArbitrationPolicy> policies;   //!< g' / g'' axis
     std::vector<bool> buffering;               //!< Section-6 axis
+
+    /**
+     * Workload scenario axes (see docs/workloads.md). A non-empty
+     * hotFractions axis forces workload.pattern = HotSpot at each
+     * point and overrides workload.hotFraction with the listed value;
+     * favoriteFractions does the same for the Favorite pattern. At
+     * most one of the two may be non-empty (they select conflicting
+     * patterns); an empty axis leaves base.workload untouched.
+     */
+    std::vector<double> hotFractions;      //!< HotSpot h axis
+    std::vector<double> favoriteFractions; //!< Favorite f axis
 
     /** Number of grid points the spec expands to (>= 1). */
     std::size_t size() const;

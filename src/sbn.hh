@@ -13,6 +13,9 @@
  *  - exec/      deterministic parallel replication / sweep execution
  *  - shard/     multi-process sharded sweeps: deterministic plans,
  *               serialized point records, merge + resume
+ *  - workload/  reference patterns (hot-spot, favorite, weighted) and
+ *               per-processor think models, with the generalized
+ *               occupancy-chain cross-check
  *
  * Include the individual headers instead when compile time matters.
  */
@@ -55,5 +58,7 @@
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/table.hh"
+#include "workload/analytic.hh"
+#include "workload/workload.hh"
 
 #endif // SBN_SBN_HH

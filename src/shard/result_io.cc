@@ -1,6 +1,7 @@
 #include "shard/result_io.hh"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cctype>
 #include <cerrno>
@@ -12,14 +13,19 @@
 
 #include "core/fingerprint.hh"
 #include "util/logging.hh"
+#include "workload/workload.hh"
 
 namespace sbn {
 
 namespace {
 
-constexpr const char *kRecordType = "sbn.point.v1";
+// v2: records carry the workload serialization (the workload layer
+// also bumped the config-fingerprint version, so v1 records are
+// doubly stale).
+constexpr const char *kRecordType = "sbn.point.v2";
 
-/** Shared with configFingerprint so the two can never drift. */
+// Shared with configFingerprint and the analytic disk cache so the
+// decimal+bits codecs can never drift (core/fingerprint.hh).
 std::uint64_t
 doubleBits(double value)
 {
@@ -29,17 +35,13 @@ doubleBits(double value)
 double
 bitsToDouble(std::uint64_t bits)
 {
-    double value;
-    std::memcpy(&value, &bits, sizeof value);
-    return value;
+    return doubleFromFingerprintBits(bits);
 }
 
 std::string
 formatDouble(double value)
 {
-    char buffer[40];
-    std::snprintf(buffer, sizeof buffer, "%.17g", value);
-    return buffer;
+    return formatExactDouble(value);
 }
 
 } // namespace
@@ -56,6 +58,7 @@ PointRecord::bitIdentical(const PointRecord &other) const
     return flatIndex == other.flatIndex &&
            configFp == other.configFp && runFp == other.runFp &&
            masterSeed == other.masterSeed && mode == other.mode &&
+           workload == other.workload &&
            replications == other.replications &&
            rounds == other.rounds && converged == other.converged &&
            doubleBits(mean) == doubleBits(other.mean) &&
@@ -94,6 +97,7 @@ makeSweepRecord(std::size_t flat_index, const SystemConfig &config,
     record.runFp = sweepRunFingerprint(record.configFp);
     record.masterSeed = config.seed;
     record.mode = RunMode::Sweep;
+    record.workload = formatWorkload(config.workload);
     record.replications = 1;
     record.rounds = 0;
     record.converged = true;
@@ -115,6 +119,7 @@ makeAdaptiveRecord(std::size_t flat_index, const SystemConfig &config,
         adaptiveRunFingerprint(record.configFp, target, schedule);
     record.masterSeed = config.seed;
     record.mode = RunMode::Adaptive;
+    record.workload = formatWorkload(config.workload);
     record.replications = estimate.estimate.samples;
     record.rounds = estimate.rounds;
     record.converged = estimate.converged;
@@ -140,6 +145,8 @@ formatRecord(const PointRecord &record)
     out += std::to_string(record.masterSeed);
     out += ",\"mode\":\"";
     out += runModeName(record.mode);
+    out += "\",\"workload\":\"";
+    out += record.workload;
     out += "\",\"reps\":";
     out += std::to_string(record.replications);
     out += ",\"rounds\":";
@@ -390,6 +397,14 @@ parseRecord(const std::string &line, PointRecord &out,
         return false;
     }
 
+    if (!take("workload", RawValue::Kind::String, text))
+        return false;
+    if (text.empty()) {
+        error = "'workload' must name the point's workload";
+        return false;
+    }
+    record.workload = text;
+
     if (!take("reps", RawValue::Kind::Number, text))
         return false;
     if (!parseUnsigned(text, record.replications) ||
@@ -514,6 +529,34 @@ rewriteRecordsAtomic(const std::string &path,
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         sbn_fatal("cannot rename '", tmp, "' over '", path, "'");
+}
+
+void
+ensureWritableShardDir(const std::string &dir)
+{
+    if (mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST)
+        sbn_fatal("cannot create shard directory '", dir,
+                  "': ", std::strerror(errno));
+
+    struct stat info;
+    if (stat(dir.c_str(), &info) != 0 || !S_ISDIR(info.st_mode))
+        sbn_fatal("shard directory path '", dir,
+                  "' exists but is not a directory");
+
+    // Permission bits lie to privileged processes and say nothing
+    // about read-only mounts; proving writability means writing.
+    const std::string probe = dir + "/.sbn-writable-probe-" +
+                              std::to_string(::getpid());
+    {
+        std::ofstream out(probe);
+        out << '\n';
+        out.flush();
+        if (!out.good())
+            sbn_fatal("shard directory '", dir,
+                      "' is not writable - fix permissions or pass a "
+                      "different --shard-dir before any point runs");
+    }
+    ::unlink(probe.c_str());
 }
 
 RecordWriter::RecordWriter(const std::string &path, bool append)

@@ -59,6 +59,15 @@ struct PointRecord
     std::uint64_t runFp = 0;
     std::uint64_t masterSeed = 0;    //!< the point's config.seed
     RunMode mode = RunMode::Sweep;
+
+    /**
+     * Canonical workload serialization (formatWorkload) of the
+     * point's config - human-readable provenance of the scenario the
+     * value was computed under. The config fingerprint already binds
+     * the workload cryptographically; this names it.
+     */
+    std::string workload = "uniform";
+
     std::uint64_t replications = 0;  //!< runs behind the value (>= 1)
     std::uint32_t rounds = 0;        //!< adaptive rounds (0 for sweep)
     bool converged = true;           //!< false: adaptive cap reached
@@ -134,6 +143,14 @@ void rewriteRecordsAtomic(const std::string &path,
  * record is either fully on disk or (on a crash mid-write) a
  * truncated final line that lenient reads drop.
  */
+/**
+ * Create @p dir if needed and prove it is a writable directory by
+ * creating (and removing) a probe file inside it. Fatal with a
+ * clear diagnostic otherwise - shard runs must fail *before* any
+ * point computes, not mid-run at the first record write.
+ */
+void ensureWritableShardDir(const std::string &dir);
+
 class RecordWriter
 {
   public:

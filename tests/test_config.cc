@@ -79,16 +79,44 @@ TEST(ConfigValidationDeath, RejectsCapacitiesWithoutBuffering)
 TEST(ConfigValidationDeath, RejectsWeightVectorSizeMismatch)
 {
     SystemConfig cfg = valid();
-    cfg.moduleWeights = {1.0, 2.0}; // != numModules
+    cfg.workload.pattern = ReferencePattern::Weighted;
+    cfg.workload.moduleWeights = {1.0, 2.0}; // != numModules
     EXPECT_DEATH(cfg.validate(), "moduleWeights");
 }
 
 TEST(ConfigValidationDeath, RejectsNonPositiveWeights)
 {
     SystemConfig cfg = valid();
-    cfg.moduleWeights.assign(cfg.numModules, 1.0);
-    cfg.moduleWeights[3] = 0.0;
+    cfg.workload.pattern = ReferencePattern::Weighted;
+    cfg.workload.moduleWeights.assign(cfg.numModules, 1.0);
+    cfg.workload.moduleWeights[3] = 0.0;
     EXPECT_DEATH(cfg.validate(), "moduleWeights");
+}
+
+TEST(ConfigValidationDeath, RejectsHotSpotOutOfRange)
+{
+    SystemConfig cfg = valid();
+    cfg.workload.pattern = ReferencePattern::HotSpot;
+    cfg.workload.hotFraction = 1.5;
+    EXPECT_DEATH(cfg.validate(), "hotFraction");
+
+    cfg = valid();
+    cfg.workload.pattern = ReferencePattern::HotSpot;
+    cfg.workload.hotModule = cfg.numModules;
+    EXPECT_DEATH(cfg.validate(), "hotModule");
+}
+
+TEST(ConfigValidationDeath, RejectsThinkVectorMismatch)
+{
+    SystemConfig cfg = valid();
+    cfg.workload.think = ThinkModel::PerProcessor;
+    cfg.workload.thinkProbabilities = {0.5}; // != numProcessors
+    EXPECT_DEATH(cfg.validate(), "thinkProbabilities");
+
+    cfg = valid();
+    cfg.workload.think = ThinkModel::TwoClass;
+    cfg.workload.fastCount = cfg.numProcessors + 1;
+    EXPECT_DEATH(cfg.validate(), "fastCount");
 }
 
 TEST(ConfigValidationDeath, RejectsEmptyMeasurementWindow)
@@ -101,8 +129,9 @@ TEST(ConfigValidationDeath, RejectsEmptyMeasurementWindow)
 TEST(ConfigValidation, ValidWeightsAccepted)
 {
     SystemConfig cfg = valid();
-    cfg.moduleWeights.assign(cfg.numModules, 1.0);
-    cfg.moduleWeights[0] = 7.5;
+    cfg.workload.pattern = ReferencePattern::Weighted;
+    cfg.workload.moduleWeights.assign(cfg.numModules, 1.0);
+    cfg.workload.moduleWeights[0] = 7.5;
     cfg.validate();
     // And the system actually runs with them.
     cfg.measureCycles = 5000;

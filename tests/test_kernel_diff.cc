@@ -1,10 +1,20 @@
 /**
  * @file
- * Kernel-differential tests: the cycle-skipping kernel must produce
- * bit-identical Metrics to the classic kernel -- same completions,
- * same per-processor counts, same wait histogram, exactly -- across
- * the whole configuration grid. Any divergence means a random draw
- * or a grant decision moved, which is a correctness bug, not noise.
+ * The Classic-era kernel-differential grid, repointed at golden
+ * files.
+ *
+ * Until the Classic kernel's retirement this suite ran every
+ * configuration class under both kernels and asserted bit-identical
+ * Metrics. The classic kernel is gone; the same grid now pins the
+ * surviving kernel's absolute Metrics against
+ * tests/golden/kernel_metrics_grid.txt (generated while the two
+ * kernels were still provably identical, so the pinned values *are*
+ * the Classic kernel's values for every configuration predating the
+ * workload layer). Any RNG-stream reorder or grant-decision change
+ * still fails here, per configuration class and counter.
+ *
+ * Regenerate after an intentional behavior change with
+ * SBN_REGEN_GOLDEN=1 (see docs/testing.md).
  */
 
 #include <gtest/gtest.h>
@@ -14,21 +24,20 @@
 
 #include "core/experiment.hh"
 #include "core/system.hh"
+#include "golden_util.hh"
 
 namespace sbn {
 namespace {
 
-struct KernelDiffCase
+using golden::GoldenLine;
+using golden::checkExactGolden;
+using golden::exact;
+
+struct GridCase
 {
     std::string name;
     SystemConfig config;
 };
-
-std::ostream &
-operator<<(std::ostream &os, const KernelDiffCase &c)
-{
-    return os << c.name;
-}
 
 SystemConfig
 diffBase()
@@ -44,10 +53,10 @@ diffBase()
     return cfg;
 }
 
-std::vector<KernelDiffCase>
+std::vector<GridCase>
 diffGrid()
 {
-    std::vector<KernelDiffCase> grid;
+    std::vector<GridCase> grid;
 
     // Full cross of organization x policy x selection at a moderate
     // request probability: every arbitration code path.
@@ -97,14 +106,18 @@ diffGrid()
         grid.push_back({"saturated", cfg});
     }
 
-    // Non-uniform module weights (hot module) with both selections.
+    // Non-uniform module weights (hot module) with both selections -
+    // these entries postdate the Classic kernel (the workload layer's
+    // alias sampler defines their RNG consumption) and pin the
+    // Weighted reference pattern.
     for (auto selection :
          {SelectionRule::Random, SelectionRule::OldestFirst}) {
         SystemConfig cfg = diffBase();
         cfg.numProcessors = 6;
         cfg.numModules = 4;
         cfg.requestProbability = 0.3;
-        cfg.moduleWeights = {4.0, 1.0, 1.0, 2.0};
+        cfg.workload.pattern = ReferencePattern::Weighted;
+        cfg.workload.moduleWeights = {4.0, 1.0, 1.0, 2.0};
         cfg.selection = selection;
         grid.push_back({std::string("weighted") +
                             (selection == SelectionRule::Random
@@ -168,94 +181,51 @@ diffGrid()
     return grid;
 }
 
-/** Exact, field-by-field Metrics comparison (no tolerances). */
-void
-expectIdenticalMetrics(const Metrics &classic, const Metrics &skip)
+TEST(KernelGrid, PinnedClassicEraGrid)
 {
-    EXPECT_EQ(classic.measuredCycles, skip.measuredCycles);
-    EXPECT_EQ(classic.completedRequests, skip.completedRequests);
-    EXPECT_EQ(classic.issuedRequests, skip.issuedRequests);
-    EXPECT_EQ(classic.busBusyCycles, skip.busBusyCycles);
-    EXPECT_EQ(classic.ebw, skip.ebw);
-    EXPECT_EQ(classic.ebwFromBusUtilization, skip.ebwFromBusUtilization);
-    EXPECT_EQ(classic.busUtilization, skip.busUtilization);
-    EXPECT_EQ(classic.meanModuleUtilization, skip.meanModuleUtilization);
-    EXPECT_EQ(classic.processorEfficiency, skip.processorEfficiency);
-    EXPECT_EQ(classic.meanWaitCycles, skip.meanWaitCycles);
-    EXPECT_EQ(classic.meanServiceCycles, skip.meanServiceCycles);
+    std::vector<GoldenLine> computed;
+    for (const GridCase &c : diffGrid()) {
+        const Metrics metrics = runOnce(c.config);
+        computed.push_back(
+            {c.name + " completed", exact(metrics.completedRequests)});
+        computed.push_back(
+            {c.name + " issued", exact(metrics.issuedRequests)});
+        computed.push_back(
+            {c.name + " busBusy", exact(metrics.busBusyCycles)});
+        computed.push_back({c.name + " ebw", exact(metrics.ebw)});
+        computed.push_back(
+            {c.name + " meanWait", exact(metrics.meanWaitCycles)});
+        computed.push_back({c.name + " waitVar",
+                            exact(metrics.waitStats.variance())});
+        if (metrics.waitHistogram.has_value())
+            computed.push_back({c.name + " histCount",
+                                exact(metrics.waitHistogram->count())});
+    }
+    checkExactGolden("kernel_metrics_grid", computed);
+}
 
-    EXPECT_EQ(classic.waitStats.count(), skip.waitStats.count());
-    EXPECT_EQ(classic.waitStats.mean(), skip.waitStats.mean());
-    EXPECT_EQ(classic.waitStats.variance(), skip.waitStats.variance());
-    EXPECT_EQ(classic.waitStats.min(), skip.waitStats.min());
-    EXPECT_EQ(classic.waitStats.max(), skip.waitStats.max());
-
-    EXPECT_EQ(classic.perProcessorCompletions,
-              skip.perProcessorCompletions);
-
-    ASSERT_EQ(classic.waitHistogram.has_value(),
-              skip.waitHistogram.has_value());
-    if (classic.waitHistogram.has_value()) {
-        const Histogram &a = *classic.waitHistogram;
-        const Histogram &b = *skip.waitHistogram;
-        ASSERT_EQ(a.numBins(), b.numBins());
-        EXPECT_EQ(a.count(), b.count());
-        EXPECT_EQ(a.underflow(), b.underflow());
-        EXPECT_EQ(a.overflow(), b.overflow());
-        EXPECT_EQ(a.mean(), b.mean());
-        for (std::size_t bin = 0; bin < a.numBins(); ++bin)
-            EXPECT_EQ(a.binCount(bin), b.binCount(bin)) << "bin " << bin;
+/** Same config + seed must reproduce Metrics exactly, field by field. */
+TEST(KernelGrid, RunsAreDeterministic)
+{
+    for (const GridCase &c : diffGrid()) {
+        const Metrics a = runOnce(c.config);
+        const Metrics b = runOnce(c.config);
+        EXPECT_EQ(a.completedRequests, b.completedRequests) << c.name;
+        EXPECT_EQ(a.busBusyCycles, b.busBusyCycles) << c.name;
+        EXPECT_EQ(a.ebw, b.ebw) << c.name;
+        EXPECT_EQ(a.meanWaitCycles, b.meanWaitCycles) << c.name;
+        EXPECT_EQ(a.perProcessorCompletions, b.perProcessorCompletions)
+            << c.name;
     }
 }
 
-class KernelDiff : public ::testing::TestWithParam<KernelDiffCase>
-{};
-
-TEST_P(KernelDiff, BitIdenticalMetrics)
-{
-    SystemConfig classic_cfg = GetParam().config;
-    classic_cfg.kernel = KernelKind::Classic;
-    SystemConfig skip_cfg = GetParam().config;
-    skip_cfg.kernel = KernelKind::CycleSkip;
-
-    const Metrics classic = runOnce(classic_cfg);
-    const Metrics skip = runOnce(skip_cfg);
-    expectIdenticalMetrics(classic, skip);
-}
-
-TEST_P(KernelDiff, BitIdenticalAcrossSeeds)
-{
-    for (std::uint64_t seed : {1ull, 77ull, 123456789ull}) {
-        SystemConfig classic_cfg = GetParam().config;
-        classic_cfg.kernel = KernelKind::Classic;
-        classic_cfg.seed = seed;
-        classic_cfg.measureCycles = 8000;
-        SystemConfig skip_cfg = classic_cfg;
-        skip_cfg.kernel = KernelKind::CycleSkip;
-
-        const Metrics classic = runOnce(classic_cfg);
-        const Metrics skip = runOnce(skip_cfg);
-        expectIdenticalMetrics(classic, skip);
-    }
-}
-
-INSTANTIATE_TEST_SUITE_P(
-    Grid, KernelDiff, ::testing::ValuesIn(diffGrid()),
-    [](const ::testing::TestParamInfo<KernelDiffCase> &info) {
-        std::string name = info.param.name;
-        for (char &c : name)
-            if (c == '.' || c == '-')
-                c = '_';
-        return name;
-    });
-
-TEST(KernelDiffExtras, DefaultKernelIsCycleSkip)
-{
-    SystemConfig cfg;
-    EXPECT_EQ(cfg.kernel, KernelKind::CycleSkip);
-}
-
-TEST(KernelDiffExtras, CycleSkipSchedulesFarFewerHeapEvents)
+/**
+ * The cycle-skipping calendar's reason to exist: in the low-p regime
+ * thinking must not cost heap events. The bound (0.5 events/cycle)
+ * is ~40% above the measured 0.36 for this shape; the Classic kernel
+ * sat at ~2 events/cycle.
+ */
+TEST(KernelGridExtras, LowPHeapEventsStaySparse)
 {
     SystemConfig cfg = diffBase();
     cfg.requestProbability = 0.05;
@@ -264,42 +234,32 @@ TEST(KernelDiffExtras, CycleSkipSchedulesFarFewerHeapEvents)
     cfg.warmupCycles = 0;
     cfg.measureCycles = 50000;
 
-    cfg.kernel = KernelKind::Classic;
-    SingleBusSystem classic(cfg);
-    (void)classic.run();
+    SingleBusSystem system(cfg);
+    (void)system.run();
 
-    cfg.kernel = KernelKind::CycleSkip;
-    SingleBusSystem skip(cfg);
-    (void)skip.run();
-
-    // Identical Bernoulli/issue draw counts (the RNG stream contract)
-    // but a much lighter event heap: thinking no longer costs events.
-    EXPECT_EQ(classic.thinkDraws(), skip.thinkDraws());
-    EXPECT_LT(skip.heapEventsExecuted(),
-              classic.heapEventsExecuted() / 4);
+    EXPECT_GT(system.thinkDraws(), 0u);
+    const double events_per_cycle =
+        static_cast<double>(system.heapEventsExecuted()) /
+        static_cast<double>(cfg.measureCycles);
+    EXPECT_LT(events_per_cycle, 0.5);
 }
 
-TEST(KernelDiffExtras, SteadyStateArbitrationDoesNotReallocate)
+TEST(KernelGridExtras, SteadyStateArbitrationDoesNotReallocate)
 {
-    for (auto kernel : {KernelKind::Classic, KernelKind::CycleSkip}) {
-        for (bool buffered : {false, true}) {
-            SystemConfig cfg = diffBase();
-            cfg.kernel = kernel;
-            cfg.buffered = buffered;
-            cfg.requestProbability = 0.6;
-            cfg.numProcessors = 24;
-            cfg.numModules = 6;
-            cfg.measureCycles = 20000;
+    for (bool buffered : {false, true}) {
+        SystemConfig cfg = diffBase();
+        cfg.buffered = buffered;
+        cfg.requestProbability = 0.6;
+        cfg.numProcessors = 24;
+        cfg.numModules = 6;
+        cfg.measureCycles = 20000;
 
-            SingleBusSystem system(cfg);
-            const auto before = system.scratchCapacities();
-            (void)system.run();
-            EXPECT_EQ(before, system.scratchCapacities())
-                << "scratch container reallocated during run "
-                << "(kernel=" << (kernel == KernelKind::Classic ? "classic"
-                                                                : "skip")
-                << " buffered=" << buffered << ")";
-        }
+        SingleBusSystem system(cfg);
+        const auto before = system.scratchCapacities();
+        (void)system.run();
+        EXPECT_EQ(before, system.scratchCapacities())
+            << "scratch container reallocated during run (buffered="
+            << buffered << ")";
     }
 }
 

@@ -2,16 +2,15 @@
  * @file
  * Golden pinned Metrics for the CycleSkip kernel.
  *
- * The kernel-differential suite (test_kernel_diff.cc) proves
- * CycleSkip == Classic for every configuration class, but it needs
- * Classic alive to diff against - and the ROADMAP retires
- * `KernelKind::Classic` next release. This suite is the replacement
- * anchor: it pins the *absolute* Metrics of the CycleSkip kernel for
- * a small configuration grid against values checked in under
- * tests/golden/, so once Classic is gone, any behavioral drift of the
- * surviving kernel (an RNG-stream reorder, a changed grant decision,
- * an off-by-one in the measurement window) still fails ctest with the
- * offending config and counter named.
+ * The kernel-differential suite used to prove CycleSkip == Classic
+ * for every configuration class; the Classic kernel is now retired
+ * and this suite is the anchor in its place: it pins the *absolute*
+ * Metrics of the kernel for a small configuration grid against
+ * values checked in under tests/golden/, so any behavioral drift (an
+ * RNG-stream reorder, a changed grant decision, an off-by-one in the
+ * measurement window) fails ctest with the offending config and
+ * counter named. tests/test_kernel_diff.cc pins the wider
+ * Classic-era differential grid the same way.
  *
  * Comparison is *exact*: the counters are integers and the derived
  * doubles are deterministic arithmetic on them, serialized as %.17g
@@ -31,88 +30,18 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
-
-#ifndef SBN_GOLDEN_DIR
-#error "SBN_GOLDEN_DIR must point at the tests/golden source directory"
-#endif
+#include "golden_util.hh"
 
 namespace sbn {
 namespace {
 
-struct GoldenLine
-{
-    std::string label;
-    std::string value; //!< exact serialized form
-};
-
-std::string
-exact(double value)
-{
-    char buffer[40];
-    std::snprintf(buffer, sizeof buffer, "%.17g", value);
-    return buffer;
-}
-
-std::string
-exact(std::uint64_t value)
-{
-    return std::to_string(value);
-}
-
-/** Exact-match golden comparison (or regen under SBN_REGEN_GOLDEN). */
-void
-checkExactGolden(const std::string &name,
-                 const std::vector<GoldenLine> &computed)
-{
-    const std::string path =
-        std::string(SBN_GOLDEN_DIR) + "/" + name + ".txt";
-
-    if (std::getenv("SBN_REGEN_GOLDEN") != nullptr) {
-        std::ofstream out(path);
-        ASSERT_TRUE(out.good()) << "cannot write " << path;
-        out << "# Pinned CycleSkip-kernel Metrics (label value; "
-               "exact match; see docs/testing.md).\n"
-            << "# Regenerate with SBN_REGEN_GOLDEN=1 after an "
-               "intentional kernel-behavior change.\n";
-        for (const GoldenLine &line : computed)
-            out << line.label << ' ' << line.value << '\n';
-        GTEST_SKIP() << "regenerated " << path;
-    }
-
-    std::ifstream in(path);
-    ASSERT_TRUE(in.good())
-        << "missing golden file " << path
-        << " - run with SBN_REGEN_GOLDEN=1 to create it";
-
-    std::vector<GoldenLine> expected;
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        const std::size_t split = line.rfind(' ');
-        ASSERT_NE(split, std::string::npos) << "bad line: " << line;
-        expected.push_back(
-            {line.substr(0, split), line.substr(split + 1)});
-    }
-
-    ASSERT_EQ(expected.size(), computed.size())
-        << "golden file " << path
-        << " and computed grid disagree on size - regenerate if the "
-           "grid changed intentionally";
-    for (std::size_t i = 0; i < computed.size(); ++i) {
-        EXPECT_EQ(computed[i].label, expected[i].label)
-            << "entry " << i << " of " << path;
-        EXPECT_EQ(computed[i].value, expected[i].value)
-            << computed[i].label << " in " << path
-            << " - CycleSkip kernel behavior drifted";
-    }
-}
+using golden::GoldenLine;
+using golden::checkExactGolden;
+using golden::exact;
 
 TEST(GoldenKernelMetrics, CycleSkipPinnedGrid)
 {
@@ -128,7 +57,6 @@ TEST(GoldenKernelMetrics, CycleSkipPinnedGrid)
                         cfg.memoryRatio = r;
                         cfg.requestProbability = p;
                         cfg.buffered = buffered;
-                        cfg.kernel = KernelKind::CycleSkip;
                         cfg.warmupCycles = 500;
                         cfg.measureCycles = 5000;
                         cfg.seed = 20260727;
@@ -187,7 +115,6 @@ TEST(GoldenKernelMetrics, CycleSkipPinnedPolicyVariants)
             cfg.memoryRatio = 4;
             cfg.policy = policy;
             cfg.selection = selection;
-            cfg.kernel = KernelKind::CycleSkip;
             cfg.warmupCycles = 500;
             cfg.measureCycles = 5000;
             cfg.seed = 20260727;

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -191,9 +193,15 @@ TEST(PointRecordIo, StrictParserRejectsTampering)
     PointRecord parsed;
     std::string error;
 
-    // Unknown type tag.
+    // Unknown type tag (v1 records predate the workload field).
     std::string bad = good;
-    bad.replace(bad.find("sbn.point.v1"), 12, "sbn.point.v9");
+    bad.replace(bad.find("sbn.point.v2"), 12, "sbn.point.v1");
+    EXPECT_FALSE(parseRecord(bad, parsed, error));
+
+    // Empty workload name.
+    bad = good;
+    bad.replace(bad.find("\"workload\":\"uniform\""), 20,
+                "\"workload\":\"\"");
     EXPECT_FALSE(parseRecord(bad, parsed, error));
 
     // Missing key.
@@ -245,6 +253,36 @@ TEST(PointRecordIoDeathTest, StrictReadRejectsTruncatedTail)
     }
     EXPECT_DEATH((void)readRecordFile(path, false), "malformed");
     std::remove(path.c_str());
+}
+
+TEST(ShardDir, WritableDirectoryPasses)
+{
+    const std::string dir = tempPath("writable_dir");
+    ensureWritableShardDir(dir); // creates it
+    ensureWritableShardDir(dir); // and accepts it existing
+    ::rmdir(dir.c_str());
+}
+
+TEST(ShardDirDeathTest, FatalWhenShardDirIsAFile)
+{
+    // The classic mid-run failure: --shard-dir points at an existing
+    // regular file. This must fail up front with a clear message (and
+    // unlike a permissions probe it fails for root too).
+    const std::string path = tempPath("dir_is_a_file");
+    {
+        std::ofstream out(path);
+        out << "not a directory\n";
+    }
+    EXPECT_DEATH(ensureWritableShardDir(path), "not a directory");
+    std::remove(path.c_str());
+}
+
+TEST(ShardDirDeathTest, FatalWhenParentMissing)
+{
+    const std::string dir =
+        tempPath("no_such_parent") + "/nested/shards";
+    EXPECT_DEATH(ensureWritableShardDir(dir),
+                 "cannot create shard directory");
 }
 
 // --------------------------------------------------------------- merge
@@ -548,10 +586,22 @@ TEST(Fingerprint, DistinguishesResultDeterminingFields)
     changed.policy = ArbitrationPolicy::MemoryPriority;
     EXPECT_NE(configFingerprint(changed), fp);
 
-    // Kernel choice is excluded: both kernels are bit-identical by
-    // contract, and records must outlive the Classic kernel.
+    // Workload fields are result-determining.
     changed = base;
-    changed.kernel = KernelKind::Classic;
+    changed.workload.pattern = ReferencePattern::HotSpot;
+    changed.workload.hotFraction = 0.25;
+    EXPECT_NE(configFingerprint(changed), fp);
+
+    changed = base;
+    changed.workload.think = ThinkModel::TwoClass;
+    changed.workload.fastCount = 2;
+    changed.workload.fastProbability = 0.9;
+    changed.workload.slowProbability = 0.1;
+    EXPECT_NE(configFingerprint(changed), fp);
+
+    // Presentation-only fields are excluded.
+    changed = base;
+    changed.collectWaitHistogram = true;
     EXPECT_EQ(configFingerprint(changed), fp);
 
     EXPECT_TRUE(formatFingerprint(fp).rfind("0x", 0) == 0);

@@ -8,17 +8,31 @@ the tolerance (default 20%, the ROADMAP's threshold).
 
 CI runners and the machine that committed the baseline differ in raw
 speed, so comparing absolute cycles/s across them would mostly
-measure the hardware. --normalize divides each run's cycle-skip
-cycles/s by the *same run's* classic-kernel cycles/s (the speedup):
-both kernels simulate the identical trajectory in the same process on
-the same machine, so their ratio cancels the machine out and isolates
-the code's relative performance. Absolute cycles/s are still printed
-and checked, but in --normalize mode an absolute-only regression just
-warns.
+measure the hardware. Two normalization modes cancel the machine out:
+
+--normalize divides each run's cycle-skip cycles/s by the *same
+run's* classic-kernel cycles/s (the speedup). This only works while
+the bench still measures the Classic kernel; it is retired, so the
+mode survives for historical baselines only.
+
+--normalize-by NAME divides every sample's cycles/s by the named
+reference sample's cycles/s in the same file: all samples run in the
+same process on the same machine, so the ratio isolates per-regime
+code changes - but a regression in the reference sample itself can
+then only warn. --normalize-by median avoids designating a
+blind-spot sample: each sample's current/baseline ratio is judged
+against the median ratio across all shared samples, so a regression
+confined to any one regime (the former reference included) fails
+while a uniformly slower runner cancels out. A change slowing every
+sample equally is invisible to either ratio (that needs an absolute
+anchor no longer available without the Classic kernel), which is why
+absolute cycles/s are still printed and checked - in any normalized
+mode an absolute-only regression just warns.
 
 Usage:
     check_bench_trend.py --baseline bench/baseline_kernel.json \
-        --current BENCH_kernel.json [--tolerance 0.20] [--normalize]
+        --current BENCH_kernel.json [--tolerance 0.20] \
+        [--normalize | --normalize-by median | --normalize-by NAME]
 
 Only sample names present in both files are compared (adding or
 retiring a bench sample is not a regression); a current file with no
@@ -60,7 +74,18 @@ def main():
                         help="judge the classic-normalized speedup "
                              "(machine-independent); absolute "
                              "cycles/s regressions then only warn")
+    parser.add_argument("--normalize-by", metavar="SAMPLE",
+                        help="judge cycles/s normalized by this "
+                             "reference sample of the same run, or "
+                             "'median' to judge each sample's "
+                             "current/baseline ratio against the "
+                             "median ratio over all samples "
+                             "(machine-independent); absolute "
+                             "regressions then only warn")
     args = parser.parse_args()
+    if args.normalize and args.normalize_by:
+        sys.exit("error: --normalize and --normalize-by are "
+                 "mutually exclusive")
 
     baseline = load_samples(args.baseline)
     current = load_samples(args.current)
@@ -69,11 +94,45 @@ def main():
         sys.exit("error: no sample names shared between "
                  f"{args.baseline} and {args.current}")
 
+    ref_base = ref_cur = None
+    if args.normalize_by == "median":
+        # Each sample is judged relative to its own file's median
+        # cycles/s, so "speedup" prints as an O(1) regime ratio and a
+        # regression confined to any one regime (a designated
+        # reference sample included) moves that sample against the
+        # median and fails.
+        def file_median(samples):
+            values = sorted(
+                v for v in (cycles_per_s(samples[name], "cycleskip")
+                            for name in shared)
+                if v is not None)
+            if not values:
+                sys.exit("error: no cycleskip cycles/s to take a "
+                         "median over")
+            mid = len(values) // 2
+            return (values[mid] if len(values) % 2 == 1
+                    else (values[mid - 1] + values[mid]) / 2.0)
+        ref_base = file_median(baseline)
+        ref_cur = file_median(current)
+    elif args.normalize_by:
+        ref_base = (cycles_per_s(baseline[args.normalize_by], "cycleskip")
+                    if args.normalize_by in baseline else None)
+        ref_cur = (cycles_per_s(current[args.normalize_by], "cycleskip")
+                   if args.normalize_by in current else None)
+        if ref_base is None or ref_cur is None:
+            sys.exit(f"error: reference sample '{args.normalize_by}' "
+                     "with cycleskip cycles/s not present in both "
+                     "files")
+
     failures = []
     warnings = []
+    normalized_note = ""
+    if args.normalize:
+        normalized_note = ", normalized by classic"
+    elif args.normalize_by:
+        normalized_note = f", normalized by {args.normalize_by}"
     print(f"kernel-bench trend vs {args.baseline} "
-          f"(tolerance {args.tolerance:.0%}"
-          f"{', normalized by classic' if args.normalize else ''}):")
+          f"(tolerance {args.tolerance:.0%}{normalized_note}):")
     for name in shared:
         base, cur = baseline[name], current[name]
 
@@ -102,6 +161,8 @@ def main():
         # simply unavailable.
         classic_base = cycles_per_s(base, "classic")
         classic_cur = cycles_per_s(cur, "classic")
+        if args.normalize_by:
+            classic_base, classic_cur = ref_base, ref_cur
         norm_change = None
         speedups = ""
         if classic_base is not None and classic_cur is not None:
@@ -116,7 +177,8 @@ def main():
                 "(retired?) - judging absolute cycles/s; refresh the "
                 "baseline on comparable hardware or drop --normalize")
 
-        judge_normalized = args.normalize and norm_change is not None
+        judge_normalized = ((args.normalize or args.normalize_by)
+                            and norm_change is not None)
         judged_change = norm_change if judge_normalized else abs_change
         verdict = "ok"
         if judged_change < -args.tolerance:

@@ -110,6 +110,8 @@ parseOptions(const CommandLine &cli)
             parsePolicyList(cli.getStringList("policy", {}));
     for (std::int64_t b : cli.getIntList("buffered", {}))
         spec.buffering.push_back(b != 0);
+    spec.hotFractions = cli.getDoubleList("hot", {});
+    spec.favoriteFractions = cli.getDoubleList("favorite", {});
 
     opt.adaptive = cli.getBool("adaptive", false);
     opt.target.relative = cli.getDouble("rel", 0.05);
@@ -151,15 +153,6 @@ parseOptions(const CommandLine &cli)
 
     spec.validate();
     return opt;
-}
-
-/** Create the shard directory if needed (one level, like mkdir). */
-void
-ensureDir(const std::string &dir)
-{
-    if (mkdir(dir.c_str(), 0777) == 0 || errno == EEXIST)
-        return;
-    sbn_fatal("cannot create shard directory '", dir, "'");
 }
 
 double
@@ -322,6 +315,10 @@ main(int argc, char **argv)
         {"p", "request-probability axis, e.g. 0.1,0.5,1.0"},
         {"policy", "arbitration axis: proc, mem or proc,mem"},
         {"buffered", "Section-6 buffering axis: 0, 1 or 0,1"},
+        {"hot", "hot-spot workload axis: fraction h values, e.g. "
+                "0.0,0.2,0.4 (forces the HotSpot pattern)"},
+        {"favorite", "favorite-module workload axis: fraction f "
+                     "values (forces the Favorite pattern)"},
         {"seed", "base RNG seed (per-point seeds derive from it)"},
         {"warmup", "warmup bus cycles per run"},
         {"measure", "measured bus cycles per run"},
@@ -357,7 +354,7 @@ main(int argc, char **argv)
                   "spawn is both)");
 
     if (has_shard) {
-        ensureDir(opt.dir);
+        ensureWritableShardDir(opt.dir);
         runOneShard(opt, ShardSpec::parse(cli.getString("shard", "")));
     } else if (has_merge) {
         const std::vector<std::string> files =
@@ -376,7 +373,7 @@ main(int argc, char **argv)
         const std::int64_t shards = cli.getInt("spawn", 0);
         if (shards < 1)
             sbn_fatal("--spawn=K needs K >= 1 worker processes");
-        ensureDir(opt.dir);
+        ensureWritableShardDir(opt.dir);
         spawnAndMerge(opt, static_cast<std::size_t>(shards));
     } else {
         runSerial(opt);
