@@ -1,9 +1,12 @@
 #include "analytic/disk_cache.hh"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -147,7 +150,94 @@ storeCachedSolve(const std::string &stem, std::uint64_t fingerprint,
         sbn_warn("cannot rename analytic cache file '", tmp,
                  "' over '", path, "'");
         std::remove(tmp.c_str());
+        return;
     }
+    enforceCacheSizeCap();
+}
+
+std::uint64_t
+analyticCacheMaxBytes()
+{
+    const char *env = std::getenv("SBN_CACHE_MAX_BYTES");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || errno == ERANGE ||
+        std::strchr(env, '-') != nullptr)
+        sbn_fatal("SBN_CACHE_MAX_BYTES must be a byte count, got '",
+                  env, "'");
+    return parsed;
+}
+
+std::size_t
+enforceCacheSizeCap()
+{
+    const std::uint64_t cap = analyticCacheMaxBytes();
+    const std::string dir = analyticCacheDir();
+    if (cap == 0 || dir.empty())
+        return 0;
+
+    struct Entry
+    {
+        std::string path;
+        std::uint64_t size = 0;
+        std::time_t mtime = 0;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+
+    DIR *handle = ::opendir(dir.c_str());
+    if (handle == nullptr)
+        return 0; // nothing stored yet, or unreadable: best-effort
+    while (const dirent *item = ::readdir(handle)) {
+        const std::string name = item->d_name;
+        // Cache entries only: "<stem>-<fp>.txt". In-flight ".tmp.<pid>"
+        // files belong to a concurrent writer, never evict those.
+        if (name.size() < 4 ||
+            name.compare(name.size() - 4, 4, ".txt") != 0)
+            continue;
+        Entry entry;
+        entry.path = dir + "/" + name;
+        struct stat info;
+        if (::stat(entry.path.c_str(), &info) != 0 ||
+            !S_ISREG(info.st_mode))
+            continue;
+        entry.size = static_cast<std::uint64_t>(info.st_size);
+        entry.mtime = info.st_mtime;
+        total += entry.size;
+        entries.push_back(std::move(entry));
+    }
+    ::closedir(handle);
+    if (total <= cap)
+        return 0;
+
+    // Oldest first; ties broken by path so concurrent evictors make
+    // the same choice.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+
+    std::size_t evicted = 0;
+    for (const Entry &entry : entries) {
+        if (total <= cap)
+            break;
+        // unlink, not truncate: a reader that already opened this
+        // entry keeps its complete contents; new lookups miss cleanly.
+        if (std::remove(entry.path.c_str()) != 0 && errno != ENOENT)
+            continue; // lost a race or unwritable; skip it
+        total -= entry.size;
+        ++evicted;
+    }
+    if (evicted != 0)
+        sbn_warn("analytic cache over SBN_CACHE_MAX_BYTES; evicted ",
+                 evicted, " oldest entr",
+                 evicted == 1 ? "y" : "ies", " from '", dir, "'");
+    return evicted;
 }
 
 } // namespace sbn

@@ -20,6 +20,14 @@
  * Writes are atomic (unique temp file + rename) and best-effort: an
  * unwritable cache directory degrades to a warning, never an error -
  * the cache accelerates, it does not gate.
+ *
+ * The cache is garbage-collected: when SBN_CACHE_MAX_BYTES is set,
+ * every store that pushes the directory's entry total over the cap
+ * evicts entries oldest-modification-first until the total fits.
+ * Eviction is a plain unlink, which POSIX keeps invisible to any
+ * reader that already has the file open - a concurrent loadCachedSolve
+ * either validates the complete old file or misses cleanly; it never
+ * sees a torn entry.
  */
 
 #ifndef SBN_ANALYTIC_DISK_CACHE_HH
@@ -51,10 +59,26 @@ bool loadCachedSolve(const std::string &stem, std::uint64_t fingerprint,
 /**
  * Persist @p values under (@p stem, @p fingerprint), atomically.
  * No-op when the cache is disabled; warns (only) on I/O failure.
+ * Enforces the SBN_CACHE_MAX_BYTES cap afterwards.
  */
 void storeCachedSolve(const std::string &stem,
                       std::uint64_t fingerprint,
                       const std::vector<double> &values);
+
+/**
+ * The cache size cap in bytes (SBN_CACHE_MAX_BYTES), or 0 when
+ * unlimited. Fatal on a malformed value - a typo must not silently
+ * turn off eviction.
+ */
+std::uint64_t analyticCacheMaxBytes();
+
+/**
+ * Evict cache entries oldest-modification-first until the directory's
+ * entry total fits the SBN_CACHE_MAX_BYTES cap. No-op when the cache
+ * or the cap is disabled. Returns the number of entries removed.
+ * Called by storeCachedSolve(); exposed for tests.
+ */
+std::size_t enforceCacheSizeCap();
 
 } // namespace sbn
 

@@ -45,10 +45,12 @@
 #include "exec/sweep.hh"
 #include "exec/thread_pool.hh"
 #include "markov/dtmc.hh"
+#include "shard/fault.hh"
 #include "shard/merge.hh"
 #include "shard/plan.hh"
 #include "shard/result_io.hh"
 #include "shard/runner.hh"
+#include "shard/supervisor.hh"
 #include "stats/accumulator.hh"
 #include "stats/batch_means.hh"
 #include "stats/histogram.hh"

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/fingerprint.hh"
+#include "shard/fault.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -63,18 +64,19 @@ shardFilePaths(const std::string &dir, std::size_t shard_count)
     return paths;
 }
 
-std::vector<PointRecord>
-mergeRecordFiles(const std::vector<std::string> &paths,
-                 const MergeCheck &check)
+PartialMerge
+collectRecordFiles(const std::vector<std::string> &paths,
+                   const MergeCheck &check, bool tolerate_partial_tail)
 {
     sbn_assert(check.expectedRunFp.empty() ||
                    check.expectedRunFp.size() == check.gridSize,
                "merge check fingerprint list does not match the grid");
+    faultMaybeAbortInMerge();
 
     std::vector<std::unique_ptr<PointRecord>> slots(check.gridSize);
     for (const std::string &path : paths) {
         const std::vector<PointRecord> records =
-            readRecordFile(path, /*tolerate_partial_tail=*/false);
+            readRecordFile(path, tolerate_partial_tail);
         for (const PointRecord &record : records) {
             if (record.flatIndex >= check.gridSize)
                 sbn_fatal("merge: record in '", path,
@@ -109,30 +111,78 @@ mergeRecordFiles(const std::vector<std::string> &paths,
         }
     }
 
-    std::size_t missing = 0;
-    std::string examples;
+    PartialMerge result;
+    result.records.reserve(slots.size());
     for (std::size_t i = 0; i < slots.size(); ++i) {
         if (slots[i])
-            continue;
-        ++missing;
-        if (missing <= 8) {
-            if (!examples.empty())
-                examples += ", ";
-            examples += std::to_string(i);
-        }
+            result.records.push_back(*slots[i]);
+        else
+            result.missing.push_back(i);
     }
-    if (missing != 0)
-        sbn_fatal("merge: ", missing, " of ", check.gridSize,
-                  " grid points have no record (first missing flat "
-                  "indices: ",
-                  examples, missing > 8 ? ", ..." : "",
-                  ") - did every shard finish?");
+    return result;
+}
 
-    std::vector<PointRecord> merged;
-    merged.reserve(slots.size());
-    for (const auto &slot : slots)
-        merged.push_back(*slot);
-    return merged;
+std::string
+describeMissingPoints(const MergeCheck &check,
+                      const std::vector<std::size_t> &missing)
+{
+    // Group the exact missing indices by the shard file expected to
+    // own them, so the operator knows which worker command to rerun,
+    // not just that the grid has holes. Without shard attribution
+    // everything lands in one anonymous group.
+    constexpr std::size_t kMaxPerGroup = 32;
+    const bool attributed = check.shardCount != 0;
+    const std::size_t groups = attributed ? check.shardCount : 1;
+    std::vector<std::vector<std::size_t>> byOwner(groups);
+    if (attributed) {
+        const ShardPlan plan(check.gridSize, check.shardCount,
+                             check.layout);
+        for (std::size_t index : missing)
+            byOwner[plan.owner(index)].push_back(index);
+    } else {
+        byOwner[0] = missing;
+    }
+
+    std::string out;
+    for (std::size_t owner = 0; owner < groups; ++owner) {
+        const std::vector<std::size_t> &holes = byOwner[owner];
+        if (holes.empty())
+            continue;
+        if (!out.empty())
+            out += "; ";
+        if (attributed)
+            out += shardFilePath(check.dir,
+                                 {owner, check.shardCount});
+        else
+            out += "unattributed";
+        out += ": " + std::to_string(holes.size()) +
+               " missing (indices ";
+        for (std::size_t k = 0; k < holes.size(); ++k) {
+            if (k == kMaxPerGroup) {
+                out += ", ...";
+                break;
+            }
+            if (k != 0)
+                out += ", ";
+            out += std::to_string(holes[k]);
+        }
+        out += ")";
+    }
+    return out;
+}
+
+std::vector<PointRecord>
+mergeRecordFiles(const std::vector<std::string> &paths,
+                 const MergeCheck &check)
+{
+    PartialMerge collected = collectRecordFiles(
+        paths, check, /*tolerate_partial_tail=*/false);
+    if (!collected.missing.empty())
+        sbn_fatal("merge: ", collected.missing.size(), " of ",
+                  check.gridSize, " grid points have no record - ",
+                  describeMissingPoints(check, collected.missing),
+                  " - did every shard finish?");
+    return std::move(collected.records);
 }
 
 void

@@ -37,6 +37,15 @@ struct MergeCheck
     /** Per-point expected run fingerprints (empty = structure-only
      *  validation: indices, completeness, duplicate consistency). */
     std::vector<std::uint64_t> expectedRunFp;
+
+    /**
+     * Optional shard-plan attribution: when shardCount != 0,
+     * missing-point diagnostics name the shard file expected to own
+     * each hole (dir + ShardPlan::owner), not just the index.
+     */
+    std::size_t shardCount = 0;
+    ShardLayout layout = ShardLayout::Contiguous;
+    std::string dir;
 };
 
 /** Full-validation check for a plain sweep over @p points. */
@@ -59,9 +68,45 @@ std::vector<std::string> shardFilePaths(const std::string &dir,
                                         std::size_t shard_count);
 
 /**
+ * A merge that tolerates holes: the records found (flat order) plus
+ * the grid indices with no record (ascending).
+ */
+struct PartialMerge
+{
+    std::vector<PointRecord> records;
+    std::vector<std::size_t> missing;
+
+    bool complete() const { return missing.empty(); }
+};
+
+/**
+ * Read, validate and order the records of @p paths under @p check,
+ * tolerating missing points (reported in the result, not fatal).
+ * Everything else - foreign fingerprints, conflicting duplicates,
+ * out-of-grid indices - is still fatal with the offending file
+ * named. With @p tolerate_partial_tail, a torn final line per file
+ * (the kill artifact) is dropped instead of fatal, which is what the
+ * supervisor's degraded merge needs after a worker ran out of
+ * retries mid-append.
+ */
+PartialMerge
+collectRecordFiles(const std::vector<std::string> &paths,
+                   const MergeCheck &check,
+                   bool tolerate_partial_tail = false);
+
+/**
+ * Human-readable accounting of @p missing grid indices under
+ * @p check: exact indices grouped by the shard file expected to own
+ * them (when the check carries shard attribution), capped per group.
+ */
+std::string describeMissingPoints(const MergeCheck &check,
+                                  const std::vector<std::size_t> &missing);
+
+/**
  * Read, validate and order the records of @p paths under @p check.
- * Fatal (with the offending file/index named) on any validation
- * failure; the result holds exactly gridSize records in flat order.
+ * Fatal (with the offending file/index named, and holes grouped by
+ * their expected owner shard file) on any validation failure; the
+ * result holds exactly gridSize records in flat order.
  */
 std::vector<PointRecord>
 mergeRecordFiles(const std::vector<std::string> &paths,

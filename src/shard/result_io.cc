@@ -1,5 +1,7 @@
 #include "shard/result_io.hh"
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -9,9 +11,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 
 #include "core/fingerprint.hh"
+#include "shard/fault.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
 
@@ -517,18 +521,94 @@ readRecordFile(const std::string &path, bool tolerate_partial_tail)
     return records;
 }
 
+namespace {
+
+/** Split @p path into (parent directory, basename). */
+void
+splitPath(const std::string &path, std::string &dir, std::string &base)
+{
+    const std::size_t slash = path.rfind('/');
+    if (slash == std::string::npos) {
+        dir = ".";
+        base = path;
+    } else {
+        dir = slash == 0 ? "/" : path.substr(0, slash);
+        base = path.substr(slash + 1);
+    }
+}
+
+/**
+ * Best-effort fsync of the directory holding @p path, so the rename
+ * that just published a rewrite is itself durable. Failure is not
+ * fatal: some filesystems refuse O_RDONLY directory syncs, and the
+ * data-file fsync already happened.
+ */
+void
+syncParentDir(const std::string &path)
+{
+    std::string dir, base;
+    splitPath(path, dir, base);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    (void)::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
 void
 rewriteRecordsAtomic(const std::string &path,
                      const std::vector<PointRecord> &records)
 {
-    const std::string tmp = path + ".tmp";
+    // Process-unique temp name: a supervisor respawn racing a dying
+    // predecessor (or two resumes launched by hand) never write the
+    // same temp file; rename() then publishes whichever finished.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
     {
         RecordWriter writer(tmp, /*append=*/false);
         for (const PointRecord &record : records)
             writer.add(record);
+        // The canonical rewrite is the durability-critical write: it
+        // *replaces* records that were already safe on disk, so its
+        // bytes must be durable before the rename makes them the only
+        // copy.
+        writer.sync();
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0)
         sbn_fatal("cannot rename '", tmp, "' over '", path, "'");
+    syncParentDir(path);
+}
+
+std::size_t
+removeStaleRewriteTemps(const std::string &path)
+{
+    std::string dir, base;
+    splitPath(path, dir, base);
+    const std::string prefix = base + ".tmp";
+
+    DIR *handle = ::opendir(dir.c_str());
+    if (handle == nullptr)
+        return 0;
+    std::vector<std::string> stale;
+    while (const dirent *entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            stale.push_back(dir + "/" + name);
+    }
+    ::closedir(handle);
+
+    std::size_t removed = 0;
+    for (const std::string &victim : stale) {
+        if (::unlink(victim.c_str()) == 0) {
+            sbn_warn("removed stale rewrite temp '", victim,
+                     "' - a previous rewrite of '", path,
+                     "' was killed before its rename");
+            ++removed;
+        }
+    }
+    return removed;
 }
 
 void
@@ -560,23 +640,56 @@ ensureWritableShardDir(const std::string &dir)
 }
 
 RecordWriter::RecordWriter(const std::string &path, bool append)
-    : path_(path),
-      out_(path, append ? std::ios::out | std::ios::app
-                        : std::ios::out | std::ios::trunc)
+    : path_(path)
 {
-    if (!out_.good())
+    const int flags =
+        O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    fd_ = ::open(path.c_str(), flags, 0666);
+    if (fd_ < 0)
         sbn_fatal("cannot open shard record file '", path,
-                  "' for writing");
+                  "' for writing: ", std::strerror(errno));
+}
+
+RecordWriter::~RecordWriter()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
 }
 
 void
 RecordWriter::add(const PointRecord &record)
 {
-    out_ << formatRecord(record) << '\n';
-    out_.flush();
-    if (!out_.good())
-        sbn_fatal("write error on shard record file '", path_, "'");
+    const std::size_t ordinal = written_ + 1;
+    if (faultInjectWriteFailure(ordinal))
+        sbn_fatal("write error on shard record file '", path_,
+                  "': injected fault (", kFaultEnvVar,
+                  " fail_write_at=", ordinal, ")");
+
+    const std::string line = formatRecord(record) + '\n';
+    std::size_t done = 0;
+    while (done < line.size()) {
+        const ssize_t wrote = ::write(fd_, line.data() + done,
+                                      line.size() - done);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            sbn_fatal("write error on shard record file '", path_,
+                      "': ", std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(wrote);
+    }
     ++written_;
+    // Record boundary: the line is fully on disk (unbuffered write).
+    // This is where the fault plane kills, tears or wedges a worker.
+    faultAtRecordBoundary(ordinal, line, fd_);
+}
+
+void
+RecordWriter::sync()
+{
+    if (::fsync(fd_) != 0)
+        sbn_fatal("cannot fsync shard record file '", path_,
+                  "': ", std::strerror(errno));
 }
 
 } // namespace sbn

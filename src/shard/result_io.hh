@@ -24,7 +24,6 @@
 #define SBN_SHARD_RESULT_IO_HH
 
 #include <cstdint>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -129,20 +128,26 @@ std::vector<PointRecord> readRecordFile(const std::string &path,
 
 /**
  * Atomically replace @p path with exactly @p records (one line
- * each, given order): writes path+".tmp" then rename()s it over the
+ * each, given order): writes a process-unique temp file
+ * (path+".tmp.<pid>"), fsync()s it, then rename()s it over the
  * original, so a crash mid-rewrite leaves either the old file or the
- * new one - never a half-written mix. Used by resume's cleanup
- * rewrites, which must not weaken the "a kill loses at most the line
- * being written" durability bound.
+ * new one - never a half-written mix - and the new file's bytes are
+ * durable before they become visible under the canonical name. Used
+ * by resume's cleanup rewrites, which must not weaken the "a kill
+ * loses at most the line being written" durability bound.
  */
 void rewriteRecordsAtomic(const std::string &path,
                           const std::vector<PointRecord> &records);
 
 /**
- * Append-style record writer: one add() = one line + flush, so a
- * record is either fully on disk or (on a crash mid-write) a
- * truncated final line that lenient reads drop.
+ * Remove leftover rewrite temp files of @p path (path+".tmp*"): the
+ * artifact of a process killed between opening the temp and the
+ * rename. Resume calls this before touching the shard file, so a
+ * crashed rewrite can never accumulate stale partials beside the
+ * canonical file. Best-effort; returns the number removed.
  */
+std::size_t removeStaleRewriteTemps(const std::string &path);
+
 /**
  * Create @p dir if needed and prove it is a writable directory by
  * creating (and removing) a probe file inside it. Fatal with a
@@ -151,6 +156,13 @@ void rewriteRecordsAtomic(const std::string &path,
  */
 void ensureWritableShardDir(const std::string &dir);
 
+/**
+ * Append-style record writer: one add() = one unbuffered line write,
+ * so a record is either fully on disk or (on a crash mid-write) a
+ * truncated final line that lenient reads drop. Writes through a raw
+ * descriptor (no stdio buffer), which is also where the fault plane
+ * (shard/fault.hh) injects write failures and record-boundary kills.
+ */
 class RecordWriter
 {
   public:
@@ -158,15 +170,23 @@ class RecordWriter
      *  failure to open. */
     RecordWriter(const std::string &path, bool append);
 
-    /** Serialize + write + flush one record. Fatal on write error. */
+    ~RecordWriter();
+
+    RecordWriter(const RecordWriter &) = delete;
+    RecordWriter &operator=(const RecordWriter &) = delete;
+
+    /** Serialize + write one record. Fatal on write error. */
     void add(const PointRecord &record);
+
+    /** fsync() the file. Fatal on failure. */
+    void sync();
 
     const std::string &path() const { return path_; }
     std::size_t written() const { return written_; }
 
   private:
     std::string path_;
-    std::ofstream out_;
+    int fd_ = -1;
     std::size_t written_ = 0;
 };
 

@@ -36,6 +36,13 @@ runShardCommon(
     ShardRunStats stats;
     stats.owned = owned.size();
 
+    // A previous worker may have died mid-rewrite, leaving a stale
+    // partial '<file>.tmp.<pid>' next to the record file. The rename
+    // never happened, so the temp holds nothing the record file does
+    // not; discard it rather than let temps accumulate.
+    if (resume)
+        removeStaleRewriteTemps(out_path);
+
     // Resume: harvest usable records. Only records that address an
     // owned point *and* carry the exact run fingerprint the sweep
     // expects there survive. Track whether the file on disk is
@@ -167,6 +174,19 @@ ownedFingerprints(const std::vector<SystemConfig> &points,
     return expected;
 }
 
+/** Validate a stolen-slice index list: strictly increasing, in range. */
+void
+checkStolenIndices(const std::vector<std::size_t> &stolen,
+                   std::size_t grid_size)
+{
+    for (std::size_t k = 0; k < stolen.size(); ++k) {
+        sbn_assert(stolen[k] < grid_size,
+                   "stolen index out of the grid");
+        sbn_assert(k == 0 || stolen[k - 1] < stolen[k],
+                   "stolen indices must be strictly increasing");
+    }
+}
+
 } // namespace
 
 ShardRunStats
@@ -249,6 +269,65 @@ runShardAdaptive(
     return runShardAdaptive(spec.materialize(), shard, layout, target,
                             schedule, experiment, out_path, resume,
                             threads);
+}
+
+ShardRunStats
+runStolenPointsSweep(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const std::string &out_path, unsigned threads)
+{
+    checkStolenIndices(stolen, points.size());
+
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+
+    // Fresh truncate-write: a steal file carries only this launch's
+    // records. A predecessor's partial file stays on disk under its
+    // own name, so its flushed records still count for the fleet.
+    RecordWriter writer(out_path, /*append=*/false);
+    runner.mapConfigsStreamedSubset(
+        points, stolen, evaluate,
+        [&](std::size_t index, const SystemConfig &cfg,
+            double value) {
+            writer.add(makeSweepRecord(index, cfg, value));
+        });
+
+    ShardRunStats stats;
+    stats.owned = stolen.size();
+    stats.computed = stolen.size();
+    return stats;
+}
+
+ShardRunStats
+runStolenPointsAdaptive(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const PrecisionTarget &target, const RoundSchedule &schedule,
+    const std::function<double(const SystemConfig &, std::uint64_t)>
+        &experiment,
+    const std::string &out_path, unsigned threads)
+{
+    checkStolenIndices(stolen, points.size());
+
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+    const AdaptiveReplicator replicator(runner, target, schedule);
+
+    RecordWriter writer(out_path, /*append=*/false);
+    replicator.runPointsSubset(
+        points, stolen, experiment,
+        [&](std::size_t index, const SystemConfig &cfg,
+            const AdaptiveEstimate &estimate) {
+            writer.add(makeAdaptiveRecord(index, cfg, estimate,
+                                          target, schedule));
+        });
+
+    ShardRunStats stats;
+    stats.owned = stolen.size();
+    stats.computed = stolen.size();
+    return stats;
 }
 
 } // namespace sbn

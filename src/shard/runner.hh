@@ -95,6 +95,28 @@ ShardRunStats runShardAdaptive(
     const std::string &out_path, bool resume = false,
     unsigned threads = 0);
 
+/**
+ * Run an explicit stolen slice of a plain sweep: compute exactly the
+ * flat indices in @p stolen (strictly increasing) and truncate-write
+ * their records to @p out_path. Used by the shard supervisor's
+ * work-stealing path; values are bit-identical to what the owning
+ * shard would have produced, so overlap with the victim is safe.
+ */
+ShardRunStats runStolenPointsSweep(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const std::function<double(const SystemConfig &)> &evaluate,
+    const std::string &out_path, unsigned threads = 0);
+
+/** Stolen-slice variant of runShardAdaptive(). */
+ShardRunStats runStolenPointsAdaptive(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const PrecisionTarget &target, const RoundSchedule &schedule,
+    const std::function<double(const SystemConfig &, std::uint64_t)>
+        &experiment,
+    const std::string &out_path, unsigned threads = 0);
+
 } // namespace sbn
 
 #endif // SBN_SHARD_RUNNER_HH

@@ -1,0 +1,539 @@
+#include "shard/supervisor.hh"
+
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "shard/fault.hh"
+#include "shard/result_io.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Size of @p path, or -1 when it does not exist (yet). */
+long long
+fileSize(const std::string &path)
+{
+    struct stat info;
+    if (::stat(path.c_str(), &info) != 0)
+        return -1;
+    return static_cast<long long>(info.st_size);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat info;
+    return ::stat(path.c_str(), &info) == 0;
+}
+
+} // namespace
+
+const char *
+shardStateName(ShardState state)
+{
+    switch (state) {
+    case ShardState::Pending:
+        return "pending";
+    case ShardState::Running:
+        return "running";
+    case ShardState::Backoff:
+        return "backoff";
+    case ShardState::Done:
+        return "done";
+    case ShardState::Exhausted:
+        return "exhausted";
+    }
+    return "unknown";
+}
+
+/** One supervised process slot (a shard or a steal slice). */
+struct ShardSupervisor::Task
+{
+    WorkerTask work;
+    ShardState state = ShardState::Pending;
+    pid_t pid = -1;
+    unsigned launches = 0;
+    int lastStatus = 0;
+    bool everHung = false;
+    Clock::time_point wakeAt;       //!< backoff deadline
+    long long lastSize = -1;        //!< liveness: last seen file size
+    Clock::time_point lastProgress; //!< liveness: last growth time
+};
+
+ShardSupervisor::ShardSupervisor(SupervisorConfig config,
+                                 WorkerBody body)
+    : config_(std::move(config)), body_(std::move(body))
+{
+    sbn_assert(config_.shardCount >= 1,
+               "supervisor needs at least one shard");
+    sbn_assert(!config_.expectedRunFp.empty(),
+               "supervisor needs the expected run fingerprints");
+    sbn_assert(config_.maxRetries < 1000,
+               "retry budget is implausibly large");
+    if (config_.maxStealLaunches == 0)
+        config_.maxStealLaunches = 4 * config_.shardCount;
+
+    shardTasks_.resize(config_.shardCount);
+    for (std::size_t i = 0; i < config_.shardCount; ++i) {
+        Task &task = shardTasks_[i];
+        task.work.steal = false;
+        task.work.shard = {i, config_.shardCount};
+        task.work.outPath =
+            shardFilePath(config_.dir, task.work.shard);
+    }
+}
+
+ShardSupervisor::~ShardSupervisor() = default;
+
+void
+ShardSupervisor::spawn(Task &task)
+{
+    task.work.attempt = task.launches;
+    const std::string what =
+        task.work.steal ? "steal task"
+                        : "shard " + task.work.shard.toString();
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        sbn_fatal("supervisor: fork failed for ", what);
+    if (pid == 0) {
+        // Child. Declare identity for fault targeting, run the body,
+        // and leave via _exit so no parent-owned stdio buffer or
+        // static destructor runs twice.
+        setFaultProcessScope(task.work.steal ? kFaultNoShard
+                                             : task.work.shard.index,
+                             task.work.attempt);
+        try {
+            body_(task.work);
+        } catch (...) {
+            ::_exit(1);
+        }
+        ::_exit(0);
+    }
+    task.pid = pid;
+    task.state = ShardState::Running;
+    ++task.launches;
+    task.lastSize = fileSize(task.work.outPath);
+    task.lastProgress = Clock::now();
+}
+
+void
+ShardSupervisor::handleFailure(Task &task, int status, bool hung)
+{
+    task.lastStatus = status;
+    task.everHung = task.everHung || hung;
+    task.pid = -1;
+
+    if (task.work.steal) {
+        // Stolen work has no budget of its own: the victim's points
+        // are still tracked as missing, so losing a thief costs
+        // nothing but the duplicate effort. A failing thief usually
+        // means the failure is not shard-specific, though, so stop
+        // stealing rather than loop on it.
+        task.state = ShardState::Done;
+        stealBroken_ = true;
+        sbn_warn("supervisor: steal worker (",
+                 describeWaitStatus(status), hung ? ", hung" : "",
+                 ") failed; disabling further work stealing");
+        return;
+    }
+
+    if (task.launches >= config_.maxRetries + 1) {
+        task.state = ShardState::Exhausted;
+        sbn_warn("supervisor: shard ", task.work.shard.toString(),
+                 " exhausted its retry budget (", task.launches,
+                 " launch(es), last failure: ",
+                 describeWaitStatus(status), hung ? ", hung" : "",
+                 ")");
+        return;
+    }
+
+    // Capped exponential backoff keyed to how often this shard has
+    // failed: transient causes (OOM kill, node blip) get a fast
+    // retry, repeat offenders back off harder.
+    const double seconds = std::min(
+        config_.backoffCapSeconds,
+        config_.backoffInitialSeconds *
+            std::pow(config_.backoffGrowth,
+                     static_cast<double>(task.launches - 1)));
+    task.state = ShardState::Backoff;
+    task.wakeAt = Clock::now() +
+                  std::chrono::microseconds(
+                      static_cast<long long>(seconds * 1e6));
+    ++report_.respawns;
+    sbn_warn("supervisor: shard ", task.work.shard.toString(),
+             " worker failed (", describeWaitStatus(status),
+             hung ? ", hung" : "", "); respawning with resume in ",
+             seconds, "s (attempt ", task.launches + 1, " of ",
+             config_.maxRetries + 1, ")");
+}
+
+void
+ShardSupervisor::reapExited()
+{
+    const auto reap = [&](Task &task) {
+        if (task.state != ShardState::Running)
+            return;
+        int status = 0;
+        const pid_t got = ::waitpid(task.pid, &status, WNOHANG);
+        if (got == 0)
+            return;
+        if (got < 0) {
+            // Should not happen (we own the child); treat as failure
+            // so supervision cannot wedge on a lost pid.
+            handleFailure(task, -1, false);
+            return;
+        }
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            task.state = ShardState::Done;
+            task.pid = -1;
+        } else {
+            handleFailure(task, status, false);
+        }
+    };
+    for (Task &task : shardTasks_)
+        reap(task);
+    for (Task &task : stealTasks_)
+        reap(task);
+}
+
+void
+ShardSupervisor::killHungWorkers()
+{
+    if (config_.hangTimeoutSeconds <= 0.0)
+        return;
+    const auto deadline = std::chrono::microseconds(
+        static_cast<long long>(config_.hangTimeoutSeconds * 1e6));
+    const auto check = [&](Task &task) {
+        if (task.state != ShardState::Running)
+            return;
+        const long long size = fileSize(task.work.outPath);
+        if (size != task.lastSize) {
+            task.lastSize = size;
+            task.lastProgress = Clock::now();
+            return;
+        }
+        if (Clock::now() - task.lastProgress < deadline)
+            return;
+        // No record progress within the deadline: the worker is
+        // declared hung. SIGKILL (not SIGTERM): a wedged process may
+        // not run handlers, and the record file needs no cleanup -
+        // that is the whole point of the append+flush format.
+        const std::string what =
+            task.work.steal ? "steal worker"
+                            : "shard " + task.work.shard.toString();
+        sbn_warn("supervisor: ", what,
+                 " made no record progress for ",
+                 config_.hangTimeoutSeconds,
+                 "s; killing the hung worker (pid ", task.pid, ")");
+        ::kill(task.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(task.pid, &status, 0);
+        handleFailure(task, status, /*hung=*/true);
+    };
+    for (Task &task : shardTasks_)
+        check(task);
+    for (Task &task : stealTasks_)
+        check(task);
+}
+
+void
+ShardSupervisor::launchDueRespawns()
+{
+    const Clock::time_point now = Clock::now();
+    for (Task &task : shardTasks_) {
+        if (task.state == ShardState::Pending ||
+            (task.state == ShardState::Backoff && now >= task.wakeAt))
+            spawn(task);
+    }
+}
+
+std::vector<std::string>
+ShardSupervisor::existingRecordFiles() const
+{
+    std::vector<std::string> files;
+    for (const Task &task : shardTasks_)
+        if (fileExists(task.work.outPath))
+            files.push_back(task.work.outPath);
+    for (const Task &task : stealTasks_)
+        if (fileExists(task.work.outPath))
+            files.push_back(task.work.outPath);
+    return files;
+}
+
+std::vector<bool>
+ShardSupervisor::satisfiedPoints() const
+{
+    // A point is satisfied when any record file holds a record whose
+    // run fingerprint matches what the sweep expects there - the
+    // exact criterion resume and merge use, so the supervisor never
+    // declares done what the merge would reject.
+    std::vector<bool> satisfied(config_.expectedRunFp.size(), false);
+    for (const std::string &path : existingRecordFiles()) {
+        for (const PointRecord &record :
+             readRecordFile(path, /*tolerate_partial_tail=*/true)) {
+            if (record.flatIndex < satisfied.size() &&
+                record.runFp ==
+                    config_.expectedRunFp[record.flatIndex])
+                satisfied[record.flatIndex] = true;
+        }
+    }
+    return satisfied;
+}
+
+std::size_t
+ShardSupervisor::runningCount() const
+{
+    std::size_t running = 0;
+    for (const Task &task : shardTasks_)
+        running += task.state == ShardState::Running;
+    for (const Task &task : stealTasks_)
+        running += task.state == ShardState::Running;
+    return running;
+}
+
+bool
+ShardSupervisor::allShardsTerminal() const
+{
+    for (const Task &task : shardTasks_)
+        if (task.state != ShardState::Done &&
+            task.state != ShardState::Exhausted)
+            return false;
+    return true;
+}
+
+void
+ShardSupervisor::maybeSteal()
+{
+    if (!config_.workStealing || stealBroken_ ||
+        stealLaunches() >= config_.maxStealLaunches)
+        return;
+    if (runningCount() >= config_.shardCount)
+        return; // no free slot
+    bool anyDone = false;
+    bool anyNotDone = false;
+    for (const Task &task : shardTasks_) {
+        anyDone = anyDone || task.state == ShardState::Done;
+        anyNotDone = anyNotDone || task.state != ShardState::Done;
+    }
+    if (!anyDone || !anyNotDone)
+        return; // steal only once a worker has actually finished
+
+    // Scanning record files is not free; do it at most a few times a
+    // second, not every poll tick.
+    static constexpr auto kScanPeriod =
+        std::chrono::milliseconds(250);
+    const Clock::time_point now = Clock::now();
+    if (now - lastStealScan_ < kScanPeriod)
+        return;
+    lastStealScan_ = now;
+
+    const std::vector<bool> satisfied = satisfiedPoints();
+    std::set<std::size_t> claimed;
+    for (const Task &task : stealTasks_)
+        if (task.state == ShardState::Running)
+            claimed.insert(task.work.points.begin(),
+                           task.work.points.end());
+
+    // Victim: the non-Done shard with the most unclaimed missing
+    // points.
+    const ShardPlan plan(config_.expectedRunFp.size(),
+                         config_.shardCount, config_.layout);
+    std::size_t victim = config_.shardCount;
+    std::vector<std::size_t> victimMissing;
+    for (std::size_t i = 0; i < config_.shardCount; ++i) {
+        if (shardTasks_[i].state == ShardState::Done)
+            continue;
+        std::vector<std::size_t> missing;
+        for (std::size_t index : plan.indices(i))
+            if (!satisfied[index] && claimed.count(index) == 0)
+                missing.push_back(index);
+        if (missing.size() > victimMissing.size()) {
+            victim = i;
+            victimMissing = std::move(missing);
+        }
+    }
+    if (victim == config_.shardCount || victimMissing.empty())
+        return;
+
+    // An exhausted victim is never coming back: claim everything it
+    // still owes. A live (running / backed-off) victim is resuming
+    // its missing list front-to-back, so the thief takes the strided
+    // complement - overlap stays possible and stays harmless (the
+    // merge dedupes bit-identical recomputation), but mostly the two
+    // ends meet in the middle.
+    std::vector<std::size_t> slice;
+    if (shardTasks_[victim].state == ShardState::Exhausted) {
+        slice = victimMissing;
+    } else {
+        for (std::size_t k = 1; k < victimMissing.size(); k += 2)
+            slice.push_back(victimMissing[k]);
+    }
+    if (slice.empty())
+        return;
+    launchSteal(slice, victim);
+}
+
+void
+ShardSupervisor::launchSteal(const std::vector<std::size_t> &points,
+                             std::size_t victim)
+{
+    stealTasks_.emplace_back();
+    Task &task = stealTasks_.back();
+    task.work.steal = true;
+    task.work.shard = {victim < config_.shardCount ? victim : 0,
+                       config_.shardCount};
+    task.work.points = points;
+    std::string path = config_.dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    task.work.outPath =
+        path + "steal-" + std::to_string(stealSequence_++) + ".jsonl";
+    report_.stolenPoints += points.size();
+    ++report_.stealLaunches;
+    // stderr, not sbn_inform: orchestrators reserve stdout for the
+    // merged record stream.
+    std::fprintf(stderr,
+                 "supervisor: free worker stealing %zu missing "
+                 "point(s) from shard %s -> %s\n",
+                 points.size(),
+                 victim < config_.shardCount
+                     ? shardTasks_[victim].work.shard.toString().c_str()
+                     : "(unowned)",
+                 task.work.outPath.c_str());
+    spawn(task);
+}
+
+std::size_t
+ShardSupervisor::stealLaunches() const
+{
+    return report_.stealLaunches;
+}
+
+SupervisorReport
+ShardSupervisor::run()
+{
+    for (;;) {
+        reapExited();
+        killHungWorkers();
+        launchDueRespawns();
+        maybeSteal();
+
+        if (allShardsTerminal() && runningCount() == 0) {
+            const std::vector<bool> satisfied = satisfiedPoints();
+            std::vector<std::size_t> missing;
+            for (std::size_t i = 0; i < satisfied.size(); ++i)
+                if (!satisfied[i])
+                    missing.push_back(i);
+            if (missing.empty())
+                break;
+            // Last-chance stealing: every shard is terminal, so any
+            // remaining hole belongs to an exhausted shard (or a
+            // worker that lied about success). Free slots exist by
+            // definition; claim the lot, bounded by the steal-launch
+            // budget.
+            if (!config_.workStealing || stealBroken_ ||
+                stealLaunches() >= config_.maxStealLaunches)
+                break;
+            launchSteal(missing, config_.shardCount);
+            continue;
+        }
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config_.pollMillis));
+    }
+
+    // Terminal accounting.
+    const std::vector<bool> satisfied = satisfiedPoints();
+    report_.missingPoints.clear();
+    for (std::size_t i = 0; i < satisfied.size(); ++i)
+        if (!satisfied[i])
+            report_.missingPoints.push_back(i);
+    report_.complete = report_.missingPoints.empty();
+    report_.recordFiles = existingRecordFiles();
+    report_.shards.clear();
+    for (const Task &task : shardTasks_) {
+        ShardOutcome outcome;
+        outcome.state = task.state;
+        outcome.launches = task.launches;
+        outcome.lastStatus = task.lastStatus;
+        outcome.everHung = task.everHung;
+        report_.shards.push_back(outcome);
+    }
+    return report_;
+}
+
+std::string
+missingManifestPath(const std::string &dir)
+{
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    return path + "missing-points.json";
+}
+
+void
+writeMissingPointsManifest(const std::string &path,
+                           const MergeCheck &check,
+                           const std::vector<std::size_t> &missing)
+{
+    const bool attributed = check.shardCount != 0;
+    std::string body = "{\"type\":\"sbn.missing.v1\",\"grid\":";
+    body += std::to_string(check.gridSize);
+    body += ",\"shards\":";
+    body += std::to_string(check.shardCount);
+    body += ",\"layout\":\"";
+    body += attributed ? shardLayoutName(check.layout) : "unknown";
+    body += "\",\"count\":";
+    body += std::to_string(missing.size());
+    body += ",\"missing\":[";
+    const ShardPlan plan(check.gridSize,
+                         attributed ? check.shardCount : 1,
+                         check.layout);
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+        if (k != 0)
+            body += ',';
+        body += "{\"i\":";
+        body += std::to_string(missing[k]);
+        if (attributed) {
+            const std::size_t owner = plan.owner(missing[k]);
+            body += ",\"shard\":";
+            body += std::to_string(owner);
+            body += ",\"file\":\"";
+            body += shardFilePath(check.dir,
+                                  {owner, check.shardCount});
+            body += '"';
+        }
+        body += '}';
+    }
+    body += "]}\n";
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp);
+        out << body;
+        out.flush();
+        if (!out.good())
+            sbn_fatal("cannot write missing-points manifest '", tmp,
+                      "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        sbn_fatal("cannot rename '", tmp, "' over '", path, "'");
+}
+
+} // namespace sbn

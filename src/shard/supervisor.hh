@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Fault-tolerant supervision of a sharded-sweep worker fleet.
+ *
+ * ShardSupervisor owns the worker processes of a multi-shard sweep:
+ * it forks one worker per shard, watches them, and drives a per-shard
+ * state machine
+ *
+ *     Pending -> Running -> Done
+ *                   |  \
+ *                   |   (crash / hang) -> Backoff -> Running ...
+ *                   |                        |
+ *                   |                        (budget spent)
+ *                   v                        v
+ *                  Done                  Exhausted
+ *
+ * with three recovery mechanisms layered on the shard layer's
+ * determinism contract (docs/sharding.md):
+ *
+ *  - **Retry with capped exponential backoff.** A worker that exits
+ *    nonzero or dies on a signal is re-forked with resume semantics -
+ *    the respawned worker keeps every record the dead one flushed and
+ *    recomputes only the missing points. Each shard has a bounded
+ *    retry budget; backoff doubles per failure up to a cap.
+ *  - **Liveness via record-file progress.** Workers prove liveness by
+ *    growing their record file. A worker whose file has not grown
+ *    within the hang timeout is declared hung, SIGKILLed, and retried
+ *    like a crash. No heartbeat protocol: the progress signal is the
+ *    output itself, so a worker that is alive but wedged (deadlock,
+ *    infinite loop, stuck I/O) is caught too.
+ *  - **Work stealing.** When a worker finishes and another shard
+ *    still has missing points, the free slot runs a *steal* worker
+ *    that claims a strided slice of those points into its own record
+ *    file. Overlap with the victim is harmless: every point is an
+ *    independent seeded computation, so duplicates are bit-identical
+ *    and the merge layer dedupes them.
+ *
+ * On exhausted retries the supervisor degrades gracefully instead of
+ * failing blanketly: the report lists exactly which grid points have
+ * no valid record, writeMissingPointsManifest() persists them
+ * machine-readably, and the orchestrator emits the merged partial
+ * output with the distinct kPartialResultExit code.
+ *
+ * The supervisor is policy; execution stays in the worker body
+ * callback, which runs in the forked child (for sbn_sweep that is
+ * runShardSweep/runShardAdaptive or the steal-slice variants). The
+ * deterministic fault plane (shard/fault.hh) targets workers by the
+ * scope the supervisor sets in each child, which is how ctest and CI
+ * exercise every one of these paths on purpose.
+ */
+
+#ifndef SBN_SHARD_SUPERVISOR_HH
+#define SBN_SHARD_SUPERVISOR_HH
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "shard/merge.hh"
+#include "shard/plan.hh"
+
+namespace sbn {
+
+/**
+ * Exit code of an orchestrator that delivered *partial* results: the
+ * retry budget ran out, the merged output covers only the points
+ * with records, and the missing-points manifest names the rest.
+ * Distinct from 1 (fatal) so fleet scripts can tell "rerun the named
+ * points" from "the sweep itself is broken". Value follows BSD
+ * EX_TEMPFAIL.
+ */
+constexpr int kPartialResultExit = 75;
+
+/** Lifecycle of one shard under supervision. */
+enum class ShardState
+{
+    Pending,   //!< not yet launched
+    Running,   //!< worker process alive
+    Backoff,   //!< failed; waiting out the backoff delay
+    Done,      //!< worker exited 0
+    Exhausted, //!< retry budget spent without success
+};
+
+/** Canonical lowercase name of a ShardState. */
+const char *shardStateName(ShardState state);
+
+/**
+ * One unit of work executed in a forked child: either a full shard
+ * (resume semantics, canonical shard file) or a steal slice (explicit
+ * point list, its own file).
+ */
+struct WorkerTask
+{
+    bool steal = false;
+    ShardSpec shard;                 //!< full-shard task identity
+    std::vector<std::size_t> points; //!< steal: claimed flat indices
+    std::string outPath;             //!< record file this task writes
+    unsigned attempt = 0;            //!< prior launches of this shard
+};
+
+/**
+ * Executes a WorkerTask in the forked child. Must write one record
+ * per computed point to task.outPath and return normally on success;
+ * any exception (or process death) is a worker failure. Runs after
+ * fork: single-threaded, must build its own execution resources.
+ */
+using WorkerBody = std::function<void(const WorkerTask &)>;
+
+/** Supervision policy knobs. */
+struct SupervisorConfig
+{
+    std::size_t shardCount = 1;
+    std::string dir; //!< shard-file directory (canonical + steal files)
+    ShardLayout layout = ShardLayout::Contiguous;
+
+    /**
+     * Per-point expected run fingerprints (index = flat grid index).
+     * Defines the grid size and lets the supervisor decide point
+     * completeness the same way resume and merge do.
+     */
+    std::vector<std::uint64_t> expectedRunFp;
+
+    unsigned maxRetries = 2;    //!< respawns allowed per shard
+    double backoffInitialSeconds = 0.25;
+    double backoffGrowth = 2.0;
+    double backoffCapSeconds = 5.0;
+
+    /** Seconds without record-file growth before a running worker is
+     *  declared hung and killed. 0 disables liveness detection. */
+    double hangTimeoutSeconds = 0.0;
+
+    bool workStealing = true;
+    unsigned pollMillis = 20; //!< supervision loop period
+
+    /** Total steal launches allowed (0 = 4 * shardCount). Bounds the
+     *  loop when stolen work itself keeps failing. */
+    std::size_t maxStealLaunches = 0;
+};
+
+/** Terminal accounting for one shard. */
+struct ShardOutcome
+{
+    ShardState state = ShardState::Pending;
+    unsigned launches = 0; //!< processes forked for this shard
+    int lastStatus = 0;    //!< raw waitpid status of the last failure
+    bool everHung = false; //!< a launch was killed by the hang timer
+};
+
+/** What a supervised run accomplished. */
+struct SupervisorReport
+{
+    bool complete = false; //!< every grid point has a valid record
+    std::vector<ShardOutcome> shards;
+    std::vector<std::size_t> missingPoints; //!< ascending flat indices
+    /** Record files that exist: canonical shard files + steal files,
+     *  in merge order. */
+    std::vector<std::string> recordFiles;
+    std::size_t respawns = 0;      //!< failure-triggered relaunches
+    std::size_t stealLaunches = 0; //!< steal workers forked
+    std::size_t stolenPoints = 0;  //!< points claimed across steals
+};
+
+/**
+ * Supervises one fleet of shard workers to completion or budget
+ * exhaustion. Construct, then call run() exactly once. The
+ * supervisor forks; call it before creating any thread pool in the
+ * parent (sbn_sweep's --spawn discipline).
+ */
+class ShardSupervisor
+{
+  public:
+    ShardSupervisor(SupervisorConfig config, WorkerBody body);
+    ~ShardSupervisor(); // out-of-line: Task is incomplete here
+
+    /** Run the fleet; blocks until every shard is Done or Exhausted
+     *  and no steal worker is in flight. */
+    SupervisorReport run();
+
+  private:
+    struct Task;
+
+    void spawn(Task &task);
+    void reapExited();
+    void killHungWorkers();
+    void launchDueRespawns();
+    void maybeSteal();
+    void launchSteal(const std::vector<std::size_t> &points,
+                     std::size_t victim);
+    std::size_t stealLaunches() const;
+    void handleFailure(Task &task, int status, bool hung);
+    std::vector<bool> satisfiedPoints() const;
+    std::vector<std::string> existingRecordFiles() const;
+    std::size_t runningCount() const;
+    bool allShardsTerminal() const;
+
+    SupervisorConfig config_;
+    WorkerBody body_;
+    std::vector<Task> shardTasks_;
+    std::vector<Task> stealTasks_;
+    std::size_t stealSequence_ = 0;
+    std::chrono::steady_clock::time_point lastStealScan_;
+    bool stealBroken_ = false; //!< a steal worker failed; stop stealing
+    SupervisorReport report_;
+};
+
+/** Canonical manifest path: dir/missing-points.json. */
+std::string missingManifestPath(const std::string &dir);
+
+/**
+ * Persist the machine-readable missing-points manifest (atomic
+ * temp+rename): one JSON object naming every missing flat index and,
+ * when @p check carries shard attribution, the shard file expected
+ * to own it.
+ */
+void writeMissingPointsManifest(const std::string &path,
+                                const MergeCheck &check,
+                                const std::vector<std::size_t> &missing);
+
+} // namespace sbn
+
+#endif // SBN_SHARD_SUPERVISOR_HH

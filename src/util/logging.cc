@@ -1,6 +1,9 @@
 #include "util/logging.hh"
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstring>
 
 namespace sbn {
 
@@ -46,6 +49,28 @@ informImpl(const std::string &msg)
 {
     std::fprintf(stdout, "info: %s\n", msg.c_str());
     std::fflush(stdout);
+}
+
+std::string
+describeWaitStatus(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        std::string text = "signal " + std::to_string(sig);
+        const char *name = strsignal(sig);
+        if (name != nullptr)
+            text += std::string(" (") + name + ")";
+#ifdef WCOREDUMP
+        if (WCOREDUMP(status))
+            text += " with core";
+#endif
+        return text;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "status 0x%x", status);
+    return buf;
 }
 
 } // namespace sbn

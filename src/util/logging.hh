@@ -55,6 +55,14 @@ void warnImpl(const std::string &msg, const char *file, int line);
 /** Report plain status. */
 void informImpl(const std::string &msg);
 
+/**
+ * Render a waitpid() status word for diagnostics: "exit 0",
+ * "exit 1", "signal 9 (killed)", "signal 6 (aborted) with core", or
+ * "status 0x7f" for anything exotic. Used by the shard supervisor
+ * and sbn_sweep's structured failure reporting.
+ */
+std::string describeWaitStatus(int status);
+
 } // namespace sbn
 
 #define sbn_panic(...)                                                      \

@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Fault-tolerance tests: the SBN_FAULT grammar, the ShardSupervisor
+ * recovery machinery (retry/backoff, liveness, work stealing,
+ * graceful exhaustion), and the headline contract - for a fixed
+ * seed, any injected single-fault schedule converges to merged
+ * output byte-identical to the serial run.
+ *
+ * The supervisor forks real worker processes from the test binary;
+ * worker bodies run single-threaded (sharedParallelRunner(1) is the
+ * inline path), so a forked child never touches a thread pool whose
+ * threads died at fork.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "shard/fault.hh"
+#include "shard/merge.hh"
+#include "shard/plan.hh"
+#include "shard/result_io.hh"
+#include "shard/runner.hh"
+#include "shard/supervisor.hh"
+
+namespace sbn {
+namespace {
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "sbn_fault_" + name;
+    std::string cmd = "rm -rf '" + dir + "'";
+    if (std::system(cmd.c_str()) != 0)
+        ADD_FAILURE() << "cannot clear " << dir;
+    ensureWritableShardDir(dir);
+    return dir;
+}
+
+/** Scoped environment variable; restores "unset" on destruction. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const std::string &value) : name_(name)
+    {
+        ::setenv(name_, value.c_str(), 1);
+    }
+    ~EnvGuard() { ::unsetenv(name_); }
+
+  private:
+    const char *name_;
+};
+
+/** The small simulation grid the recovery tests sweep (8 points). */
+SweepSpec
+testSpec()
+{
+    SweepSpec spec;
+    spec.base.numProcessors = 4;
+    spec.base.numModules = 4;
+    spec.base.warmupCycles = 200;
+    spec.base.measureCycles = 2000;
+    spec.base.seed = 99;
+    spec.memoryRatios = {2, 4};
+    spec.requestProbabilities = {0.3, 1.0};
+    spec.policies = {ArbitrationPolicy::ProcessorPriority,
+                     ArbitrationPolicy::MemoryPriority};
+    return spec;
+}
+
+double
+ebwOf(const SystemConfig &cfg)
+{
+    return runEbw(cfg);
+}
+
+std::string
+serialBytes(const std::vector<SystemConfig> &points)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < points.size(); ++i)
+        os << formatRecord(makeSweepRecord(i, points[i],
+                                           ebwOf(points[i])))
+           << '\n';
+    return os.str();
+}
+
+/** Supervision config tuned for tests: tiny backoff, fast polling. */
+SupervisorConfig
+testConfig(const std::string &dir, const MergeCheck &check,
+           std::size_t shard_count)
+{
+    SupervisorConfig config;
+    config.shardCount = shard_count;
+    config.dir = dir;
+    config.layout = ShardLayout::Contiguous;
+    config.expectedRunFp = check.expectedRunFp;
+    config.backoffInitialSeconds = 0.02;
+    config.backoffCapSeconds = 0.1;
+    config.pollMillis = 5;
+    return config;
+}
+
+/** Worker body every supervisor test uses: plain sweep, 1 thread. */
+WorkerBody
+sweepBody(const std::vector<SystemConfig> &points)
+{
+    return [&points](const WorkerTask &task) {
+        if (task.steal)
+            runStolenPointsSweep(points, task.points, ebwOf,
+                                 task.outPath, 1);
+        else
+            runShardSweep(points, task.shard, ShardLayout::Contiguous,
+                          ebwOf, task.outPath,
+                          /*resume=*/task.attempt > 0, 1);
+    };
+}
+
+std::string
+mergedBytes(const SupervisorReport &report, const MergeCheck &check)
+{
+    const PartialMerge merged = collectRecordFiles(
+        report.recordFiles, check, /*tolerate_partial_tail=*/true);
+    std::ostringstream os;
+    writeRecords(os, merged.records);
+    return os.str();
+}
+
+// ------------------------------------------------------- grammar
+
+TEST(FaultPlanParse, AcceptsTheDocumentedClauses)
+{
+    FaultPlan plan;
+    std::string error;
+
+    ASSERT_TRUE(parseFaultPlan("", plan, error));
+    EXPECT_FALSE(plan.active);
+
+    ASSERT_TRUE(parseFaultPlan(
+        "shard=1,attempt=2,kill_after_records=3,truncate_tail=40",
+        plan, error))
+        << error;
+    EXPECT_TRUE(plan.active);
+    EXPECT_EQ(plan.shard, 1u);
+    EXPECT_EQ(plan.attempt, 2u);
+    EXPECT_EQ(plan.killAfterRecords, 3u);
+    EXPECT_EQ(plan.truncateTail, 40u);
+
+    ASSERT_TRUE(parseFaultPlan(
+        "shard=any,attempt=any,hang_after_records=2", plan, error))
+        << error;
+    EXPECT_EQ(plan.shard, kFaultAnyShard);
+    EXPECT_EQ(plan.attempt, kFaultAnyAttempt);
+    EXPECT_EQ(plan.hangAfterRecords, 2u);
+
+    ASSERT_TRUE(parseFaultPlan("fail_write_at=5", plan, error))
+        << error;
+    EXPECT_EQ(plan.failWriteAt, 5u);
+    EXPECT_EQ(plan.shard, kFaultAnyShard); // default target: any
+
+    ASSERT_TRUE(parseFaultPlan("abort_in_merge", plan, error))
+        << error;
+    EXPECT_TRUE(plan.abortInMerge);
+}
+
+TEST(FaultPlanParse, RejectsMalformedSpecs)
+{
+    FaultPlan plan;
+    std::string error;
+    const char *bad[] = {
+        "shard=x,kill_after_records=1", // non-numeric selector
+        "kill_after_records=0",         // zero count
+        "kill_after_records=1,,",       // stray comma
+        "truncate_tail=8",              // modifier without its action
+        "kill_after_records=1,hang_after_records=1", // exclusive
+        "shard=1",                      // selectors only, no action
+        "abort_in_merge=1",             // flag clause takes no value
+        "explode=now",                  // unknown clause
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseFaultPlan(text, plan, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(FaultPlanParse, ScopeGatesArming)
+{
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(parseFaultPlan("shard=2,attempt=1,kill_after_records=1",
+                               plan, error));
+
+    setFaultProcessScope(2, 1);
+    EXPECT_TRUE(faultArmed(plan));
+    setFaultProcessScope(2, 0);
+    EXPECT_FALSE(faultArmed(plan)); // wrong attempt
+    setFaultProcessScope(1, 1);
+    EXPECT_FALSE(faultArmed(plan)); // wrong shard
+    setFaultProcessScope(kFaultNoShard, 0);
+    EXPECT_FALSE(faultArmed(plan)); // orchestrators are not shard 2
+
+    ASSERT_TRUE(parseFaultPlan("kill_after_records=1", plan, error));
+    EXPECT_TRUE(faultArmed(plan)); // shard=any matches everyone
+    setFaultProcessScope(kFaultNoShard, 1);
+    EXPECT_FALSE(faultArmed(plan)); // ...at attempt 0 only, by default
+    setFaultProcessScope(kFaultNoShard, 0);
+}
+
+// ---------------------------------------------- supervised recovery
+
+TEST(Supervisor, CleanFleetMatchesSerialRun)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("clean");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 4;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    ShardSupervisor supervisor(testConfig(dir, check, 4),
+                               sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_TRUE(report.complete);
+    EXPECT_EQ(report.respawns, 0u);
+    for (const ShardOutcome &outcome : report.shards) {
+        EXPECT_EQ(outcome.state, ShardState::Done);
+        EXPECT_EQ(outcome.launches, 1u);
+    }
+    EXPECT_EQ(mergedBytes(report, check), serialBytes(points));
+}
+
+TEST(Supervisor, SingleFaultKillMatrixConvergesByteIdentically)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string serial = serialBytes(points);
+
+    // Kill shard 1 (2 owned points) at each record boundary, with
+    // and without a torn tail - every schedule must converge to the
+    // serial bytes via one respawn.
+    for (std::size_t k = 1; k <= 2; ++k) {
+        for (const bool torn : {false, true}) {
+            const std::string dir = tempDir(
+                "kill" + std::to_string(k) + (torn ? "t" : ""));
+            MergeCheck check = sweepMergeCheck(points);
+            check.shardCount = 4;
+            check.layout = ShardLayout::Contiguous;
+            check.dir = dir;
+
+            std::string fault = "shard=1,kill_after_records=" +
+                                std::to_string(k);
+            if (torn)
+                fault += ",truncate_tail=40";
+            const EnvGuard guard(kFaultEnvVar, fault);
+
+            ShardSupervisor supervisor(testConfig(dir, check, 4),
+                                       sweepBody(points));
+            const SupervisorReport report = supervisor.run();
+
+            ASSERT_TRUE(report.complete) << fault;
+            EXPECT_EQ(report.respawns, 1u) << fault;
+            EXPECT_EQ(report.shards[1].launches, 2u) << fault;
+            EXPECT_EQ(mergedBytes(report, check), serial) << fault;
+        }
+    }
+}
+
+TEST(Supervisor, EveryShardCrashingOnceStillConverges)
+{
+    // The sampled multi-fault schedule: shard=any kills *each* worker
+    // after its first record on attempt 0; all four respawn and
+    // resume.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("allcrash");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 4;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    const EnvGuard guard(kFaultEnvVar,
+                         "shard=any,kill_after_records=1,"
+                         "truncate_tail=25");
+    SupervisorConfig config = testConfig(dir, check, 4);
+    config.workStealing = false; // keep the respawn count exact
+    ShardSupervisor supervisor(config, sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_TRUE(report.complete);
+    EXPECT_EQ(report.respawns, 4u);
+    EXPECT_EQ(mergedBytes(report, check), serialBytes(points));
+}
+
+TEST(Supervisor, InjectedWriteFailureIsRetried)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("wfail");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 2;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    // The worker's 2nd record append reports a write error through
+    // the fatal path (exit 1, not a signal); the respawn runs clean.
+    const EnvGuard guard(kFaultEnvVar, "shard=0,fail_write_at=2");
+    ShardSupervisor supervisor(testConfig(dir, check, 2),
+                               sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_TRUE(report.complete);
+    EXPECT_EQ(report.shards[0].launches, 2u);
+    EXPECT_EQ(mergedBytes(report, check), serialBytes(points));
+}
+
+TEST(Supervisor, HungWorkerIsDetectedKilledAndRetried)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("hang");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 4;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    const EnvGuard guard(kFaultEnvVar,
+                         "shard=2,hang_after_records=1");
+    SupervisorConfig config = testConfig(dir, check, 4);
+    config.hangTimeoutSeconds = 0.3;
+    ShardSupervisor supervisor(config, sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_TRUE(report.complete);
+    EXPECT_TRUE(report.shards[2].everHung);
+    EXPECT_EQ(report.shards[2].launches, 2u);
+    EXPECT_EQ(mergedBytes(report, check), serialBytes(points));
+}
+
+TEST(Supervisor, StealRescuesAShardThatNeverMakesProgress)
+{
+    // Shard 1's first record append fails on *every* attempt, so its
+    // own workers can never contribute a single record. Work
+    // stealing targets shard faults by scope, so the steal worker
+    // (which is not shard 1) computes the victim's points cleanly
+    // and the fleet still completes byte-identically.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("steal");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 4;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    const EnvGuard guard(kFaultEnvVar,
+                         "shard=1,attempt=any,fail_write_at=1");
+    SupervisorConfig config = testConfig(dir, check, 4);
+    config.maxRetries = 0;
+    ShardSupervisor supervisor(config, sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_TRUE(report.complete);
+    EXPECT_EQ(report.shards[1].state, ShardState::Exhausted);
+    EXPECT_GE(report.stealLaunches, 1u);
+    EXPECT_GE(report.stolenPoints, 2u); // shard 1 owns {2, 3}
+    EXPECT_EQ(mergedBytes(report, check), serialBytes(points));
+}
+
+TEST(Supervisor, ExhaustionDegradesToPartialResultAndManifest)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("exhaust");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 4;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    const EnvGuard guard(
+        kFaultEnvVar, "shard=1,attempt=any,kill_after_records=1");
+    SupervisorConfig config = testConfig(dir, check, 4);
+    config.maxRetries = 0;
+    config.workStealing = false;
+    ShardSupervisor supervisor(config, sweepBody(points));
+    const SupervisorReport report = supervisor.run();
+
+    ASSERT_FALSE(report.complete);
+    EXPECT_EQ(report.shards[1].state, ShardState::Exhausted);
+    EXPECT_EQ(report.shards[1].launches, 1u);
+
+    // Shard 1 of 4 owns contiguous indices {2, 3}; the first record
+    // (index 2) was flushed before the kill, so exactly {3} is
+    // missing - and everything else merged fine.
+    ASSERT_EQ(report.missingPoints,
+              (std::vector<std::size_t>{3}));
+    const PartialMerge merged = collectRecordFiles(
+        report.recordFiles, check, /*tolerate_partial_tail=*/true);
+    EXPECT_EQ(merged.records.size(), points.size() - 1);
+    EXPECT_EQ(merged.missing, report.missingPoints);
+
+    // The machine-readable manifest names the index and the shard
+    // file expected to own it.
+    const std::string path = missingManifestPath(dir);
+    writeMissingPointsManifest(path, check, report.missingPoints);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string manifest = os.str();
+    EXPECT_NE(manifest.find("\"type\":\"sbn.missing.v1\""),
+              std::string::npos);
+    EXPECT_NE(manifest.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(manifest.find("\"i\":3"), std::string::npos);
+    EXPECT_NE(manifest.find("\"shard\":1"), std::string::npos);
+    EXPECT_NE(manifest.find(shardFilePath(dir, {1, 4})),
+              std::string::npos);
+}
+
+TEST(FaultDeathTest, AbortInMergeCrashesTheMergeStage)
+{
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("abortmerge");
+    runShardSweep(points, {0, 1}, ShardLayout::Contiguous, ebwOf,
+                  shardFilePath(dir, {0, 1}), false, 1);
+
+    const MergeCheck check = sweepMergeCheck(points);
+    EXPECT_DEATH(
+        {
+            ::setenv(kFaultEnvVar, "abort_in_merge", 1);
+            mergeRecordFiles({shardFilePath(dir, {0, 1})}, check);
+        },
+        "");
+}
+
+TEST(FaultDeathTest, MalformedFaultSpecIsFatalNotIgnored)
+{
+    SystemConfig cfg = testSpec().materialize().front();
+    const std::string dir = tempDir("badspec");
+    EXPECT_DEATH(
+        {
+            ::setenv(kFaultEnvVar, "kill_after_records=banana", 1);
+            std::vector<SystemConfig> one{cfg};
+            runShardSweep(one, {0, 1}, ShardLayout::Contiguous,
+                          ebwOf, shardFilePath(dir, {0, 1}), false,
+                          1);
+        },
+        "must not silently run fault-free");
+}
+
+// -------------------------------------------------------- plumbing
+
+TEST(Supervisor, StateNamesAreStable)
+{
+    EXPECT_STREQ(shardStateName(ShardState::Pending), "pending");
+    EXPECT_STREQ(shardStateName(ShardState::Running), "running");
+    EXPECT_STREQ(shardStateName(ShardState::Backoff), "backoff");
+    EXPECT_STREQ(shardStateName(ShardState::Done), "done");
+    EXPECT_STREQ(shardStateName(ShardState::Exhausted), "exhausted");
+}
+
+TEST(Supervisor, ManifestPathIsCanonical)
+{
+    EXPECT_EQ(missingManifestPath("out"), "out/missing-points.json");
+    EXPECT_EQ(missingManifestPath("out/"), "out/missing-points.json");
+}
+
+} // namespace
+} // namespace sbn

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -285,6 +286,19 @@ TEST(ShardDirDeathTest, FatalWhenParentMissing)
                  "cannot create shard directory");
 }
 
+TEST(ShardDirDeathTest, FatalWhenDirectoryIsReadOnly)
+{
+    if (::geteuid() == 0)
+        GTEST_SKIP() << "running as root: permission bits are "
+                        "advisory, the write probe would succeed";
+    const std::string dir = tempPath("readonly_dir");
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0) << dir;
+    ASSERT_EQ(::chmod(dir.c_str(), 0555), 0);
+    EXPECT_DEATH(ensureWritableShardDir(dir), "is not writable");
+    ::chmod(dir.c_str(), 0777);
+    ::rmdir(dir.c_str());
+}
+
 // --------------------------------------------------------------- merge
 
 TEST(Merge, AcceptsBitIdenticalDuplicatesAcrossFiles)
@@ -528,6 +542,99 @@ TEST(ShardResume, DiscardsStaleRecordsFromADifferentSetup)
 
     std::remove(path.c_str());
     std::remove(fresh.c_str());
+}
+
+TEST(ShardResume, ReadsATailTornMidFloat)
+{
+    // A worker killed mid-append can cut the line anywhere - including
+    // inside a floating-point token. The lenient tail read must drop
+    // exactly that line and the resume must converge byte-identically.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const ShardSpec shard{0, 1};
+    const std::string fresh = tempPath("torn_fresh.jsonl");
+    runShardSweep(points, shard, ShardLayout::Contiguous, ebwOf,
+                  fresh);
+    const std::string fresh_bytes = fileBytes(fresh);
+
+    // Cut the final line a few characters into its last "0x..." bit
+    // pattern: a float value torn mid-token.
+    const std::size_t cut = fresh_bytes.rfind("0x") + 5;
+    ASSERT_LT(cut, fresh_bytes.size());
+    const std::string torn = tempPath("torn_midfloat.jsonl");
+    {
+        std::ofstream out(torn, std::ios::binary);
+        out << fresh_bytes.substr(0, cut);
+    }
+
+    const auto parsed = readRecordFile(torn, true);
+    EXPECT_EQ(parsed.size(), points.size() - 1);
+
+    const ShardRunStats stats = runShardSweep(
+        points, shard, ShardLayout::Contiguous, ebwOf, torn,
+        /*resume=*/true);
+    EXPECT_EQ(stats.skipped, points.size() - 1);
+    EXPECT_EQ(stats.computed, 1u);
+    EXPECT_EQ(fileBytes(torn), fresh_bytes);
+
+    std::remove(fresh.c_str());
+    std::remove(torn.c_str());
+}
+
+TEST(ShardResume, RemovesStaleRewriteTemps)
+{
+    // A worker killed between writing the rewrite temp and renaming
+    // it leaves "<file>.tmp.<pid>" behind; the rename never happened,
+    // so the temp is garbage a resume must clean up.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const ShardSpec shard{0, 1};
+    const std::string path = tempPath("staletmp.jsonl");
+    runShardSweep(points, shard, ShardLayout::Contiguous, ebwOf,
+                  path);
+    const std::string bytes = fileBytes(path);
+
+    const std::string stale = path + ".tmp.4242";
+    {
+        std::ofstream out(stale);
+        out << "partial rewrite from a dead worker\n";
+    }
+    EXPECT_EQ(removeStaleRewriteTemps(path), 1u);
+    struct stat info;
+    EXPECT_NE(::stat(stale.c_str(), &info), 0) << "temp not removed";
+    EXPECT_EQ(removeStaleRewriteTemps(path), 0u); // idempotent
+
+    // And the resume path does it implicitly.
+    {
+        std::ofstream out(stale);
+        out << "again\n";
+    }
+    runShardSweep(points, shard, ShardLayout::Contiguous, ebwOf,
+                  path, /*resume=*/true);
+    EXPECT_NE(::stat(stale.c_str(), &info), 0);
+    EXPECT_EQ(fileBytes(path), bytes);
+
+    std::remove(path.c_str());
+}
+
+TEST(MergeDeathTest, MissingPointReportNamesOwnerFilesAndIndices)
+{
+    // Strict-merge holes must name the exact missing indices and the
+    // shard file expected to own them, not just a count.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempPath("missing_report");
+    ensureWritableShardDir(dir);
+    runShardSweep(points, {0, 2}, ShardLayout::Contiguous, ebwOf,
+                  shardFilePath(dir, {0, 2}));
+
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 2;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+    EXPECT_DEATH(
+        (void)mergeRecordFiles({shardFilePath(dir, {0, 2})}, check),
+        "shard-1-of-2.jsonl: 4 missing \\(indices 4, 5, 6, 7\\)");
+
+    std::remove(shardFilePath(dir, {0, 2}).c_str());
+    ::rmdir(dir.c_str());
 }
 
 TEST(ShardResume, AdaptiveResumeSkipsConvergedPoints)

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
+#include <utime.h>
 
 #include <cmath>
+#include <ctime>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -589,6 +592,91 @@ TEST(AnalyticDiskCache, WeightedChainSolvesPersistAndReload)
     EXPECT_EQ(doubleFingerprintBits(cached.meanServiced),
               doubleFingerprintBits(fresh.meanServiced));
 
+    ASSERT_EQ(::unsetenv("SBN_CACHE_DIR"), 0);
+}
+
+TEST(AnalyticDiskCache, EvictsOldestEntriesFirstWhenOverTheCap)
+{
+    const std::string dir = tempPath("cache_gc");
+    ASSERT_EQ(::setenv("SBN_CACHE_DIR", dir.c_str(), 1), 0);
+
+    const std::vector<double> values{1.5, 2.5, 3.5};
+    storeCachedSolve("old", 0x111, values);
+    storeCachedSolve("new", 0x222, values);
+    const std::string old_path =
+        dir + "/old-" + formatFingerprint(0x111) + ".txt";
+    const std::string new_path =
+        dir + "/new-" + formatFingerprint(0x222) + ".txt";
+
+    // Backdate the first entry (mtime granularity is a second, so
+    // two quick stores would otherwise tie) and cap the cache just
+    // below the pair's total: exactly the oldest entry must go.
+    struct utimbuf old_times;
+    old_times.actime = old_times.modtime = std::time(nullptr) - 100;
+    ASSERT_EQ(::utime(old_path.c_str(), &old_times), 0);
+    struct stat a, b;
+    ASSERT_EQ(::stat(old_path.c_str(), &a), 0);
+    ASSERT_EQ(::stat(new_path.c_str(), &b), 0);
+    const std::string cap =
+        std::to_string(a.st_size + b.st_size - 1);
+    ASSERT_EQ(::setenv("SBN_CACHE_MAX_BYTES", cap.c_str(), 1), 0);
+
+    EXPECT_EQ(enforceCacheSizeCap(), 1u);
+    struct stat info;
+    EXPECT_NE(::stat(old_path.c_str(), &info), 0)
+        << "oldest entry survived";
+    EXPECT_EQ(::stat(new_path.c_str(), &info), 0)
+        << "newest entry evicted";
+
+    // The evicted key misses cleanly; the survivor still loads.
+    std::vector<double> loaded;
+    EXPECT_FALSE(loadCachedSolve("old", 0x111, values.size(), loaded));
+    EXPECT_TRUE(loadCachedSolve("new", 0x222, values.size(), loaded));
+
+    // Under the cap nothing is evicted.
+    EXPECT_EQ(enforceCacheSizeCap(), 0u);
+
+    ASSERT_EQ(::unsetenv("SBN_CACHE_MAX_BYTES"), 0);
+    ASSERT_EQ(::unsetenv("SBN_CACHE_DIR"), 0);
+}
+
+TEST(AnalyticDiskCache, EvictionNeverCorruptsAConcurrentReader)
+{
+    const std::string dir = tempPath("cache_gc_reader");
+    ASSERT_EQ(::setenv("SBN_CACHE_DIR", dir.c_str(), 1), 0);
+
+    const std::vector<double> values{0.25, 0.75};
+    storeCachedSolve("held", 0x333, values);
+    const std::string path =
+        dir + "/held-" + formatFingerprint(0x333) + ".txt";
+    std::string before;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        before = os.str();
+    }
+
+    // A reader opens the entry, then eviction unlinks it. POSIX
+    // keeps the open file's contents intact for the reader: it sees
+    // the complete old entry, never a torn one.
+    std::ifstream reader(path, std::ios::binary);
+    ASSERT_TRUE(reader.good());
+    ASSERT_EQ(::setenv("SBN_CACHE_MAX_BYTES", "1", 1), 0);
+    EXPECT_GE(enforceCacheSizeCap(), 1u);
+    struct stat info;
+    EXPECT_NE(::stat(path.c_str(), &info), 0) << "entry survived";
+
+    std::ostringstream still;
+    still << reader.rdbuf();
+    EXPECT_EQ(still.str(), before);
+
+    // New lookups miss cleanly rather than seeing a partial entry.
+    std::vector<double> loaded;
+    EXPECT_FALSE(loadCachedSolve("held", 0x333, values.size(),
+                                 loaded));
+
+    ASSERT_EQ(::unsetenv("SBN_CACHE_MAX_BYTES"), 0);
     ASSERT_EQ(::unsetenv("SBN_CACHE_DIR"), 0);
 }
 

@@ -21,10 +21,17 @@
  *       ordered stream on stdout - byte-identical to the serial run.
  *
  *   sbn_sweep ... --spawn=4 --dir=out/
- *       Fork 4 local worker processes (one per shard), wait for all,
- *       then merge to stdout. Equivalent to running the four --shard
- *       commands by hand; useful as a one-command local distributor
- *       and as the CI determinism check.
+ *       Run the 4-shard fleet under ShardSupervisor: one worker per
+ *       shard with crash/hang detection, capped-backoff retries with
+ *       resume (--retries, --hang-timeout), and work stealing of a
+ *       straggler's missing points into free slots (--steal). On
+ *       success the merged stream on stdout is byte-identical to the
+ *       serial run. When a shard exhausts its retry budget the tool
+ *       degrades gracefully: merged partial output on stdout, a
+ *       machine-readable missing-points manifest in --dir, one
+ *       structured failure line on stderr, and exit code 75
+ *       (EX_TEMPFAIL) so callers can tell "rerun the named points"
+ *       from "the sweep is broken".
  *
  * --adaptive switches every mode to adaptive-precision estimation
  * (per-point replications grown until --rel/--abs or --cap); records
@@ -40,6 +47,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
@@ -47,10 +55,12 @@
 
 #include "core/experiment.hh"
 #include "exec/parallel_runner.hh"
+#include "shard/fault.hh"
 #include "shard/merge.hh"
 #include "shard/plan.hh"
 #include "shard/result_io.hh"
 #include "shard/runner.hh"
+#include "shard/supervisor.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 
@@ -69,6 +79,12 @@ struct Options
     ShardLayout layout = ShardLayout::Contiguous;
     std::string dir = "sbn-sweep-out";
     bool resume = false;
+
+    // --spawn supervision policy.
+    unsigned retries = 2;         //!< respawns allowed per shard
+    double hangTimeout = 0.0;     //!< seconds; 0 = liveness off
+    double backoffInitial = 0.25; //!< first-retry backoff seconds
+    bool steal = true;            //!< work stealing on by default
 };
 
 std::vector<ArbitrationPolicy>
@@ -151,6 +167,20 @@ parseOptions(const CommandLine &cli)
     opt.dir = cli.getString("dir", opt.dir);
     opt.resume = cli.getBool("resume", false);
 
+    const std::int64_t retries = cli.getInt("retries", 2);
+    if (retries < 0)
+        sbn_fatal("--retries must be >= 0 (got ", retries, ")");
+    opt.retries = static_cast<unsigned>(retries);
+    opt.hangTimeout = cli.getDouble("hang-timeout", 0.0);
+    if (opt.hangTimeout < 0.0)
+        sbn_fatal("--hang-timeout must be >= 0 seconds (got ",
+                  opt.hangTimeout, ")");
+    opt.backoffInitial = cli.getDouble("backoff", 0.25);
+    if (opt.backoffInitial < 0.0)
+        sbn_fatal("--backoff must be >= 0 seconds (got ",
+                  opt.backoffInitial, ")");
+    opt.steal = cli.getBool("steal", true);
+
     spec.validate();
     return opt;
 }
@@ -214,10 +244,18 @@ mergeShards(const Options &opt, std::size_t shard_count,
             const std::vector<std::string> &files,
             std::size_t structural_size)
 {
-    const MergeCheck check =
+    MergeCheck check =
         structural_size != 0
             ? structuralMergeCheck(structural_size)
             : checkFor(opt, opt.spec.materialize());
+    if (files.empty()) {
+        // Canonical shard set: give the check shard attribution so a
+        // strict-merge failure names the exact missing indices and
+        // the shard file expected to own each of them.
+        check.shardCount = shard_count;
+        check.layout = opt.layout;
+        check.dir = opt.dir;
+    }
     const std::vector<std::string> paths =
         files.empty() ? shardFilePaths(opt.dir, shard_count) : files;
     const std::vector<PointRecord> merged =
@@ -260,7 +298,13 @@ runSerial(const Options &opt)
     std::fprintf(stderr, "swept %zu point(s)\n", points.size());
 }
 
-/** Fork one worker per shard, wait, then merge to stdout. */
+/**
+ * Run the shard fleet under ShardSupervisor, then merge to stdout.
+ * Complete runs exit 0 with the byte-identical merged stream;
+ * budget-exhausted runs emit the merged partial stream, persist the
+ * missing-points manifest, report every failed shard in one
+ * structured stderr line, and exit kPartialResultExit.
+ */
 void
 spawnAndMerge(const Options &opt, std::size_t shard_count)
 {
@@ -268,39 +312,92 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
     // pool, so each child owns a clean single-threaded image and
     // builds its own pool. Each worker defaults to one thread; pass
     // --threads to give every worker its own pool.
-    std::vector<pid_t> children;
-    children.reserve(shard_count);
-    for (std::size_t i = 0; i < shard_count; ++i) {
-        const pid_t pid = fork();
-        if (pid < 0)
-            sbn_fatal("--spawn: fork failed for shard ", i);
-        if (pid == 0) {
-            Options worker = opt;
-            if (worker.threads == 0)
-                worker.threads = 1;
-            runOneShard(worker, {i, shard_count});
-            std::exit(0);
+    const std::vector<SystemConfig> points = opt.spec.materialize();
+    MergeCheck check = checkFor(opt, points);
+    check.shardCount = shard_count;
+    check.layout = opt.layout;
+    check.dir = opt.dir;
+
+    SupervisorConfig config;
+    config.shardCount = shard_count;
+    config.dir = opt.dir;
+    config.layout = opt.layout;
+    config.expectedRunFp = check.expectedRunFp;
+    config.maxRetries = opt.retries;
+    config.backoffInitialSeconds = opt.backoffInitial;
+    config.hangTimeoutSeconds = opt.hangTimeout;
+    config.workStealing = opt.steal;
+
+    Options worker = opt;
+    if (worker.threads == 0)
+        worker.threads = 1;
+
+    ShardSupervisor supervisor(
+        config, [&](const WorkerTask &task) {
+            if (task.steal) {
+                if (opt.adaptive)
+                    runStolenPointsAdaptive(
+                        points, task.points, opt.target, opt.schedule,
+                        evaluateReplication, task.outPath,
+                        worker.threads);
+                else
+                    runStolenPointsSweep(points, task.points,
+                                         evaluatePoint, task.outPath,
+                                         worker.threads);
+            } else {
+                Options w = worker;
+                // A respawn must keep the dead worker's flushed
+                // records; first launches honor the user's --resume.
+                w.resume = w.resume || task.attempt > 0;
+                runOneShard(w, task.shard);
+            }
+        });
+    const SupervisorReport report = supervisor.run();
+
+    if (report.respawns != 0 || report.stealLaunches != 0)
+        std::fprintf(stderr,
+                     "--spawn: supervision recovered: %zu respawn(s), "
+                     "%zu steal launch(es) covering %zu point(s)\n",
+                     report.respawns, report.stealLaunches,
+                     report.stolenPoints);
+
+    // Merge everything the fleet produced - canonical shard files
+    // plus steal files. Partial tails are tolerated: an exhausted
+    // shard legitimately leaves a torn final line, and any point it
+    // covers is deduped against the steal copy bit-identically.
+    const PartialMerge merged = collectRecordFiles(
+        report.recordFiles, check, /*tolerate_partial_tail=*/true);
+    writeRecords(std::cout, merged.records);
+
+    if (!report.complete) {
+        // Graceful degradation: persist the exact uncovered points
+        // machine-readably and report every failed shard - index,
+        // wait status, launches - in ONE structured stderr line.
+        const std::string manifest = missingManifestPath(opt.dir);
+        writeMissingPointsManifest(manifest, check,
+                                   report.missingPoints);
+        std::string line = "--spawn: incomplete:";
+        for (std::size_t i = 0; i < report.shards.size(); ++i) {
+            const ShardOutcome &outcome = report.shards[i];
+            if (outcome.state != ShardState::Exhausted)
+                continue;
+            line += " shard " + std::to_string(i) + "/" +
+                    std::to_string(shard_count) + " {" +
+                    describeWaitStatus(outcome.lastStatus) + ", " +
+                    std::to_string(outcome.launches) + " launch(es)" +
+                    (outcome.everHung ? ", hung" : "") + "}";
         }
-        children.push_back(pid);
+        line += "; " + std::to_string(report.missingPoints.size()) +
+                "/" + std::to_string(check.gridSize) +
+                " point(s) missing; merged partial stream written; "
+                "manifest: " +
+                manifest;
+        std::fprintf(stderr, "%s\n", line.c_str());
+        std::exit(kPartialResultExit);
     }
 
-    bool failed = false;
-    for (std::size_t i = 0; i < children.size(); ++i) {
-        int status = 0;
-        if (waitpid(children[i], &status, 0) < 0 ||
-            !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            sbn_warn("--spawn: shard ", i, "/", shard_count,
-                     " worker failed (status ", status,
-                     ") - rerun with --shard=", i, "/", shard_count,
-                     " --resume to finish it");
-            failed = true;
-        }
-    }
-    if (failed)
-        sbn_fatal("--spawn: not all shard workers succeeded; the "
-                  "finished shards' records are preserved under '",
-                  opt.dir, "'");
-    mergeShards(opt, shard_count, {}, 0);
+    std::fprintf(stderr, "merged %zu record(s) from %zu file(s)\n",
+                 merged.records.size(), report.recordFiles.size());
 }
 
 } // namespace
@@ -340,7 +437,15 @@ main(int argc, char **argv)
         {"dir", "shard file directory"},
         {"resume", "skip points with matching records on disk"},
         {"merge", "merge shard files to stdout"},
-        {"spawn", "fork N local shard workers, then merge"},
+        {"spawn", "run N supervised local shard workers, then merge"},
+        {"retries", "spawn: respawns allowed per shard (default 2)"},
+        {"hang-timeout", "spawn: seconds without record progress "
+                         "before a worker is declared hung and "
+                         "killed (0 = off)"},
+        {"backoff", "spawn: initial retry backoff seconds (doubles "
+                    "per failure, capped)"},
+        {"steal", "spawn: let free workers steal missing points from "
+                  "stragglers (default 1)"},
     };
     const CommandLine cli(argc, argv, known);
     const Options opt = parseOptions(cli);
@@ -355,7 +460,26 @@ main(int argc, char **argv)
 
     if (has_shard) {
         ensureWritableShardDir(opt.dir);
-        runOneShard(opt, ShardSpec::parse(cli.getString("shard", "")));
+        const ShardSpec shard =
+            ShardSpec::parse(cli.getString("shard", ""));
+        // Declare identity for the fault plane: a manually-launched
+        // worker is attempt 0 unless SBN_FAULT_ATTEMPT says otherwise
+        // (the supervisor sets the scope in its forked children
+        // directly).
+        unsigned attempt = 0;
+        if (const char *env = std::getenv(kFaultAttemptEnvVar);
+            env != nullptr && *env != '\0') {
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long parsed = std::strtoul(env, &end, 10);
+            if (*end != '\0' || errno == ERANGE)
+                sbn_fatal(kFaultAttemptEnvVar,
+                          " must be a non-negative integer, got '",
+                          env, "'");
+            attempt = static_cast<unsigned>(parsed);
+        }
+        setFaultProcessScope(shard.index, attempt);
+        runOneShard(opt, shard);
     } else if (has_merge) {
         const std::vector<std::string> files =
             cli.getStringList("files", {});
