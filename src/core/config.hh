@@ -38,6 +38,27 @@ enum class SelectionRule
 };
 
 /**
+ * Which simulation kernel executes the model.
+ *
+ * CycleSkip is the exact reference: it consumes one shared RNG stream
+ * in the classic kernel's event order, which keeps every golden
+ * Metrics pin valid but provably forbids per-processor think batching
+ * (docs/performance.md). FastStat deliberately breaks that bit-compat
+ * for throughput: per-processor counter-based RNG streams draw whole
+ * geometric think intervals in O(1), memory completions ride a
+ * fixed-stride calendar, and processor state is laid out SoA for the
+ * arbitration scan. Same stochastic process in distribution,
+ * different trajectories - validation is statistical (CI overlap vs
+ * CycleSkip and the analytic chains, tests/test_faststat.cc), never
+ * golden equality.
+ */
+enum class KernelKind
+{
+    CycleSkip, //!< exact shared-RNG kernel (default, golden-pinned)
+    FastStat,  //!< statistical kernel: fast, not bit-compatible
+};
+
+/**
  * Full parameter set of one simulated system.
  *
  * Times are in bus cycles (the paper's unit t): memory access takes
@@ -61,6 +82,15 @@ struct SystemConfig
 
     ArbitrationPolicy policy = ArbitrationPolicy::ProcessorPriority;
     SelectionRule selection = SelectionRule::Random;
+
+    /**
+     * Simulation kernel. CycleSkip (default) is the exact,
+     * golden-pinned reference; FastStat trades bit-compat for
+     * throughput and is validated statistically. Non-default kernels
+     * fold into the config fingerprint, so FastStat records can never
+     * merge with (or satisfy a resume of) an exact-kernel sweep.
+     */
+    KernelKind kernel = KernelKind::CycleSkip;
 
     /**
      * Reference pattern + per-processor think structure (see

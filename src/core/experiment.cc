@@ -1,5 +1,6 @@
 #include "core/experiment.hh"
 
+#include "core/faststat.hh"
 #include "exec/parallel_runner.hh"
 
 namespace sbn {
@@ -7,6 +8,10 @@ namespace sbn {
 Metrics
 runOnce(const SystemConfig &config)
 {
+    if (config.kernel == KernelKind::FastStat) {
+        FastStatSystem system(config);
+        return system.run();
+    }
     SingleBusSystem system(config);
     return system.run();
 }

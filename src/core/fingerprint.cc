@@ -107,6 +107,15 @@ configFingerprint(const SystemConfig &config)
     h.u64(config.seed);
     h.u64(static_cast<std::uint64_t>(config.warmupCycles));
     h.u64(static_cast<std::uint64_t>(config.measureCycles));
+    // The kernel folds in only when it is not the exact default, so
+    // every fingerprint ever computed for a CycleSkip config stays
+    // valid, while FastStat records can never collide with (or
+    // satisfy a resume of) an exact-kernel sweep. The tag keeps a
+    // future third kernel from colliding with a field extension.
+    if (config.kernel != KernelKind::CycleSkip) {
+        h.u64(0x4b45524e454c4b44ull); // "KERNELKD"
+        h.i64(static_cast<std::int64_t>(config.kernel));
+    }
     return h.digest();
 }
 

@@ -41,6 +41,46 @@ fileExists(const std::string &path)
     return ::stat(path.c_str(), &info) == 0;
 }
 
+/**
+ * Signal caught while a supervisor's run() loop owns the fleet.
+ * async-signal-safe: the handler only stores the number; the loop
+ * polls it each iteration (the poll sleep is at most pollMillis, and
+ * the signal interrupts it anyway).
+ */
+volatile sig_atomic_t g_supervisorSignal = 0;
+
+extern "C" void
+supervisorSignalHandler(int sig)
+{
+    g_supervisorSignal = sig;
+}
+
+/** RAII install/restore of the SIGINT/SIGTERM interrupt handlers. */
+class SignalGuard
+{
+  public:
+    SignalGuard()
+    {
+        g_supervisorSignal = 0;
+        struct sigaction action;
+        action.sa_handler = supervisorSignalHandler;
+        ::sigemptyset(&action.sa_mask);
+        action.sa_flags = 0; // no SA_RESTART: interrupt the poll sleep
+        ::sigaction(SIGINT, &action, &previousInt_);
+        ::sigaction(SIGTERM, &action, &previousTerm_);
+    }
+
+    ~SignalGuard()
+    {
+        ::sigaction(SIGINT, &previousInt_, nullptr);
+        ::sigaction(SIGTERM, &previousTerm_, nullptr);
+    }
+
+  private:
+    struct sigaction previousInt_;
+    struct sigaction previousTerm_;
+};
+
 } // namespace
 
 const char *
@@ -111,9 +151,13 @@ ShardSupervisor::spawn(Task &task)
     if (pid < 0)
         sbn_fatal("supervisor: fork failed for ", what);
     if (pid == 0) {
-        // Child. Declare identity for fault targeting, run the body,
-        // and leave via _exit so no parent-owned stdio buffer or
-        // static destructor runs twice.
+        // Child. Shed the supervisor's interrupt handlers first: a
+        // worker inheriting them would swallow the Ctrl-C meant to
+        // stop the fleet. Then declare identity for fault targeting,
+        // run the body, and leave via _exit so no parent-owned stdio
+        // buffer or static destructor runs twice.
+        ::signal(SIGINT, SIG_DFL);
+        ::signal(SIGTERM, SIG_DFL);
         setFaultProcessScope(task.work.steal ? kFaultNoShard
                                              : task.work.shard.index,
                              task.work.attempt);
@@ -424,10 +468,49 @@ ShardSupervisor::stealLaunches() const
     return report_.stealLaunches;
 }
 
+void
+ShardSupervisor::killAndReapAllWorkers()
+{
+    // SIGKILL, not SIGTERM: the fleet is being torn down and the
+    // record format needs no cleanup (append + flush); a worker that
+    // ignored a gentler signal would become the very orphan this
+    // path exists to prevent. The blocking waitpid guarantees no
+    // worker pid outlives the supervisor's return.
+    const auto killOne = [&](Task &task) {
+        if (task.state != ShardState::Running || task.pid < 0)
+            return;
+        ::kill(task.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(task.pid, &status, 0);
+        task.lastStatus = status;
+        task.pid = -1;
+        task.state = ShardState::Exhausted;
+    };
+    for (Task &task : shardTasks_)
+        killOne(task);
+    for (Task &task : stealTasks_)
+        killOne(task);
+}
+
 SupervisorReport
 ShardSupervisor::run()
 {
+    // Own SIGINT/SIGTERM while the fleet exists: an interrupted
+    // supervisor must not orphan its forked workers. Children reset
+    // the handlers after fork (spawn()), so only this process defers.
+    SignalGuard guard;
+
     for (;;) {
+        if (g_supervisorSignal != 0) {
+            const int sig = static_cast<int>(g_supervisorSignal);
+            sbn_warn("supervisor: caught signal ", sig,
+                     "; killing and reaping ", runningCount(),
+                     " live worker(s) before exiting");
+            killAndReapAllWorkers();
+            report_.interruptSignal = sig;
+            break;
+        }
+
         reapExited();
         killHungWorkers();
         launchDueRespawns();

@@ -151,6 +151,13 @@ struct ShardOutcome
 struct SupervisorReport
 {
     bool complete = false; //!< every grid point has a valid record
+    /**
+     * Nonzero when run() stopped because the supervisor itself caught
+     * SIGINT/SIGTERM: every live worker was SIGKILLed and reaped
+     * before returning, and `complete` reflects whatever records
+     * survived. Orchestrators should exit 128 + interruptSignal.
+     */
+    int interruptSignal = 0;
     std::vector<ShardOutcome> shards;
     std::vector<std::size_t> missingPoints; //!< ascending flat indices
     /** Record files that exist: canonical shard files + steal files,
@@ -173,14 +180,21 @@ class ShardSupervisor
     ShardSupervisor(SupervisorConfig config, WorkerBody body);
     ~ShardSupervisor(); // out-of-line: Task is incomplete here
 
-    /** Run the fleet; blocks until every shard is Done or Exhausted
-     *  and no steal worker is in flight. */
+    /**
+     * Run the fleet; blocks until every shard is Done or Exhausted
+     * and no steal worker is in flight - or until the supervisor
+     * process catches SIGINT/SIGTERM, in which case every live worker
+     * is SIGKILLed and reaped (no orphans) and the report carries the
+     * signal in interruptSignal. Handlers are installed for the
+     * duration of run() and restored on return.
+     */
     SupervisorReport run();
 
   private:
     struct Task;
 
     void spawn(Task &task);
+    void killAndReapAllWorkers();
     void reapExited();
     void killHungWorkers();
     void launchDueRespawns();

@@ -28,6 +28,21 @@ Accumulator::add(double sample)
     max_ = std::max(max_, sample);
 }
 
+Accumulator
+Accumulator::fromMoments(std::uint64_t count, double mean, double m2,
+                         double min, double max)
+{
+    Accumulator out;
+    if (count == 0)
+        return out;
+    out.count_ = count;
+    out.mean_ = mean;
+    out.m2_ = std::max(m2, 0.0); // guard tiny negative round-off
+    out.min_ = min;
+    out.max_ = max;
+    return out;
+}
+
 void
 Accumulator::merge(const Accumulator &other)
 {

@@ -30,6 +30,16 @@ class Accumulator
     /** Merge another accumulator (parallel Welford combine). */
     void merge(const Accumulator &other);
 
+    /**
+     * Build an accumulator from precomputed moments: @p m2 is the sum
+     * of squared deviations from @p mean (n * population variance).
+     * For callers that accumulate exact integer sums in a hot loop
+     * (e.g. the FastStat kernel's tick-valued waits) and summarize
+     * once at the end.
+     */
+    static Accumulator fromMoments(std::uint64_t count, double mean,
+                                   double m2, double min, double max);
+
     /** Number of samples added. */
     std::uint64_t count() const { return count_; }
 

@@ -1,11 +1,56 @@
 #include "util/cli.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 #include "util/logging.hh"
 
 namespace sbn {
+
+namespace {
+
+/**
+ * strtoll with the full error surface: trailing junk AND range. The
+ * errno protocol (reset before, check ERANGE after) is the same one
+ * shard/fault.cc's clause parser uses; without it an overflowing
+ * "--processors 99999999999999999999" silently clamps to INT64_MAX
+ * and sails through validation.
+ */
+std::int64_t
+parseIntOrDie(const std::string &name, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const std::int64_t v = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        sbn_fatal("option --", name, " expects an integer, got '",
+                  text, "'");
+    if (errno == ERANGE)
+        sbn_fatal("option --", name, ": integer out of range, got '",
+                  text, "'");
+    return v;
+}
+
+/** strtod counterpart: overflow (+-HUGE_VAL) and underflow both set
+ *  ERANGE and both fail fatally - a value the double type cannot
+ *  represent is a configuration error, not a rounding request. */
+double
+parseDoubleOrDie(const std::string &name, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        sbn_fatal("option --", name, " expects a number, got '",
+                  text, "'");
+    if (errno == ERANGE)
+        sbn_fatal("option --", name, ": number out of range, got '",
+                  text, "'");
+    return v;
+}
+
+} // namespace
 
 CommandLine::CommandLine(int argc, const char *const *argv,
                          const std::map<std::string, std::string> &known)
@@ -76,12 +121,7 @@ CommandLine::getInt(const std::string &name, std::int64_t def) const
     const auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-    if (end == it->second.c_str() || *end != '\0')
-        sbn_fatal("option --", name, " expects an integer, got '",
-                  it->second, "'");
-    return v;
+    return parseIntOrDie(name, it->second);
 }
 
 double
@@ -90,12 +130,7 @@ CommandLine::getDouble(const std::string &name, double def) const
     const auto it = values_.find(name);
     if (it == values_.end())
         return def;
-    char *end = nullptr;
-    const double v = std::strtod(it->second.c_str(), &end);
-    if (end == it->second.c_str() || *end != '\0')
-        sbn_fatal("option --", name, " expects a number, got '",
-                  it->second, "'");
-    return v;
+    return parseDoubleOrDie(name, it->second);
 }
 
 bool
@@ -150,13 +185,8 @@ CommandLine::getIntList(const std::string &name,
     if (it == values_.end())
         return def;
     std::vector<std::int64_t> out;
-    for (const std::string &element : splitList(name, it->second)) {
-        char *end = nullptr;
-        out.push_back(std::strtoll(element.c_str(), &end, 10));
-        if (end == element.c_str() || *end != '\0')
-            sbn_fatal("option --", name, ": bad list element '",
-                      element, "'");
-    }
+    for (const std::string &element : splitList(name, it->second))
+        out.push_back(parseIntOrDie(name, element));
     return out;
 }
 
@@ -178,13 +208,8 @@ CommandLine::getDoubleList(const std::string &name,
     if (it == values_.end())
         return def;
     std::vector<double> out;
-    for (const std::string &element : splitList(name, it->second)) {
-        char *end = nullptr;
-        out.push_back(std::strtod(element.c_str(), &end));
-        if (end == element.c_str() || *end != '\0')
-            sbn_fatal("option --", name, ": bad list element '",
-                      element, "'");
-    }
+    for (const std::string &element : splitList(name, it->second))
+        out.push_back(parseDoubleOrDie(name, element));
     return out;
 }
 

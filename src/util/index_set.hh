@@ -20,6 +20,34 @@
 
 namespace sbn {
 
+namespace detail {
+
+/** Select positions for every byte value: pos[b][k] is the bit index
+ *  of the k-th set bit of b (0xff for k >= popcount(b)). */
+struct ByteSelect
+{
+    std::uint8_t pos[256][8];
+};
+
+constexpr ByteSelect
+makeByteSelect()
+{
+    ByteSelect table{};
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        unsigned k = 0;
+        for (unsigned bit = 0; bit < 8; ++bit)
+            if ((byte >> bit) & 1u)
+                table.pos[byte][k++] = static_cast<std::uint8_t>(bit);
+        for (; k < 8; ++k)
+            table.pos[byte][k] = 0xff;
+    }
+    return table;
+}
+
+inline constexpr ByteSelect kByteSelect = makeByteSelect();
+
+} // namespace detail
+
 class IndexSet
 {
   public:
@@ -116,6 +144,8 @@ class IndexSet
     nth(std::size_t k) const
     {
         sbn_assert(k < count_, "IndexSet::nth out of range");
+        if (words_.size() == 1)
+            return selectBit(words_[0], k);
         for (std::size_t w = 0;; ++w) {
             std::uint64_t word = words_[w];
             const auto populated = static_cast<std::size_t>(
@@ -124,10 +154,7 @@ class IndexSet
                 k -= populated;
                 continue;
             }
-            while (k-- > 0)
-                word &= word - 1; // drop lowest set bit
-            return w * 64 + static_cast<std::size_t>(
-                                __builtin_ctzll(word));
+            return w * 64 + selectBit(word, k);
         }
     }
 
@@ -148,6 +175,40 @@ class IndexSet
     }
 
   private:
+    /**
+     * Position of the k-th (0-based) set bit of @p word. The
+     * arbitration hot path calls this with a random k every grant, so
+     * the common small-system case (word fits in one byte, n <= 8)
+     * must be a single table load; wider words fall back to a branch-
+     * free binary search over half-word popcounts (a bit-stripping
+     * loop would mispredict once per call, the multiply-masked steps
+     * never branch). @pre k < popcount(word)
+     */
+    static std::size_t
+    selectBit(std::uint64_t word, std::size_t k)
+    {
+        if (word < 256)
+            return detail::kByteSelect.pos[word][k];
+        // Start the search at the word's actual width: medium systems
+        // (n <= 16, say) resolve in four steps, not six.
+        unsigned shift = 8;
+        while ((word >> shift) >> shift != 0)
+            shift <<= 1;
+        std::size_t pos = 0;
+        for (; shift >= 8; shift >>= 1) {
+            const auto low = static_cast<std::size_t>(
+                __builtin_popcountll(word &
+                                     ((1ull << shift) - 1)));
+            const std::size_t go = k >= low ? 1 : 0; // cmov, not jmp
+            k -= go * low;
+            pos += go * shift;
+            word >>= go * shift;
+        }
+        // High bits may survive when the last step kept the low half
+        // (go = 0); the answer lives in the low byte either way.
+        return pos + detail::kByteSelect.pos[word & 0xff][k];
+    }
+
     std::vector<std::uint64_t> words_;
     std::size_t capacity_ = 0;
     std::size_t count_ = 0;

@@ -95,4 +95,18 @@ std::string describeWaitStatus(int status);
         }                                                                   \
     } while (0)
 
+/**
+ * Invariant check compiled out of NDEBUG (Release) builds, for checks
+ * executed millions of times per run on a kernel's innermost path
+ * where even a predicted compare-and-branch is measurable. Everything
+ * off the hot path should use sbn_assert, which is always active.
+ */
+#ifdef NDEBUG
+#define sbn_debug_assert(cond, ...)                                         \
+    do {                                                                    \
+    } while (0)
+#else
+#define sbn_debug_assert(cond, ...) sbn_assert(cond, __VA_ARGS__)
+#endif
+
 #endif // SBN_UTIL_LOGGING_HH

@@ -144,4 +144,41 @@ RandomGenerator::deriveSeed()
     return next();
 }
 
+CounterRng::CounterRng(std::uint64_t key, std::uint64_t stream)
+{
+    // Derive a well-separated per-stream key: two SplitMix64 steps
+    // over the family key, the stream index folded in between, so
+    // nearby (key, stream) pairs land in unrelated Weyl sequences.
+    std::uint64_t x = key;
+    std::uint64_t mixed = splitMix64(x);
+    x = mixed ^ (0xd1342543de82ef95ull * (stream + 1));
+    key_ = splitMix64(x);
+}
+
+bool
+CounterRng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniformReal() < p;
+}
+
+std::uint64_t
+CounterRng::geometricSlow(double p)
+{
+    sbn_assert(p > 0.0, "geometric requires p in (0, 1]");
+    // Inversion: U in (0, 1], k = floor(log U / log(1-p)) failures.
+    // One uniform draw regardless of k - the O(1) contract the
+    // FastStat kernel's think batching is built on.
+    const double u = 1.0 - uniformReal();
+    const double k = std::floor(std::log(u) / std::log1p(-p));
+    if (!(k > 0.0))
+        return 0;
+    if (k >= 0x1.0p62)
+        return 1ull << 62;
+    return static_cast<std::uint64_t>(k);
+}
+
 } // namespace sbn

@@ -6,6 +6,13 @@
  * SplitMix64 so that any 64-bit seed yields a well-mixed state. It is
  * small, fast, and fully reproducible across platforms, which the test
  * suite relies on (fixed seed => identical simulation trajectories).
+ *
+ * CounterRng is the second generator family: a counter-based
+ * (Philox-style) stream whose i-th output is a pure function of
+ * (key, stream, i). Streams with distinct stream indices are
+ * statistically independent no matter how unevenly they are consumed,
+ * which is what lets the FastStat kernel give every processor its own
+ * stream without any cross-processor draw-order coupling.
  */
 
 #ifndef SBN_UTIL_RANDOM_HH
@@ -80,6 +87,104 @@ class RandomGenerator
 
   private:
     std::uint64_t s_[4];
+};
+
+/**
+ * Counter-based pseudo-random stream (Philox-style construction: a
+ * stateless avalanche of key + counter, here the SplitMix64 finalizer
+ * over a Weyl sequence). The i-th output depends only on (key,
+ * stream, i), so:
+ *
+ *  - two streams with different stream indices never share draws, no
+ *    matter how many values either consumes;
+ *  - a stream can be reconstructed at any point from (key, stream,
+ *    counter) alone - no hidden state.
+ *
+ * The FastStat kernel seeds one stream per processor from the config
+ * fingerprint, plus one for arbitration tie-breaks; the statistical-
+ * equivalence suite relies on the independence, the golden pins on
+ * the pure-function determinism.
+ */
+class CounterRng
+{
+  public:
+    CounterRng() = default;
+
+    /** Stream @p stream of the family keyed by @p key. */
+    CounterRng(std::uint64_t key, std::uint64_t stream);
+
+    /**
+     * Next raw 64-bit output (advances the counter by one). Inline -
+     * the FastStat kernel draws tens of millions of values per run
+     * and the SplitMix64 finalizer is a handful of instructions.
+     */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = key_ + (counter_++) * 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound) (Lemire rejection). @pre bound > 0 */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        for (;;) {
+            const std::uint64_t x = next();
+            const auto m = static_cast<__uint128_t>(x) *
+                           static_cast<__uint128_t>(bound);
+            const auto low = static_cast<std::uint64_t>(m);
+            if (low >= bound || low >= (0 - bound) % bound)
+                return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /** Uniform double in [0, 1) with 53 random bits. */
+    double
+    uniformReal()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric draw in O(1): number of failures before the first
+     * success of a Bernoulli(p) sequence, via inversion
+     * floor(log(U) / log(1-p)). Returns 0 for p >= 1; results are
+     * clamped to 2^62 so downstream tick arithmetic cannot overflow.
+     * Inline so the saturated-regime fast path (p >= 1: no draw at
+     * all) folds into the kernel's per-completion code.
+     * @pre p > 0 when p < 1
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        return geometricSlow(p);
+    }
+
+    /** Pick an index uniformly from [0, size). */
+    std::size_t
+    pickIndex(std::size_t size)
+    {
+        return static_cast<std::size_t>(
+            uniformInt(static_cast<std::uint64_t>(size)));
+    }
+
+    /** Values drawn so far (the counter position). */
+    std::uint64_t counter() const { return counter_; }
+
+  private:
+    /** The p < 1 inversion (one uniform draw). */
+    std::uint64_t geometricSlow(double p);
+
+    std::uint64_t key_ = 0;
+    std::uint64_t counter_ = 0;
 };
 
 } // namespace sbn

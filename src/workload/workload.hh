@@ -169,9 +169,12 @@ class AliasTable
 
     /**
      * Draw one index. Consumes exactly one uniformInt(size) and one
-     * uniformReal() from @p rng regardless of the distribution.
+     * uniformReal() from @p rng regardless of the distribution. @p Rng
+     * is any generator with those two draws (RandomGenerator for the
+     * exact kernel, CounterRng for FastStat's per-processor streams).
      */
-    std::size_t sample(RandomGenerator &rng) const
+    template <typename Rng>
+    std::size_t sample(Rng &rng) const
     {
         const std::size_t slot = rng.uniformInt(accept_.size());
         return rng.uniformReal() < accept_[slot]
@@ -197,8 +200,10 @@ class WorkloadModel
     WorkloadModel(const WorkloadConfig &workload, int n, int m,
                   double base_p);
 
-    /** Module target of processor @p proc's next request. */
-    int sampleTarget(int proc, RandomGenerator &rng) const
+    /** Module target of processor @p proc's next request. @p Rng as
+     *  in AliasTable::sample. */
+    template <typename Rng>
+    int sampleTarget(int proc, Rng &rng) const
     {
         if (uniform_)
             return static_cast<int>(rng.uniformInt(numModules_));

@@ -15,8 +15,11 @@
 #include <gtest/gtest.h>
 
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -31,6 +34,7 @@
 #include "shard/result_io.hh"
 #include "shard/runner.hh"
 #include "shard/supervisor.hh"
+#include "util/logging.hh"
 
 namespace sbn {
 namespace {
@@ -418,6 +422,75 @@ TEST(Supervisor, ExhaustionDegradesToPartialResultAndManifest)
     EXPECT_NE(manifest.find("\"shard\":1"), std::string::npos);
     EXPECT_NE(manifest.find(shardFilePath(dir, {1, 4})),
               std::string::npos);
+}
+
+TEST(Supervisor, InterruptKillsWorkersAndReportsTheSignal)
+{
+    // The supervisor's own SIGINT/SIGTERM contract: every live worker
+    // is killed and reaped before run() returns, and the report
+    // carries the signal so orchestrators can exit 128 + sig. The
+    // supervisor runs in a forked child here because the test must
+    // deliver a real SIGTERM to it without killing the test binary.
+    const std::vector<SystemConfig> points = testSpec().materialize();
+    const std::string dir = tempDir("interrupt");
+    MergeCheck check = sweepMergeCheck(points);
+    check.shardCount = 2;
+    check.layout = ShardLayout::Contiguous;
+    check.dir = dir;
+
+    const pid_t child = ::fork();
+    ASSERT_NE(child, -1);
+    if (child == 0) {
+        // Supervisor process. Workers publish their pid and hang
+        // forever; only the interrupt path can end this fleet.
+        const WorkerBody body = [&dir](const WorkerTask &task) {
+            std::ofstream out(dir + "/worker-" +
+                              std::to_string(task.shard.index) +
+                              ".pid");
+            out << ::getpid() << '\n';
+            out.close();
+            for (;;)
+                ::pause();
+        };
+        ShardSupervisor supervisor(testConfig(dir, check, 2), body);
+        const SupervisorReport report = supervisor.run();
+        if (report.interruptSignal != SIGTERM)
+            ::_exit(7);
+        if (report.complete)
+            ::_exit(8);
+        ::_exit(42);
+    }
+
+    // Wait for both workers to publish their pids.
+    std::vector<pid_t> workers;
+    for (int spin = 0; spin < 2000 && workers.size() < 2; ++spin) {
+        workers.clear();
+        for (int shard = 0; shard < 2; ++shard) {
+            std::ifstream in(dir + "/worker-" +
+                             std::to_string(shard) + ".pid");
+            pid_t pid = 0;
+            if (in >> pid && pid > 0)
+                workers.push_back(pid);
+        }
+        if (workers.size() < 2)
+            ::usleep(5000);
+    }
+    ASSERT_EQ(workers.size(), 2u) << "workers never started";
+
+    ASSERT_EQ(::kill(child, SIGTERM), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFEXITED(status)) << describeWaitStatus(status);
+    EXPECT_EQ(WEXITSTATUS(status), 42) << describeWaitStatus(status);
+
+    // The supervisor reaped its workers before exiting, so the pids
+    // must be gone entirely - not zombies, not orphans.
+    for (const pid_t pid : workers) {
+        errno = 0;
+        EXPECT_EQ(::kill(pid, 0), -1) << "worker " << pid
+                                      << " still alive";
+        EXPECT_EQ(errno, ESRCH) << "worker " << pid;
+    }
 }
 
 TEST(FaultDeathTest, AbortInMergeCrashesTheMergeStage)

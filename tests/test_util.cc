@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -132,6 +133,52 @@ TEST(CommandLineDeath, BadIntegerIsFatal)
 {
     const auto cli = parse({"--n=abc"});
     EXPECT_DEATH((void)cli.getInt("n", 0), "expects an integer");
+}
+
+TEST(CommandLineDeath, IntegerOverflowIsFatal)
+{
+    // strtoll clamps an overflowing value to INT64_MAX/INT64_MIN and
+    // reports it only via errno=ERANGE; without the check a
+    // "--n 99999999999999999999" silently becomes INT64_MAX and
+    // passes validation.
+    const auto cli = parse({"--n=99999999999999999999"});
+    EXPECT_DEATH((void)cli.getInt("n", 0), "integer out of range");
+    const auto negative = parse({"--n=-99999999999999999999"});
+    EXPECT_DEATH((void)negative.getInt("n", 0),
+                 "integer out of range");
+}
+
+TEST(CommandLineDeath, IntegerListOverflowIsFatal)
+{
+    const auto cli = parse({"--rs=2,99999999999999999999,8"});
+    EXPECT_DEATH((void)cli.getIntList("rs", {}),
+                 "integer out of range");
+}
+
+TEST(CommandLineDeath, DoubleOverflowIsFatal)
+{
+    // strtod's overflow result is +-HUGE_VAL with errno=ERANGE, which
+    // previously sailed through as a perfectly legal double.
+    const auto cli = parse({"--p=1e999"});
+    EXPECT_DEATH((void)cli.getDouble("p", 0.0),
+                 "number out of range");
+}
+
+TEST(CommandLineDeath, DoubleListOverflowIsFatal)
+{
+    const auto cli = parse({"--p=0.5,-1e999"});
+    EXPECT_DEATH((void)cli.getDoubleList("p", {}),
+                 "number out of range");
+}
+
+TEST(CommandLine, ExtremeButRepresentableValuesSurvive)
+{
+    // The ERANGE check must reject only what the type cannot hold.
+    const auto cli =
+        parse({"--n=9223372036854775807", "--p=1e308"});
+    EXPECT_EQ(cli.getInt("n", 0),
+              std::numeric_limits<std::int64_t>::max());
+    EXPECT_DOUBLE_EQ(cli.getDouble("p", 0.0), 1e308);
 }
 
 TEST(CommandLine, DoubleLists)

@@ -34,6 +34,14 @@ Usage:
         --current BENCH_kernel.json [--tolerance 0.20] \
         [--normalize | --normalize-by median | --normalize-by NAME]
 
+Samples that carry a "faststat" object in both files are additionally
+judged on the FastStat kernel. The yardstick there needs no flag:
+bench_perf runs both kernels interleaved in one process, so the
+same-run speedup (faststat / cycleskip cycles/s) cancels the machine
+exactly, and a speedup regression beyond the tolerance fails while an
+absolute-only faststat slowdown warns. Cycleskip-only baselines keep
+working unchanged.
+
 Only sample names present in both files are compared (adding or
 retiring a bench sample is not a regression); a current file with no
 overlapping samples is an error, as is any sample whose two kernels
@@ -196,6 +204,52 @@ def main():
 
         print(f"  {name:24s} cycles/s {abs_base:12.0f} -> "
               f"{abs_cur:12.0f} ({abs_change:+7.1%}){speedups}"
+              f"   {verdict}")
+
+    # FastStat rows, judged only where both files carry them. The
+    # same-run cycleskip kernel is the yardstick: bench_perf measures
+    # both kernels interleaved in one process, so the speedup ratio
+    # cancels the machine without needing any --normalize flag.
+    fs_shared = [
+        name for name in shared
+        if cycles_per_s(baseline[name], "faststat") is not None
+        and cycles_per_s(current[name], "faststat") is not None
+    ]
+    if fs_shared:
+        print("faststat trend (judged on the same-run speedup "
+              "over cycleskip):")
+    for name in fs_shared:
+        fs_base = cycles_per_s(baseline[name], "faststat")
+        fs_cur = cycles_per_s(current[name], "faststat")
+        cs_base = cycles_per_s(baseline[name], "cycleskip")
+        cs_cur = cycles_per_s(current[name], "cycleskip")
+        if cs_base is None or cs_cur is None:
+            failures.append(
+                f"{name}: faststat present without cycleskip - the "
+                "bench output format changed")
+            continue
+        abs_change = fs_cur / fs_base - 1.0
+        speedup_base = fs_base / cs_base
+        speedup_cur = fs_cur / cs_cur
+        speedup_change = speedup_cur / speedup_base - 1.0
+
+        verdict = "ok"
+        if speedup_change < -args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: faststat speedup regressed "
+                f"{-speedup_change:.1%} (beyond {args.tolerance:.0%})")
+        elif abs_change < -args.tolerance:
+            verdict = "abs-warn"
+            warnings.append(
+                f"{name}: absolute faststat cycles/s down "
+                f"{-abs_change:.1%} but its speedup held - likely a "
+                "slower runner")
+
+        print(f"  {name:24s} cycles/s {fs_base:12.0f} -> "
+              f"{fs_cur:12.0f} ({abs_change:+7.1%})"
+              f"   speedup {speedup_base:5.2f}x -> "
+              f"{speedup_cur:5.2f}x ({speedup_change:+7.1%})"
               f"   {verdict}")
 
     for message in warnings:

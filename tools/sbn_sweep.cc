@@ -129,6 +129,18 @@ parseOptions(const CommandLine &cli)
     spec.hotFractions = cli.getDoubleList("hot", {});
     spec.favoriteFractions = cli.getDoubleList("favorite", {});
 
+    // Kernel selection applies to every point: materialize() copies
+    // the base config, and the fingerprint's kernel marker keeps
+    // FastStat records from merging into exact-kernel sweeps.
+    const std::string kernel = cli.getString("kernel", "cycleskip");
+    if (kernel == "cycleskip")
+        spec.base.kernel = KernelKind::CycleSkip;
+    else if (kernel == "faststat")
+        spec.base.kernel = KernelKind::FastStat;
+    else
+        sbn_fatal("--kernel: unknown kernel '", kernel,
+                  "' (expected 'cycleskip' or 'faststat')");
+
     opt.adaptive = cli.getBool("adaptive", false);
     opt.target.relative = cli.getDouble("rel", 0.05);
     opt.target.absolute = cli.getDouble("abs", 0.0);
@@ -354,6 +366,20 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
         });
     const SupervisorReport report = supervisor.run();
 
+    if (report.interruptSignal != 0) {
+        // The supervisor already SIGKILLed and reaped every live
+        // worker; nothing is left to clean up here. Skip the merge -
+        // an interrupted fleet's output is not a result, partial or
+        // otherwise - and die with the conventional signal exit code
+        // so shells and CI see the interruption as such.
+        std::fprintf(stderr,
+                     "--spawn: interrupted by signal %d; workers "
+                     "killed and reaped, no merge attempted (shard "
+                     "files in %s support --resume)\n",
+                     report.interruptSignal, opt.dir.c_str());
+        std::exit(128 + report.interruptSignal);
+    }
+
     if (report.respawns != 0 || report.stealLaunches != 0)
         std::fprintf(stderr,
                      "--spawn: supervision recovered: %zu respawn(s), "
@@ -416,6 +442,8 @@ main(int argc, char **argv)
                 "0.0,0.2,0.4 (forces the HotSpot pattern)"},
         {"favorite", "favorite-module workload axis: fraction f "
                      "values (forces the Favorite pattern)"},
+        {"kernel", "simulation kernel: cycleskip (exact, default) or "
+                   "faststat (statistically equivalent, faster)"},
         {"seed", "base RNG seed (per-point seeds derive from it)"},
         {"warmup", "warmup bus cycles per run"},
         {"measure", "measured bus cycles per run"},
