@@ -1,0 +1,961 @@
+#include "service/daemon.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/journal.hh"
+#include "service/protocol.hh"
+#include "service/sweeprun.hh"
+#include "shard/fault.hh"
+#include "shard/result_io.hh"
+#include "shard/supervisor.hh"
+#include "util/exit_codes.hh"
+#include "util/logging.hh"
+
+namespace sbn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+volatile std::sig_atomic_t g_terminateSignal = 0;
+
+void
+onTerminateSignal(int sig)
+{
+    g_terminateSignal = sig;
+}
+
+/** write() the whole buffer, riding out EINTR; false on error. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t got = ::write(fd, data + written, size - written);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
+/** Atomic small-file publish: temp + fsync + rename. */
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(static_cast<long>(::getpid()));
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        sbn_fatal("cannot create '", tmp,
+                  "': ", std::strerror(errno));
+    if (!writeAll(fd, content.data(), content.size()) ||
+        ::fsync(fd) != 0) {
+        ::close(fd);
+        sbn_fatal("cannot write '", tmp, "': ", std::strerror(errno));
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        sbn_fatal("cannot publish '", path,
+                  "': ", std::strerror(errno));
+}
+
+void
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)
+        return;
+    sbn_fatal("cannot create directory '", path,
+              "': ", std::strerror(errno));
+}
+
+/** One job as the daemon tracks it. */
+struct Job
+{
+    JobJournalEntry entry; //!< latest durable state + submit fields
+    pid_t runnerPid = -1;
+    int statusPipe = -1;       //!< read end; -1 = none
+    unsigned launches = 0;     //!< runner processes forked (this daemon)
+    bool cancelRequested = false;
+    bool hasDeadline = false;
+    Clock::time_point deadline{};    //!< job timeout
+    bool killPending = false;
+    Clock::time_point killDeadline{}; //!< SIGTERM -> SIGKILL escalation
+};
+
+/** One connected client. */
+struct Client
+{
+    int fd = -1;
+    std::string inbox; //!< bytes received, not yet a full line
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(const DaemonConfig &config)
+        : config_(config),
+          journal_(daemonJournalPath(config.stateDir))
+    {
+    }
+
+    int run();
+
+  private:
+    // --- journal / state ---------------------------------------------
+    void recover();
+    void appendState(Job &job, JobState state, int exit_code,
+                     const std::string &reason);
+
+    // --- sockets -----------------------------------------------------
+    void openListenSocket();
+    void acceptClients();
+    void serviceClient(Client &client);
+    void handleRequest(Client &client, const std::string &line);
+    void respond(Client &client, const std::string &line);
+    void dropClient(Client &client);
+
+    // --- request handlers --------------------------------------------
+    void handleSubmit(Client &client, const Request &request);
+    void handleStatus(Client &client, const Request &request);
+    void handleCancel(Client &client, const Request &request);
+    void handleResults(Client &client, const Request &request);
+    void handleDrain(Client &client);
+
+    // --- runners -----------------------------------------------------
+    void startPendingJobs();
+    void launchRunner(Job &job);
+    void runJobInRunner(const Job &job, int status_write_fd);
+    void reapRunners();
+    void runnerExited(Job &job, int status);
+    void enforceDeadlines();
+    void killJobRunner(Job &job);
+    void readStatusPipe(Job &job);
+
+    // --- misc --------------------------------------------------------
+    void writeHeartbeat();
+    std::size_t queuedCount() const;
+    std::size_t runningCount() const;
+    Job *findJob(std::uint64_t id);
+
+    DaemonConfig config_;
+    JobJournal journal_;
+    std::map<std::uint64_t, Job> jobs_;
+    std::deque<std::uint64_t> pending_; //!< job ids awaiting a runner
+    std::uint64_t nextJobId_ = 0;
+    int listenFd_ = -1;
+    std::vector<Client> clients_;
+    bool draining_ = false;
+    Clock::time_point lastHeartbeat_{};
+    bool heartbeatEver_ = false;
+};
+
+void
+Daemon::appendState(Job &job, JobState state, int exit_code,
+                    const std::string &reason)
+{
+    // The journal invariant the replay relies on: nothing follows a
+    // terminal entry for a job (last-write-wins would resurrect it).
+    sbn_assert(!jobStateTerminal(job.entry.state),
+               "journal append after terminal state");
+    JobJournalEntry entry = job.entry;
+    entry.state = state;
+    entry.exitCode = exit_code;
+    entry.reason = reason;
+    journal_.append(entry); // durable (+ crash_after_journal window)
+    job.entry = entry;
+}
+
+void
+Daemon::recover()
+{
+    const std::vector<JobJournalEntry> replayed =
+        replayJobJournal(journal_.path());
+    for (const JobJournalEntry &entry : replayed) {
+        Job job;
+        job.entry = entry;
+        if (entry.job >= nextJobId_)
+            nextJobId_ = entry.job + 1;
+        const bool interrupted = entry.state == JobState::Running ||
+                                 entry.state == JobState::Merging;
+        jobs_.emplace(entry.job, std::move(job));
+        if (entry.state == JobState::Submitted || interrupted)
+            pending_.push_back(entry.job);
+        if (interrupted)
+            sbn_warn("recovering job ", entry.job, " from state '",
+                     jobStateName(entry.state),
+                     "': relaunching with resume from its shard "
+                     "records");
+    }
+    if (!replayed.empty())
+        std::fprintf(stderr,
+                     "sbn_sweepd: journal replayed %zu job(s), %zu to "
+                     "(re)run\n",
+                     replayed.size(), pending_.size());
+}
+
+void
+Daemon::openListenSocket()
+{
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        sbn_fatal("cannot create listen socket: ",
+                  std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        sbn_fatal("cannot bind 127.0.0.1:", config_.port, ": ",
+                  std::strerror(errno));
+    if (::listen(listenFd_, 16) != 0)
+        sbn_fatal("cannot listen: ", std::strerror(errno));
+
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        sbn_fatal("cannot read bound port: ", std::strerror(errno));
+    const int port = ntohs(addr.sin_port);
+
+    const int flags = ::fcntl(listenFd_, F_GETFL, 0);
+    ::fcntl(listenFd_, F_SETFL, flags | O_NONBLOCK);
+
+    // Publish the port only after listen(): a reader that sees the
+    // file can connect.
+    atomicWriteFile(daemonPortFilePath(config_.stateDir),
+                    std::to_string(port) + "\n");
+    std::fprintf(stderr, "sbn_sweepd: listening on 127.0.0.1:%d\n",
+                 port);
+}
+
+int
+Daemon::run()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    struct sigaction action{};
+    action.sa_handler = onTerminateSignal;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+
+    recover();
+    openListenSocket();
+    writeHeartbeat();
+
+    for (;;) {
+        if (g_terminateSignal != 0) {
+            // Runners also hold PDEATHSIG(SIGTERM) against us, so
+            // their fleets shut down even if this TERM is lost. The
+            // journal's running entries drive recovery next start.
+            for (auto &pair : jobs_)
+                if (pair.second.runnerPid > 0)
+                    ::kill(pair.second.runnerPid, SIGTERM);
+            std::fprintf(stderr,
+                         "sbn_sweepd: terminated by signal %d\n",
+                         static_cast<int>(g_terminateSignal));
+            return exitCodeForSignal(g_terminateSignal);
+        }
+
+        reapRunners();
+        enforceDeadlines();
+        startPendingJobs();
+
+        const auto now = Clock::now();
+        if (!heartbeatEver_ ||
+            now - lastHeartbeat_ >=
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        config_.heartbeatSeconds)))
+            writeHeartbeat();
+
+        if (draining_ && pending_.empty() && runningCount() == 0) {
+            std::fprintf(stderr,
+                         "sbn_sweepd: drained, all jobs journaled "
+                         "terminal\n");
+            return kExitOk;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd_, POLLIN, 0});
+        for (const Client &client : clients_)
+            fds.push_back({client.fd, POLLIN, 0});
+        std::vector<std::uint64_t> pipeJobs;
+        for (auto &pair : jobs_) {
+            if (pair.second.statusPipe >= 0) {
+                fds.push_back({pair.second.statusPipe, POLLIN, 0});
+                pipeJobs.push_back(pair.first);
+            }
+        }
+
+        const int got = ::poll(fds.data(),
+                               static_cast<nfds_t>(fds.size()), 50);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            sbn_fatal("poll failed: ", std::strerror(errno));
+        }
+        if (got == 0)
+            continue;
+
+        if ((fds[0].revents & POLLIN) != 0)
+            acceptClients();
+        const std::size_t clientCount = clients_.size();
+        for (std::size_t i = 0; i < clientCount; ++i)
+            if ((fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) !=
+                0)
+                serviceClient(clients_[i]);
+        for (std::size_t i = 0; i < pipeJobs.size(); ++i)
+            if ((fds[1 + clientCount + i].revents &
+                 (POLLIN | POLLHUP | POLLERR)) != 0)
+                if (Job *job = findJob(pipeJobs[i]))
+                    readStatusPipe(*job);
+        clients_.erase(
+            std::remove_if(clients_.begin(), clients_.end(),
+                           [](const Client &c) { return c.fd < 0; }),
+            clients_.end());
+    }
+}
+
+void
+Daemon::acceptClients()
+{
+    // The stall_accept fault wedges exactly here: the daemon process
+    // stays alive (heartbeats already written stay on disk, new ones
+    // stop) but never serves again.
+    faultMaybeStallAccept();
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR)
+                return;
+            sbn_warn("accept failed: ", std::strerror(errno));
+            return;
+        }
+        Client client;
+        client.fd = fd;
+        clients_.push_back(std::move(client));
+    }
+}
+
+void
+Daemon::serviceClient(Client &client)
+{
+    char buffer[4096];
+    const ssize_t got = ::read(client.fd, buffer, sizeof buffer);
+    if (got <= 0) {
+        if (got < 0 && (errno == EINTR || errno == EAGAIN))
+            return;
+        dropClient(client);
+        return;
+    }
+    client.inbox.append(buffer, static_cast<std::size_t>(got));
+    if (client.inbox.size() > 1 << 20) {
+        // A line this long is not a protocol request; cut the peer
+        // off rather than buffer without bound.
+        dropClient(client);
+        return;
+    }
+    std::size_t newline;
+    while (client.fd >= 0 &&
+           (newline = client.inbox.find('\n')) != std::string::npos) {
+        std::string line = client.inbox.substr(0, newline);
+        client.inbox.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        handleRequest(client, line);
+    }
+}
+
+void
+Daemon::handleRequest(Client &client, const std::string &line)
+{
+    Request request;
+    std::string error;
+    if (!parseRequest(line, request, error)) {
+        respond(client, errorResponse("bad_request", error));
+        return;
+    }
+    switch (request.kind) {
+    case RequestKind::Submit:
+        handleSubmit(client, request);
+        break;
+    case RequestKind::Status:
+        handleStatus(client, request);
+        break;
+    case RequestKind::Cancel:
+        handleCancel(client, request);
+        break;
+    case RequestKind::Results:
+        handleResults(client, request);
+        break;
+    case RequestKind::Drain:
+        handleDrain(client);
+        break;
+    }
+}
+
+void
+Daemon::respond(Client &client, const std::string &line)
+{
+    const std::string out = line + "\n";
+    if (!writeAll(client.fd, out.data(), out.size()))
+        dropClient(client);
+}
+
+void
+Daemon::dropClient(Client &client)
+{
+    if (client.fd >= 0)
+        ::close(client.fd);
+    client.fd = -1; // reaped by the main loop's erase pass
+}
+
+void
+Daemon::handleSubmit(Client &client, const Request &request)
+{
+    if (draining_) {
+        respond(client,
+                errorResponse("draining",
+                              "daemon is draining; not accepting "
+                              "new jobs"));
+        return;
+    }
+    if (queuedCount() >= config_.queueLimit) {
+        respond(client,
+                errorResponse("queue_full",
+                              "job queue is at its limit of " +
+                                  std::to_string(config_.queueLimit)));
+        return;
+    }
+    if (!specParsesCleanly(request.spec)) {
+        respond(client,
+                errorResponse("bad_spec",
+                              "spec does not parse as sbn_sweep "
+                              "flags (daemon stderr has the exact "
+                              "complaint)"));
+        return;
+    }
+
+    const std::uint64_t id = nextJobId_++;
+    Job &job = jobs_[id];
+    job.entry.job = id;
+    job.entry.state = JobState::Submitted;
+    job.entry.spec = request.spec;
+    job.entry.timeoutSeconds = request.timeoutSeconds;
+
+    // Durability before acknowledgment: the submit line is fsync()ed
+    // (and the crash_after_journal=submitted window passed) before
+    // the client hears its job id. An acknowledged job is never
+    // forgotten.
+    journal_.append(job.entry);
+    pending_.push_back(id);
+
+    respond(client, "{\"ok\":true,\"job\":" + std::to_string(id) +
+                        ",\"state\":\"submitted\"}");
+}
+
+void
+Daemon::handleStatus(Client &client, const Request &request)
+{
+    if (!request.hasJob) {
+        std::size_t done = 0, failed = 0, cancelled = 0;
+        for (const auto &pair : jobs_) {
+            switch (pair.second.entry.state) {
+            case JobState::Done:
+                ++done;
+                break;
+            case JobState::Failed:
+                ++failed;
+                break;
+            case JobState::Cancelled:
+                ++cancelled;
+                break;
+            default:
+                break;
+            }
+        }
+        respond(client,
+                "{\"ok\":true,\"queued\":" +
+                    std::to_string(queuedCount()) + ",\"running\":" +
+                    std::to_string(runningCount()) + ",\"done\":" +
+                    std::to_string(done) + ",\"failed\":" +
+                    std::to_string(failed) + ",\"cancelled\":" +
+                    std::to_string(cancelled) + ",\"draining\":" +
+                    (draining_ ? "true" : "false") + "}");
+        return;
+    }
+    const Job *job = findJob(request.job);
+    if (job == nullptr) {
+        respond(client, errorResponse("unknown_job",
+                                      "no job " +
+                                          std::to_string(request.job)));
+        return;
+    }
+    respond(client,
+            "{\"ok\":true,\"job\":" + std::to_string(request.job) +
+                ",\"state\":\"" + jobStateName(job->entry.state) +
+                "\",\"exit\":" + std::to_string(job->entry.exitCode) +
+                ",\"reason\":\"" + jsonEscape(job->entry.reason) +
+                "\"}");
+}
+
+void
+Daemon::handleCancel(Client &client, const Request &request)
+{
+    Job *job = findJob(request.job);
+    if (job == nullptr) {
+        respond(client, errorResponse("unknown_job",
+                                      "no job " +
+                                          std::to_string(request.job)));
+        return;
+    }
+    if (jobStateTerminal(job->entry.state)) {
+        respond(client,
+                errorResponse("terminal_job",
+                              "job " + std::to_string(request.job) +
+                                  " is already " +
+                                  jobStateName(job->entry.state)));
+        return;
+    }
+
+    // Durability first: the cancel is journaled (and fsync()ed)
+    // before any signal flies, so a daemon crash right here still
+    // recovers to "cancelled" and never relaunches the job.
+    appendState(*job, JobState::Cancelled, 0,
+                job->runnerPid > 0 ? "cancelled while running"
+                                   : "cancelled while queued");
+    job->cancelRequested = true;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (*it == request.job) {
+            pending_.erase(it);
+            break;
+        }
+    }
+    if (job->runnerPid > 0)
+        killJobRunner(*job);
+
+    respond(client, "{\"ok\":true,\"job\":" +
+                        std::to_string(request.job) +
+                        ",\"state\":\"cancelled\"}");
+}
+
+void
+Daemon::handleResults(Client &client, const Request &request)
+{
+    const Job *job = findJob(request.job);
+    if (job == nullptr) {
+        respond(client, errorResponse("unknown_job",
+                                      "no job " +
+                                          std::to_string(request.job)));
+        return;
+    }
+    if (job->entry.state != JobState::Done) {
+        respond(client,
+                errorResponse("not_ready",
+                              "job " + std::to_string(request.job) +
+                                  " is " +
+                                  jobStateName(job->entry.state) +
+                                  ", results need state done"));
+        return;
+    }
+    const std::string path = daemonMergedPath(
+        daemonJobDir(config_.stateDir, request.job));
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        respond(client,
+                errorResponse("not_ready",
+                              "merged result file is missing: " +
+                                  path));
+        return;
+    }
+    std::ostringstream payload;
+    payload << in.rdbuf();
+    const std::string bytes = payload.str();
+    const std::string header =
+        "{\"ok\":true,\"job\":" + std::to_string(request.job) +
+        ",\"exit\":" + std::to_string(job->entry.exitCode) +
+        ",\"bytes\":" + std::to_string(bytes.size()) + "}\n";
+    if (!writeAll(client.fd, header.data(), header.size()) ||
+        !writeAll(client.fd, bytes.data(), bytes.size()))
+        dropClient(client);
+}
+
+void
+Daemon::handleDrain(Client &client)
+{
+    draining_ = true;
+    respond(client, "{\"ok\":true,\"draining\":true}");
+}
+
+void
+Daemon::startPendingJobs()
+{
+    while (!pending_.empty() && runningCount() < config_.maxRunning) {
+        const std::uint64_t id = pending_.front();
+        pending_.pop_front();
+        Job *job = findJob(id);
+        if (job == nullptr || jobStateTerminal(job->entry.state))
+            continue; // cancelled while queued
+        launchRunner(*job);
+    }
+}
+
+void
+Daemon::launchRunner(Job &job)
+{
+    // Journal the transition BEFORE the fork: a crash between the
+    // two recovers to "running" and relaunches with resume, which is
+    // idempotent; the reverse order could run a job the journal
+    // never heard of.
+    appendState(job, JobState::Running, 0, "");
+
+    int pipeFds[2];
+    if (::pipe(pipeFds) != 0)
+        sbn_fatal("cannot create runner status pipe: ",
+                  std::strerror(errno));
+
+    const pid_t daemonPid = ::getpid();
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        sbn_fatal("cannot fork job runner: ", std::strerror(errno));
+    if (pid == 0) {
+#ifdef __linux__
+        // Daemon death must take the runner's fleet down with it:
+        // TERM here makes the runner's supervisor kill and reap its
+        // workers (which additionally hold PDEATHSIG(SIGKILL)
+        // against the runner). The getppid() check closes the race
+        // where the daemon died before prctl took effect.
+        ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+        if (::getppid() != daemonPid)
+            ::_exit(kExitFatal);
+#else
+        (void)daemonPid;
+#endif
+        ::close(pipeFds[0]);
+        // fd hygiene: the runner must not hold the daemon's sockets
+        // (a held listen fd would keep the port alive after daemon
+        // death) or the journal (single-writer invariant).
+        ::close(listenFd_);
+        for (const Client &client : clients_)
+            if (client.fd >= 0)
+                ::close(client.fd);
+        ::close(journal_.fd());
+        for (const auto &pair : jobs_)
+            if (pair.second.statusPipe >= 0)
+                ::close(pair.second.statusPipe);
+        runJobInRunner(job, pipeFds[1]);
+        ::_exit(kExitFatal); // not reached
+    }
+    ::close(pipeFds[1]);
+    job.runnerPid = pid;
+    job.statusPipe = pipeFds[0];
+    if (job.launches == 0 && job.entry.timeoutSeconds > 0) {
+        job.hasDeadline = true;
+        job.deadline = Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               job.entry.timeoutSeconds));
+    }
+    ++job.launches;
+}
+
+void
+Daemon::runJobInRunner(const Job &job, int status_write_fd)
+{
+    // Fault identity: the runner is not a shard worker; its attempt
+    // number is how many runner launches this job has had, so
+    // crash_in_merge (attempt=0 by default) kills the first launch's
+    // merge and lets the relaunch publish.
+    setFaultProcessScope(kFaultNoShard, job.launches);
+
+    const SweepRunOptions opt = parseSweepSpecString(job.entry.spec);
+    const std::size_t shards = opt.spawnShards != 0
+                                   ? opt.spawnShards
+                                   : config_.defaultShards;
+    const std::string dir =
+        daemonJobDir(config_.stateDir, job.entry.job);
+
+    // Always resume: a first launch on an empty directory is a
+    // no-op, and a relaunch (crash retry or daemon recovery) keeps
+    // every record the previous fleet flushed - that reuse is what
+    // makes recovered output byte-identical.
+    const SupervisedSweepOutcome outcome =
+        runSupervisedSweep(opt, shards, dir, /*resume=*/true);
+
+    if (outcome.report.interruptSignal != 0)
+        ::_exit(exitCodeForSignal(outcome.report.interruptSignal));
+
+    // Entering the merge/publish phase: tell the daemon (journal
+    // "merging"), then give the fault plane its window. A kill
+    // between here and the rename below loses nothing: merged.jsonl
+    // is absent-or-complete, the shard records persist.
+    (void)writeAll(status_write_fd, "merging\n", 8);
+    faultMaybeCrashInMerge();
+
+    rewriteRecordsAtomic(daemonMergedPath(dir),
+                         outcome.merged.records);
+
+    if (!outcome.report.complete) {
+        writeMissingPointsManifest(missingManifestPath(dir),
+                                   outcome.check,
+                                   outcome.report.missingPoints);
+        std::fprintf(stderr,
+                     "job %llu: incomplete, %zu point(s) missing; "
+                     "partial merged stream published\n",
+                     static_cast<unsigned long long>(job.entry.job),
+                     outcome.report.missingPoints.size());
+        ::_exit(kPartialResultExit);
+    }
+    ::_exit(kExitOk);
+}
+
+void
+Daemon::reapRunners()
+{
+    for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        if (pid <= 0)
+            return;
+        for (auto &pair : jobs_) {
+            if (pair.second.runnerPid == pid) {
+                runnerExited(pair.second, status);
+                break;
+            }
+        }
+    }
+}
+
+void
+Daemon::runnerExited(Job &job, int status)
+{
+    job.runnerPid = -1;
+    job.killPending = false;
+    if (job.statusPipe >= 0)
+        readStatusPipe(job); // drain a final "merging" report
+    if (job.statusPipe >= 0) {
+        ::close(job.statusPipe);
+        job.statusPipe = -1;
+    }
+
+    if (jobStateTerminal(job.entry.state))
+        return; // cancelled or timed out: already journaled
+
+    const bool exited = WIFEXITED(status);
+    const int code = exited ? WEXITSTATUS(status) : 0;
+    if (exited && (code == kExitOk || code == kPartialResultExit)) {
+        appendState(job, JobState::Done, code,
+                    code == kPartialResultExit
+                        ? "partial: see missing-points manifest"
+                        : "");
+        return;
+    }
+
+    // A runner killed by a signal is a crash (machine trouble, fault
+    // injection, OOM): relaunch with resume within the retry budget.
+    // A nonzero *exit* is deterministic (bad spec, fatal) - retrying
+    // would just repeat it.
+    if (!exited && job.launches <= config_.jobRetries) {
+        sbn_warn("job ", job.entry.job, " runner died (",
+                 describeWaitStatus(status), "); relaunch ",
+                 job.launches, "/", config_.jobRetries,
+                 " with resume");
+        pending_.push_front(job.entry.job);
+        return;
+    }
+    appendState(job, JobState::Failed, exited ? code : 0,
+                "runner " + describeWaitStatus(status));
+}
+
+void
+Daemon::enforceDeadlines()
+{
+    const auto now = Clock::now();
+    for (auto &pair : jobs_) {
+        Job &job = pair.second;
+        if (job.killPending && job.runnerPid > 0 &&
+            now >= job.killDeadline) {
+            ::kill(job.runnerPid, SIGKILL);
+            job.killPending = false; // reap does the rest
+        }
+        if (job.hasDeadline && !jobStateTerminal(job.entry.state) &&
+            now >= job.deadline) {
+            job.hasDeadline = false;
+            // Same durability-first order as cancel.
+            appendState(job, JobState::Failed, 0,
+                        "timeout after " +
+                            std::to_string(job.entry.timeoutSeconds) +
+                            "s");
+            job.cancelRequested = true;
+            for (auto it = pending_.begin(); it != pending_.end();
+                 ++it) {
+                if (*it == job.entry.job) {
+                    pending_.erase(it);
+                    break;
+                }
+            }
+            if (job.runnerPid > 0)
+                killJobRunner(job);
+        }
+    }
+}
+
+void
+Daemon::killJobRunner(Job &job)
+{
+    // TERM first: the runner's supervisor kills and reaps its
+    // workers, so the whole tree winds down cleanly. KILL after the
+    // grace period; the workers' PDEATHSIG(SIGKILL) then takes them
+    // down with the runner.
+    ::kill(job.runnerPid, SIGTERM);
+    job.killPending = true;
+    job.killDeadline = Clock::now() +
+                       std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               config_.killGraceSeconds));
+}
+
+void
+Daemon::readStatusPipe(Job &job)
+{
+    char buffer[64];
+    const ssize_t got =
+        ::read(job.statusPipe, buffer, sizeof buffer);
+    if (got < 0 && (errno == EINTR || errno == EAGAIN))
+        return;
+    if (got <= 0) {
+        ::close(job.statusPipe);
+        job.statusPipe = -1;
+        return;
+    }
+    // The runner's only message is the merge-phase report. Journal
+    // it only from a live Running state: after cancel/timeout the
+    // job is terminal and the journal must stay that way.
+    if (std::string(buffer, static_cast<std::size_t>(got))
+                .find("merging") != std::string::npos &&
+        job.entry.state == JobState::Running)
+        appendState(job, JobState::Merging, 0, "");
+}
+
+void
+Daemon::writeHeartbeat()
+{
+    lastHeartbeat_ = Clock::now();
+    heartbeatEver_ = true;
+    atomicWriteFile(
+        daemonHeartbeatPath(config_.stateDir),
+        "{\"type\":\"sbn.heartbeat.v1\",\"ts_unix\":" +
+            std::to_string(
+                static_cast<long long>(std::time(nullptr))) +
+            ",\"queued\":" + std::to_string(queuedCount()) +
+            ",\"running\":" + std::to_string(runningCount()) +
+            ",\"draining\":" + (draining_ ? "true" : "false") +
+            "}\n");
+}
+
+std::size_t
+Daemon::queuedCount() const
+{
+    return pending_.size();
+}
+
+std::size_t
+Daemon::runningCount() const
+{
+    std::size_t count = 0;
+    for (const auto &pair : jobs_)
+        if (pair.second.runnerPid > 0)
+            ++count;
+    return count;
+}
+
+Job *
+Daemon::findJob(std::uint64_t id)
+{
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() ? nullptr : &it->second;
+}
+
+} // namespace
+
+std::string
+daemonJournalPath(const std::string &state_dir)
+{
+    return state_dir + "/jobs.jsonl";
+}
+
+std::string
+daemonPortFilePath(const std::string &state_dir)
+{
+    return state_dir + "/port";
+}
+
+std::string
+daemonHeartbeatPath(const std::string &state_dir)
+{
+    return state_dir + "/heartbeat";
+}
+
+std::string
+daemonJobDir(const std::string &state_dir, std::uint64_t job)
+{
+    return state_dir + "/job-" + std::to_string(job);
+}
+
+std::string
+daemonMergedPath(const std::string &job_dir)
+{
+    return job_dir + "/merged.jsonl";
+}
+
+int
+runSweepDaemon(const DaemonConfig &config)
+{
+    if (config.stateDir.empty())
+        sbn_fatal("the daemon needs --state=DIR");
+    if (config.queueLimit < 1)
+        sbn_fatal("--queue-limit must be >= 1");
+    if (config.maxRunning < 1)
+        sbn_fatal("--max-running must be >= 1");
+    ensureDir(config.stateDir);
+    Daemon daemon(config);
+    return daemon.run();
+}
+
+} // namespace sbn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Crash-safe job journal: the write-ahead log behind sbn_sweepd.
+ *
+ * Every job-state transition the daemon performs is appended to
+ * `<state-dir>/jobs.jsonl` - one flat JSON line per transition - and
+ * fsync()ed BEFORE the transition takes visible effect (before the
+ * submit is acknowledged, before the runner is forked, before the
+ * runner is signalled for cancel). Killing the daemon at any instant
+ * therefore leaves a journal from which replay() reconstructs every
+ * job exactly as far as it had durably progressed:
+ *
+ *   submitted -> running -> merging -> done
+ *                  |  \        |
+ *                  |   '------ | ---> failed
+ *                  v           v
+ *              cancelled   cancelled
+ *
+ * Replay is last-write-wins per job id: later lines supersede
+ * earlier ones, and a torn final line (the artifact of a kill
+ * mid-append) is dropped leniently, mirroring the shard record
+ * format's crash-loss bound of "at most the line being written"
+ * (shard/result_io.hh). A torn line anywhere else is corruption and
+ * fatal.
+ *
+ * The submitted entry carries everything needed to re-run the job
+ * from nothing (the spec string, the timeout); later entries carry
+ * only the transition. Recovery of a running/merging job does not
+ * restart it from scratch - the job's shard record files survive in
+ * its job directory, so the relaunched runner resumes them and the
+ * recovered merged output is byte-identical to an uninterrupted run.
+ *
+ * The deterministic fault plane hooks in right after each fsync
+ * (faultAfterJournalState), which is how CI kills the daemon at
+ * every journal state on purpose (docs/service.md).
+ */
+
+#ifndef SBN_SERVICE_JOURNAL_HH
+#define SBN_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sbn {
+
+/** Lifecycle of one sweep job under the daemon. */
+enum class JobState
+{
+    Submitted, //!< journaled and queued; no runner yet
+    Running,   //!< a runner process owns the job
+    Merging,   //!< all shards complete; runner is merging/publishing
+    Done,      //!< merged.jsonl published (exit 0 or partial 75)
+    Failed,    //!< runner budget exhausted, or the job timed out
+    Cancelled, //!< cancel requested and durably recorded
+};
+
+/** Canonical lowercase name of a JobState ("submitted", ...). */
+const char *jobStateName(JobState state);
+
+/** Parse a jobStateName() back; false on unknown text. */
+bool parseJobState(const std::string &text, JobState &out);
+
+/** True for states with no further transitions. */
+bool jobStateTerminal(JobState state);
+
+/** One journal line: a durable job-state transition. */
+struct JobJournalEntry
+{
+    std::uint64_t job = 0;
+    JobState state = JobState::Submitted;
+    std::string spec;          //!< submitted: sbn_sweep-style flags
+    double timeoutSeconds = 0; //!< submitted: 0 = no timeout
+    int exitCode = 0;          //!< done/failed: runner disposition
+    std::string reason;        //!< failed/cancelled: human cause
+};
+
+/** Serialize one entry to its canonical line (no newline). */
+std::string formatJournalEntry(const JobJournalEntry &entry);
+
+/** Strict parse of one journal line; false + @p error otherwise. */
+bool parseJournalEntry(const std::string &line, JobJournalEntry &out,
+                       std::string &error);
+
+/**
+ * Append-only journal writer over a raw descriptor: append() writes
+ * the line and fsync()s it before returning, then gives the fault
+ * plane its crash_after_journal window. Fatal on any I/O error - a
+ * journal that cannot persist must stop the daemon, not let it
+ * acknowledge work it would forget.
+ */
+class JobJournal
+{
+  public:
+    /** Opens (creating if needed) @p path for appending. */
+    explicit JobJournal(const std::string &path);
+    ~JobJournal();
+
+    JobJournal(const JobJournal &) = delete;
+    JobJournal &operator=(const JobJournal &) = delete;
+
+    /** Durably append one transition (write + fsync), then run the
+     *  crash_after_journal fault hook for the entry's state. */
+    void append(const JobJournalEntry &entry);
+
+    const std::string &path() const { return path_; }
+
+    /** The descriptor, for the daemon's close-in-child hygiene. */
+    int fd() const { return fd_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/**
+ * Replay a journal file into per-job latest entries, ordered by job
+ * id. The spec/timeout fields of the submitted entry are folded into
+ * every later entry of that job, so callers always see the full job
+ * description next to its latest state. A missing file replays to
+ * empty (a fresh daemon); a torn final line is dropped with a
+ * warning; any other malformed line - or a transition for a job id
+ * that was never submitted - is fatal, naming the line.
+ */
+std::vector<JobJournalEntry> replayJobJournal(const std::string &path);
+
+} // namespace sbn
+
+#endif // SBN_SERVICE_JOURNAL_HH

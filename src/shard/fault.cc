@@ -54,7 +54,23 @@ hangForever()
         ::pause();
 }
 
+bool
+isKnownJournalState(const std::string &value)
+{
+    for (const char *state : kFaultJournalStates)
+        if (value == state)
+            return true;
+    return false;
+}
+
 } // namespace
+
+// Kept in sync with jobStateName() (service/journal.hh) by
+// tests/test_service.cc; the shard layer must not depend on the
+// service layer, so the list is duplicated here on purpose.
+const char *const kFaultJournalStates[6] = {
+    "submitted", "running", "merging", "done", "failed", "cancelled",
+};
 
 bool
 parseFaultPlan(const std::string &text, FaultPlan &out, std::string &error)
@@ -138,6 +154,27 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &error)
                 return false;
             }
             plan.abortInMerge = true;
+        } else if (key == "crash_after_journal") {
+            if (!isKnownJournalState(value)) {
+                error = "crash_after_journal= needs a job journal "
+                        "state (submitted, running, merging, done, "
+                        "failed or cancelled): " +
+                        clause;
+                return false;
+            }
+            plan.crashAfterJournal = value;
+        } else if (key == "crash_in_merge") {
+            if (!value.empty()) {
+                error = "crash_in_merge takes no value: " + clause;
+                return false;
+            }
+            plan.crashInMerge = true;
+        } else if (key == "stall_accept") {
+            if (!value.empty()) {
+                error = "stall_accept takes no value: " + clause;
+                return false;
+            }
+            plan.stallAccept = true;
         } else {
             error = "unknown fault clause '" + key + "'";
             return false;
@@ -155,7 +192,9 @@ parseFaultPlan(const std::string &text, FaultPlan &out, std::string &error)
         return false;
     }
     if (plan.killAfterRecords == 0 && plan.hangAfterRecords == 0 &&
-        plan.failWriteAt == 0 && !plan.abortInMerge) {
+        plan.failWriteAt == 0 && !plan.abortInMerge &&
+        plan.crashAfterJournal.empty() && !plan.crashInMerge &&
+        !plan.stallAccept) {
         error = "no fault action given (selectors only)";
         return false;
     }
@@ -237,6 +276,30 @@ faultMaybeAbortInMerge()
     const FaultPlan plan = currentFaultPlan();
     if (faultArmed(plan) && plan.abortInMerge)
         std::abort();
+}
+
+void
+faultAfterJournalState(const char *state)
+{
+    const FaultPlan plan = currentFaultPlan();
+    if (faultArmed(plan) && plan.crashAfterJournal == state)
+        dieBySigkill();
+}
+
+void
+faultMaybeCrashInMerge()
+{
+    const FaultPlan plan = currentFaultPlan();
+    if (faultArmed(plan) && plan.crashInMerge)
+        dieBySigkill();
+}
+
+void
+faultMaybeStallAccept()
+{
+    const FaultPlan plan = currentFaultPlan();
+    if (faultArmed(plan) && plan.stallAccept)
+        hangForever();
 }
 
 } // namespace sbn

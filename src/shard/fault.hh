@@ -39,6 +39,26 @@
  *   abort_in_merge             abort() at the start of
  *                              mergeRecordFiles().
  *
+ * Service-level faults (the sbn_sweepd job plane, docs/service.md):
+ *
+ *   crash_after_journal=STATE  die by SIGKILL immediately after the
+ *                              job journal durably records a
+ *                              transition to STATE (submitted,
+ *                              running, merging, done, failed,
+ *                              cancelled) - the kill-anywhere probe
+ *                              for daemon crash recovery. Fires in
+ *                              the process that appends the journal
+ *                              line (the daemon).
+ *   crash_in_merge             die by SIGKILL at the start of a job
+ *                              runner's merge/publish stage - after
+ *                              every shard completed, before the
+ *                              merged result becomes visible.
+ *   stall_accept               wedge the daemon's accept loop
+ *                              forever: the process stays alive but
+ *                              stops serving, which is what makes
+ *                              the heartbeat file go stale
+ *                              (watchdog testing).
+ *
  * The plane is entirely opt-in: with SBN_FAULT unset every hook is a
  * cheap no-op. Worker processes declare their identity with
  * setFaultProcessScope() (the supervisor does this in the child right
@@ -88,6 +108,11 @@ struct FaultPlan
     std::uint64_t hangAfterRecords = 0; //!< 0 = off
     std::uint64_t failWriteAt = 0;      //!< 1-based ordinal; 0 = off
     bool abortInMerge = false;
+
+    // Service-level faults (sbn_sweepd).
+    std::string crashAfterJournal; //!< job state name; empty = off
+    bool crashInMerge = false;     //!< SIGKILL the job runner's merge
+    bool stallAccept = false;      //!< wedge the daemon accept loop
 };
 
 /**
@@ -137,6 +162,30 @@ void faultAtRecordBoundary(std::size_t ordinal, const std::string &line,
 
 /** Merge-stage hook (abort_in_merge): abort()s when armed. */
 void faultMaybeAbortInMerge();
+
+/**
+ * The journal-state names crash_after_journal= accepts. Mirrors the
+ * sbn_sweepd job lifecycle (service/journal.hh); the two lists are
+ * pinned against each other by tests/test_service.cc, since this
+ * layer must not depend on the service layer.
+ */
+extern const char *const kFaultJournalStates[6];
+
+/**
+ * Journal hook, called by the job journal right after a transition
+ * to @p state is durably on disk (fsync'ed). Implements
+ * crash_after_journal=STATE; does not return when the fault fires.
+ */
+void faultAfterJournalState(const char *state);
+
+/** Job-runner merge/publish hook (crash_in_merge): SIGKILLs this
+ *  process when armed - the shards are done, the result is not yet
+ *  visible. */
+void faultMaybeCrashInMerge();
+
+/** Daemon accept-loop hook (stall_accept): hangs forever when armed,
+ *  leaving the process alive but unresponsive. */
+void faultMaybeStallAccept();
 
 } // namespace sbn
 

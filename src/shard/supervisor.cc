@@ -5,6 +5,9 @@
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 
 #include <algorithm>
 #include <chrono>
@@ -101,6 +104,19 @@ shardStateName(ShardState state)
     return "unknown";
 }
 
+double
+supervisorBackoffSeconds(const SupervisorConfig &config,
+                         unsigned failures)
+{
+    sbn_assert(failures >= 1,
+               "backoff is only defined after a failure");
+    return std::min(
+        config.backoffCapSeconds,
+        config.backoffInitialSeconds *
+            std::pow(config.backoffGrowth,
+                     static_cast<double>(failures - 1)));
+}
+
 /** One supervised process slot (a shard or a steal slice). */
 struct ShardSupervisor::Task
 {
@@ -147,6 +163,7 @@ ShardSupervisor::spawn(Task &task)
     const std::string what =
         task.work.steal ? "steal task"
                         : "shard " + task.work.shard.toString();
+    const pid_t supervisorPid = ::getpid();
     const pid_t pid = ::fork();
     if (pid < 0)
         sbn_fatal("supervisor: fork failed for ", what);
@@ -158,6 +175,17 @@ ShardSupervisor::spawn(Task &task)
         // buffer or static destructor runs twice.
         ::signal(SIGINT, SIG_DFL);
         ::signal(SIGTERM, SIG_DFL);
+#ifdef __linux__
+        // No-orphan hardening: if the supervisor itself dies by
+        // SIGKILL (kill-anywhere testing, OOM), the kernel kills the
+        // worker too - its record file needs no cleanup. The getppid
+        // check closes the race where the supervisor died between
+        // fork and prctl (the death signal only fires on *future*
+        // parent deaths).
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+        if (::getppid() != supervisorPid)
+            ::_exit(1);
+#endif
         setFaultProcessScope(task.work.steal ? kFaultNoShard
                                              : task.work.shard.index,
                              task.work.attempt);
@@ -209,11 +237,8 @@ ShardSupervisor::handleFailure(Task &task, int status, bool hung)
     // Capped exponential backoff keyed to how often this shard has
     // failed: transient causes (OOM kill, node blip) get a fast
     // retry, repeat offenders back off harder.
-    const double seconds = std::min(
-        config_.backoffCapSeconds,
-        config_.backoffInitialSeconds *
-            std::pow(config_.backoffGrowth,
-                     static_cast<double>(task.launches - 1)));
+    const double seconds =
+        supervisorBackoffSeconds(config_, task.launches);
     task.state = ShardState::Backoff;
     task.wakeAt = Clock::now() +
                   std::chrono::microseconds(
@@ -379,12 +404,8 @@ ShardSupervisor::maybeSteal()
 
     // Scanning record files is not free; do it at most a few times a
     // second, not every poll tick.
-    static constexpr auto kScanPeriod =
-        std::chrono::milliseconds(250);
-    const Clock::time_point now = Clock::now();
-    if (now - lastStealScan_ < kScanPeriod)
+    if (!stealScanGate_.due(Clock::now()))
         return;
-    lastStealScan_ = now;
 
     const std::vector<bool> satisfied = satisfiedPoints();
     std::set<std::size_t> claimed;

@@ -59,18 +59,9 @@
 
 #include "shard/merge.hh"
 #include "shard/plan.hh"
+#include "util/exit_codes.hh" // kPartialResultExit lives there now
 
 namespace sbn {
-
-/**
- * Exit code of an orchestrator that delivered *partial* results: the
- * retry budget ran out, the merged output covers only the points
- * with records, and the missing-points manifest names the rest.
- * Distinct from 1 (fatal) so fleet scripts can tell "rerun the named
- * points" from "the sweep itself is broken". Value follows BSD
- * EX_TEMPFAIL.
- */
-constexpr int kPartialResultExit = 75;
 
 /** Lifecycle of one shard under supervision. */
 enum class ShardState
@@ -136,6 +127,54 @@ struct SupervisorConfig
     /** Total steal launches allowed (0 = 4 * shardCount). Bounds the
      *  loop when stolen work itself keeps failing. */
     std::size_t maxStealLaunches = 0;
+};
+
+/**
+ * The capped-exponential retry delay before a shard's next relaunch,
+ * as a pure function of the policy and how many launches of that
+ * shard have already failed (@p failures >= 1 - the first failure is
+ * failure 1):
+ *
+ *     min(backoffCapSeconds,
+ *         backoffInitialSeconds * backoffGrowth^(failures - 1))
+ *
+ * Factored out of the supervision loop so the schedule is unit-
+ * testable against a deterministic clock (tests/test_supervisor.cc)
+ * instead of being pinned by wall-clock sleeps.
+ */
+double supervisorBackoffSeconds(const SupervisorConfig &config,
+                                unsigned failures);
+
+/**
+ * Rate gate for periodic work inside a polled loop: due() answers
+ * "has at least `period` elapsed since the last admitted tick?" and
+ * admits at most one tick per period. The caller supplies the clock
+ * reading, which is what makes the steal-scan throttle (and any
+ * future periodic duty) testable with synthetic time points.
+ */
+class PeriodicGate
+{
+  public:
+    using Duration = std::chrono::steady_clock::duration;
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    explicit PeriodicGate(Duration period) : period_(period) {}
+
+    /** True (and consumes the tick) when the period has elapsed
+     *  since the last admitted tick. The first call always admits. */
+    bool due(TimePoint now)
+    {
+        if (armed_ && now - last_ < period_)
+            return false;
+        armed_ = true;
+        last_ = now;
+        return true;
+    }
+
+  private:
+    Duration period_;
+    TimePoint last_{};
+    bool armed_ = false; //!< a tick has been admitted before
 };
 
 /** Terminal accounting for one shard. */
@@ -213,7 +252,7 @@ class ShardSupervisor
     std::vector<Task> shardTasks_;
     std::vector<Task> stealTasks_;
     std::size_t stealSequence_ = 0;
-    std::chrono::steady_clock::time_point lastStealScan_;
+    PeriodicGate stealScanGate_{std::chrono::milliseconds(250)};
     bool stealBroken_ = false; //!< a steal worker failed; stop stealing
     SupervisorReport report_;
 };

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The process exit-code contract shared by every sbn tool.
+ *
+ * `sbn_sweep`, `sbn_sweepd` and the test suites all speak the same
+ * exit-code vocabulary, defined once here so a fleet script never has
+ * to guess whether "75" means the same thing to the orchestrator and
+ * the daemon. Values follow BSD sysexits.h where a matching semantic
+ * exists:
+ *
+ *   0                 success; for sweeps, the merged stream is
+ *                     complete and byte-identical to the serial run.
+ *   1                 fatal usage/configuration error (sbn_fatal) or
+ *                     an unclassified hard failure.
+ *   66  (EX_NOINPUT)  required input artifacts are absent: e.g.
+ *                     `sbn_sweep --merge` found zero record files in
+ *                     the shard directory. Distinct from 1 so "you
+ *                     pointed at the wrong directory" is machine-
+ *                     distinguishable from "the sweep is broken".
+ *   69  (EX_UNAVAILABLE) a required service is unreachable: the
+ *                     client could not connect to `sbn_sweepd`, or
+ *                     the daemon could not bind its listen address.
+ *   75  (EX_TEMPFAIL) partial result: the retry budget ran out, the
+ *                     merged output covers only the points (or jobs)
+ *                     with records, and a manifest names the rest.
+ *                     Retrying may succeed; see docs/sharding.md.
+ *   128 + N           the process was terminated by signal N after
+ *                     cleaning up its children (supervisor and daemon
+ *                     interrupt paths) - the conventional shell
+ *                     encoding, emitted explicitly so "no orphan
+ *                     workers" and "died on a signal" can both be
+ *                     true.
+ *
+ * tests/test_service.cc pins these values; docs/service.md documents
+ * the daemon-side contract, docs/sharding.md the orchestrator side.
+ */
+
+#ifndef SBN_UTIL_EXIT_CODES_HH
+#define SBN_UTIL_EXIT_CODES_HH
+
+namespace sbn {
+
+/** Success. */
+constexpr int kExitOk = 0;
+
+/** Fatal usage/configuration error (what sbn_fatal exits with). */
+constexpr int kExitFatal = 1;
+
+/** Required input artifacts absent (EX_NOINPUT). */
+constexpr int kExitNoInput = 66;
+
+/** Required peer service unreachable (EX_UNAVAILABLE). */
+constexpr int kExitUnavailable = 69;
+
+/**
+ * Exit code of an orchestrator that delivered *partial* results: the
+ * retry budget ran out, the merged output covers only the points
+ * with records, and the missing-points manifest names the rest.
+ * Distinct from 1 (fatal) so fleet scripts can tell "rerun the named
+ * points" from "the sweep itself is broken". Value follows BSD
+ * EX_TEMPFAIL.
+ */
+constexpr int kPartialResultExit = 75;
+
+/** The conventional shell encoding of death-by-signal. */
+constexpr int
+exitCodeForSignal(int sig)
+{
+    return 128 + sig;
+}
+
+} // namespace sbn
+
+#endif // SBN_UTIL_EXIT_CODES_HH

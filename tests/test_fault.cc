@@ -197,6 +197,54 @@ TEST(FaultPlanParse, RejectsMalformedSpecs)
     }
 }
 
+TEST(FaultPlanParse, AcceptsTheServiceClauses)
+{
+    FaultPlan plan;
+    std::string error;
+
+    // Every documented journal state is a valid crash target.
+    for (const char *state : kFaultJournalStates) {
+        ASSERT_TRUE(parseFaultPlan(
+            std::string("crash_after_journal=") + state, plan,
+            error))
+            << state << ": " << error;
+        EXPECT_TRUE(plan.active);
+        EXPECT_EQ(plan.crashAfterJournal, state);
+    }
+
+    ASSERT_TRUE(parseFaultPlan("crash_in_merge", plan, error))
+        << error;
+    EXPECT_TRUE(plan.crashInMerge);
+
+    ASSERT_TRUE(parseFaultPlan("stall_accept", plan, error)) << error;
+    EXPECT_TRUE(plan.stallAccept);
+
+    // Service clauses count as actions: selectors + a service clause
+    // must not trip the "no action given" check.
+    ASSERT_TRUE(parseFaultPlan("attempt=any,crash_in_merge", plan,
+                               error))
+        << error;
+    EXPECT_EQ(plan.attempt, kFaultAnyAttempt);
+    EXPECT_TRUE(plan.crashInMerge);
+}
+
+TEST(FaultPlanParse, RejectsMalformedServiceClauses)
+{
+    FaultPlan plan;
+    std::string error;
+    const char *bad[] = {
+        "crash_after_journal",          // needs a state value
+        "crash_after_journal=sideways", // unknown journal state
+        "crash_after_journal=Running",  // states are lowercase
+        "crash_in_merge=1",             // flag clause takes no value
+        "stall_accept=yes",             // flag clause takes no value
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseFaultPlan(text, plan, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
 TEST(FaultPlanParse, ScopeGatesArming)
 {
     FaultPlan plan;

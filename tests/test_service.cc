@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Service-layer tests: the sbn_sweepd wire protocol (flat JSON
+ * parse/format round trips and strictness), the crash-safe job
+ * journal (format, fsynced append, last-write-wins replay, torn-tail
+ * leniency), spec tokenization, and the exit-code contract both
+ * tools and CI scripts branch on. The daemon's end-to-end behavior -
+ * kill-anywhere recovery, cancel, drain, backpressure - is exercised
+ * with real processes by the tools/ ctest scripts and the CI
+ * service-recovery job (docs/service.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "service/daemon.hh"
+#include "service/journal.hh"
+#include "service/protocol.hh"
+#include "service/sweeprun.hh"
+#include "shard/fault.hh"
+#include "util/exit_codes.hh"
+
+namespace sbn {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    const std::string path =
+        ::testing::TempDir() + "sbn_service_" + name;
+    std::remove(path.c_str());
+    return path;
+}
+
+// ------------------------------------------------------ flat JSON
+
+TEST(FlatJson, ParsesScalarsStrictly)
+{
+    JsonObject object;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(
+        "{\"s\":\"a b\",\"n\":-2.5,\"t\":true,\"f\":false,"
+        "\"z\":null}",
+        object, error))
+        << error;
+    EXPECT_EQ(object.size(), 5u);
+    EXPECT_EQ(object["s"].kind, JsonScalar::Kind::String);
+    EXPECT_EQ(object["s"].text, "a b");
+    EXPECT_EQ(object["n"].kind, JsonScalar::Kind::Number);
+    EXPECT_DOUBLE_EQ(object["n"].number, -2.5);
+    EXPECT_TRUE(object["t"].boolean);
+    EXPECT_FALSE(object["f"].boolean);
+    EXPECT_EQ(object["z"].kind, JsonScalar::Kind::Null);
+
+    ASSERT_TRUE(parseFlatJsonObject("{}", object, error)) << error;
+    EXPECT_TRUE(object.empty());
+}
+
+TEST(FlatJson, RejectsWhatTheProtocolForbids)
+{
+    JsonObject object;
+    std::string error;
+    const char *bad[] = {
+        "",                           // not an object
+        "[1,2]",                      // not an object
+        "{\"a\":1} trailing",         // trailing bytes
+        "{\"a\":1,\"a\":2}",          // duplicate key
+        "{\"a\":{\"b\":1}}",          // nesting
+        "{\"a\":[1]}",                // nesting
+        "{\"a\":nope}",               // malformed literal
+        "{\"a\":1e999}",              // non-finite number
+        "{\"a\":\"unterminated",      // unterminated string
+        "{\"a\":\"bad\\qescape\"}",   // unsupported escape
+        "{\"a\" 1}",                  // missing colon
+        "{\"a\":1 \"b\":2}",          // missing comma
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseFlatJsonObject(text, object, error))
+            << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(FlatJson, EscapeRoundTrips)
+{
+    const std::string nasty = "a\"b\\c\nd\te\rf/g";
+    JsonObject object;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(
+        "{\"k\":\"" + jsonEscape(nasty) + "\"}", object, error))
+        << error;
+    EXPECT_EQ(object["k"].text, nasty);
+}
+
+// ------------------------------------------------------- requests
+
+TEST(Protocol, RequestRoundTrips)
+{
+    Request submit;
+    submit.kind = RequestKind::Submit;
+    submit.spec = "--n=8 --m=16 --p=0.2,0.6 --spawn=2";
+    submit.timeoutSeconds = 12.5;
+
+    Request results;
+    results.kind = RequestKind::Results;
+    results.hasJob = true;
+    results.job = 42;
+
+    Request drain;
+    drain.kind = RequestKind::Drain;
+
+    for (const Request &original : {submit, results, drain}) {
+        Request parsed;
+        std::string error;
+        ASSERT_TRUE(
+            parseRequest(formatRequest(original), parsed, error))
+            << requestKindName(original.kind) << ": " << error;
+        EXPECT_EQ(parsed.kind, original.kind);
+        EXPECT_EQ(parsed.spec, original.spec);
+        EXPECT_DOUBLE_EQ(parsed.timeoutSeconds,
+                         original.timeoutSeconds);
+        EXPECT_EQ(parsed.hasJob, original.hasJob);
+        EXPECT_EQ(parsed.job, original.job);
+    }
+}
+
+TEST(Protocol, RejectsMalformedRequests)
+{
+    Request request;
+    std::string error;
+    const char *bad[] = {
+        "{\"spec\":\"--n=8\"}",               // no cmd
+        "{\"cmd\":\"explode\"}",              // unknown cmd
+        "{\"cmd\":\"submit\"}",               // submit without spec
+        "{\"cmd\":\"submit\",\"spec\":\"\"}", // empty spec
+        "{\"cmd\":\"submit\",\"spec\":\"--n=8\",\"timeout_s\":-1}",
+        "{\"cmd\":\"cancel\"}",               // cancel without job
+        "{\"cmd\":\"results\"}",              // results without job
+        "{\"cmd\":\"results\",\"job\":-1}",   // negative job
+        "{\"cmd\":\"results\",\"job\":1.5}",  // fractional job
+        "{\"cmd\":\"status\",\"job\":\"x\"}", // non-numeric job
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseRequest(text, request, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(Protocol, ErrorResponsesAreMachineReadable)
+{
+    JsonObject object;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(
+        errorResponse("queue_full", "limit is 8"), object, error))
+        << error;
+    EXPECT_EQ(object["ok"].kind, JsonScalar::Kind::Bool);
+    EXPECT_FALSE(object["ok"].boolean);
+    EXPECT_EQ(object["error"].text, "queue_full");
+    EXPECT_EQ(object["message"].text, "limit is 8");
+}
+
+// -------------------------------------------------------- journal
+
+JobJournalEntry
+entry(std::uint64_t job, JobState state,
+      const std::string &spec = "--n=4 --m=8 --p=0.5")
+{
+    JobJournalEntry e;
+    e.job = job;
+    e.state = state;
+    e.spec = spec;
+    return e;
+}
+
+TEST(JobJournalFormat, EntryRoundTrips)
+{
+    JobJournalEntry original = entry(7, JobState::Failed);
+    original.timeoutSeconds = 30;
+    original.exitCode = 75;
+    original.reason = "runner killed by signal 9 (\"oom\")";
+
+    JobJournalEntry parsed;
+    std::string error;
+    ASSERT_TRUE(parseJournalEntry(formatJournalEntry(original),
+                                  parsed, error))
+        << error;
+    EXPECT_EQ(parsed.job, original.job);
+    EXPECT_EQ(parsed.state, original.state);
+    EXPECT_EQ(parsed.spec, original.spec);
+    EXPECT_DOUBLE_EQ(parsed.timeoutSeconds, original.timeoutSeconds);
+    EXPECT_EQ(parsed.exitCode, original.exitCode);
+    EXPECT_EQ(parsed.reason, original.reason);
+}
+
+TEST(JobJournalFormat, RejectsForeignAndPartialLines)
+{
+    JobJournalEntry parsed;
+    std::string error;
+    const char *bad[] = {
+        "{\"type\":\"sbn.point.v1\",\"job\":1}", // wrong type
+        "{\"job\":1,\"state\":\"done\"}",        // no type
+        // right type, missing keys (a torn line, typically):
+        "{\"type\":\"sbn.job.v1\",\"job\":1,\"state\":\"done\"}",
+        // unknown state name:
+        "{\"type\":\"sbn.job.v1\",\"job\":1,\"state\":\"paused\","
+        "\"spec\":\"x\",\"timeout_s\":0,\"exit\":0,\"reason\":\"\"}",
+    };
+    for (const char *text : bad) {
+        EXPECT_FALSE(parseJournalEntry(text, parsed, error)) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(JobJournalReplay, LastWriteWinsAndFoldsTheSubmitSpec)
+{
+    const std::string path = tempPath("replay");
+    {
+        JobJournal journal(path);
+        journal.append(entry(0, JobState::Submitted, "--n=4 --p=1"));
+        journal.append(entry(1, JobState::Submitted, "--n=8 --p=1"));
+        JobJournalEntry running = entry(0, JobState::Running, "");
+        journal.append(running);
+        JobJournalEntry done = entry(0, JobState::Done, "");
+        done.exitCode = 0;
+        journal.append(done);
+    }
+    const std::vector<JobJournalEntry> jobs = replayJobJournal(path);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].job, 0u);
+    EXPECT_EQ(jobs[0].state, JobState::Done);
+    // Later entries carry the submit's description forward.
+    EXPECT_EQ(jobs[0].spec, "--n=4 --p=1");
+    EXPECT_EQ(jobs[1].job, 1u);
+    EXPECT_EQ(jobs[1].state, JobState::Submitted);
+    EXPECT_EQ(jobs[1].spec, "--n=8 --p=1");
+}
+
+TEST(JobJournalReplay, MissingFileReplaysEmpty)
+{
+    EXPECT_TRUE(replayJobJournal(tempPath("absent")).empty());
+}
+
+TEST(JobJournalReplay, TornFinalLineIsDroppedLeniently)
+{
+    const std::string path = tempPath("torn");
+    {
+        JobJournal journal(path);
+        journal.append(entry(3, JobState::Submitted));
+        journal.append(entry(3, JobState::Running, ""));
+    }
+    {
+        // The kill artifact: a final line cut mid-append.
+        std::ofstream out(path, std::ios::app);
+        const std::string full =
+            formatJournalEntry(entry(3, JobState::Done, ""));
+        out << full.substr(0, full.size() / 2);
+    }
+    const std::vector<JobJournalEntry> jobs = replayJobJournal(path);
+    ASSERT_EQ(jobs.size(), 1u);
+    // The torn Done never happened; the job recovers as Running and
+    // will be relaunched with resume.
+    EXPECT_EQ(jobs[0].state, JobState::Running);
+}
+
+TEST(JobJournalDeathTest, TornLineFollowedByMoreIsCorruptionNotATail)
+{
+    const std::string path = tempPath("midtorn");
+    {
+        std::ofstream out(path);
+        out << formatJournalEntry(entry(0, JobState::Submitted))
+            << "\n";
+        out << "{\"type\":\"sbn.job.v1\",\"job\":0,\"sta\n"; // torn
+        out << formatJournalEntry(entry(0, JobState::Running, ""))
+            << "\n";
+    }
+    EXPECT_EXIT(replayJobJournal(path),
+                ::testing::ExitedWithCode(kExitFatal),
+                "only the final line may be torn");
+}
+
+TEST(JobJournalDeathTest, TransitionWithoutSubmitIsFatal)
+{
+    const std::string path = tempPath("nosubmit");
+    {
+        std::ofstream out(path);
+        out << formatJournalEntry(entry(5, JobState::Running, ""))
+            << "\n";
+    }
+    EXPECT_EXIT(replayJobJournal(path),
+                ::testing::ExitedWithCode(kExitFatal),
+                "without a submitted entry");
+}
+
+TEST(JobJournal, StateNamesMatchTheFaultPlaneList)
+{
+    // shard/fault.cc duplicates the journal-state names (the shard
+    // layer cannot depend on the service layer); this is the pin
+    // that keeps the two lists identical.
+    const JobState states[] = {
+        JobState::Submitted, JobState::Running, JobState::Merging,
+        JobState::Done,      JobState::Failed,  JobState::Cancelled,
+    };
+    ASSERT_EQ(std::size(states),
+              std::size(kFaultJournalStates));
+    for (std::size_t i = 0; i < std::size(states); ++i)
+        EXPECT_STREQ(jobStateName(states[i]),
+                     kFaultJournalStates[i]);
+
+    EXPECT_FALSE(jobStateTerminal(JobState::Submitted));
+    EXPECT_FALSE(jobStateTerminal(JobState::Running));
+    EXPECT_FALSE(jobStateTerminal(JobState::Merging));
+    EXPECT_TRUE(jobStateTerminal(JobState::Done));
+    EXPECT_TRUE(jobStateTerminal(JobState::Failed));
+    EXPECT_TRUE(jobStateTerminal(JobState::Cancelled));
+}
+
+// ------------------------------------------------- spec tokenizing
+
+TEST(SpecTokenize, SplitsOnWhitespaceRuns)
+{
+    const std::vector<std::string> tokens =
+        tokenizeSpecString("  --n=8\t--m=16   --p=0.2,0.6 ");
+    ASSERT_EQ(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0], "--n=8");
+    EXPECT_EQ(tokens[1], "--m=16");
+    EXPECT_EQ(tokens[2], "--p=0.2,0.6");
+    EXPECT_TRUE(tokenizeSpecString("").empty());
+}
+
+TEST(SpecParse, ParsesAFullSpecIncludingSpawn)
+{
+    const SweepRunOptions opt = parseSweepSpecString(
+        "--n=8 --m=16 --p=0.2,0.6 --spawn=2 --retries=1 "
+        "--hang-timeout=3 --layout=strided");
+    EXPECT_EQ(opt.spec.processors, std::vector<int>{8});
+    EXPECT_EQ(opt.spec.modules, std::vector<int>{16});
+    EXPECT_EQ(opt.spec.requestProbabilities,
+              (std::vector<double>{0.2, 0.6}));
+    EXPECT_EQ(opt.spawnShards, 2u);
+    EXPECT_EQ(opt.retries, 1u);
+    EXPECT_DOUBLE_EQ(opt.hangTimeout, 3.0);
+    EXPECT_EQ(opt.layout, ShardLayout::Strided);
+}
+
+TEST(SpecParse, ValidationForksSoBadSpecsCannotKillTheCaller)
+{
+    EXPECT_TRUE(specParsesCleanly("--n=8 --m=16 --p=0.5"));
+    // Unknown flag, bad value, forbidden quoting, empty grid: all
+    // must come back as a clean "false", not a fatal in this
+    // process.
+    EXPECT_FALSE(specParsesCleanly("--frobnicate=1"));
+    EXPECT_FALSE(specParsesCleanly("--n=8 --m=16 --p=banana"));
+    EXPECT_FALSE(specParsesCleanly("--n='8'"));
+    EXPECT_FALSE(specParsesCleanly("--dir=elsewhere")); // front-end flag
+}
+
+// ------------------------------------------------------ exit codes
+
+TEST(ExitCodes, ContractIsPinned)
+{
+    // These values are wire/script ABI (CI matches on them; sysexits
+    // semantics); changing one is a breaking change, not a refactor.
+    EXPECT_EQ(kExitOk, 0);
+    EXPECT_EQ(kExitFatal, 1);
+    EXPECT_EQ(kExitNoInput, 66);
+    EXPECT_EQ(kExitUnavailable, 69);
+    EXPECT_EQ(kPartialResultExit, 75);
+    EXPECT_EQ(exitCodeForSignal(SIGTERM), 143);
+    EXPECT_EQ(exitCodeForSignal(SIGKILL), 137);
+    EXPECT_EQ(exitCodeForSignal(SIGINT), 130);
+}
+
+// ---------------------------------------------------- path layout
+
+TEST(DaemonPaths, AreCanonical)
+{
+    EXPECT_EQ(daemonJournalPath("st"), "st/jobs.jsonl");
+    EXPECT_EQ(daemonPortFilePath("st"), "st/port");
+    EXPECT_EQ(daemonHeartbeatPath("st"), "st/heartbeat");
+    EXPECT_EQ(daemonJobDir("st", 12), "st/job-12");
+    EXPECT_EQ(daemonMergedPath("st/job-12"),
+              "st/job-12/merged.jsonl");
+}
+
+} // namespace
+} // namespace sbn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic-clock unit tests for the ShardSupervisor's timing
+ * policy: the capped-exponential retry schedule and the periodic
+ * steal-scan gate. Both are pure functions of configuration and a
+ * caller-supplied clock reading, so these tests pin the exact
+ * schedules without a single wall-clock sleep - the end-to-end
+ * supervision behavior (respawn, hang kill, steal, exhaustion) is
+ * covered by tests/test_fault.cc with real processes.
+ */
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "shard/supervisor.hh"
+
+namespace sbn {
+namespace {
+
+TEST(SupervisorBackoff, DefaultScheduleDoublesToTheCap)
+{
+    // Defaults: initial 0.25 s, growth 2, cap 5 s. Failure k waits
+    // min(5, 0.25 * 2^(k-1)).
+    const SupervisorConfig config;
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 1), 0.25);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 2), 0.5);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 3), 1.0);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 4), 2.0);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 5), 4.0);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 6), 5.0);
+    // Once capped, it stays capped - no overflow or re-growth.
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 7), 5.0);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 50), 5.0);
+}
+
+TEST(SupervisorBackoff, HonorsCustomInitialGrowthAndCap)
+{
+    SupervisorConfig config;
+    config.backoffInitialSeconds = 0.02;
+    config.backoffGrowth = 3.0;
+    config.backoffCapSeconds = 0.5;
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 1), 0.02);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 2), 0.06);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 3), 0.18);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 4), 0.5);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 5), 0.5);
+}
+
+TEST(SupervisorBackoff, ZeroInitialMeansImmediateRetries)
+{
+    // --backoff=0 is the test-suite configuration: every retry is
+    // immediate regardless of how many failures have accumulated.
+    SupervisorConfig config;
+    config.backoffInitialSeconds = 0.0;
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 1), 0.0);
+    EXPECT_DOUBLE_EQ(supervisorBackoffSeconds(config, 10), 0.0);
+}
+
+TEST(PeriodicGate, AdmitsFirstTickImmediately)
+{
+    using namespace std::chrono;
+    PeriodicGate gate(milliseconds(250));
+    const PeriodicGate::TimePoint t0{};
+    // The very first due() must admit: a freshly-started supervision
+    // loop scans for steal opportunities right away rather than
+    // waiting out a full period that nothing armed.
+    EXPECT_TRUE(gate.due(t0));
+}
+
+TEST(PeriodicGate, AdmitsExactlyOncePerPeriod)
+{
+    using namespace std::chrono;
+    PeriodicGate gate(milliseconds(250));
+    const PeriodicGate::TimePoint t0{};
+
+    ASSERT_TRUE(gate.due(t0));
+    // Polls inside the period are rejected, however many there are.
+    EXPECT_FALSE(gate.due(t0 + milliseconds(1)));
+    EXPECT_FALSE(gate.due(t0 + milliseconds(125)));
+    EXPECT_FALSE(gate.due(t0 + milliseconds(249)));
+    // The period boundary itself admits (>= period, not > period).
+    EXPECT_TRUE(gate.due(t0 + milliseconds(250)));
+    EXPECT_FALSE(gate.due(t0 + milliseconds(499)));
+    EXPECT_TRUE(gate.due(t0 + milliseconds(500)));
+}
+
+TEST(PeriodicGate, PeriodRestartsFromTheAdmittedTick)
+{
+    using namespace std::chrono;
+    PeriodicGate gate(milliseconds(250));
+    const PeriodicGate::TimePoint t0{};
+
+    ASSERT_TRUE(gate.due(t0));
+    // A late admitted tick restarts the period from ITS time, not
+    // from the nominal grid: after admitting at t0+400ms the next
+    // admission is t0+650ms, not t0+500ms.
+    EXPECT_TRUE(gate.due(t0 + milliseconds(400)));
+    EXPECT_FALSE(gate.due(t0 + milliseconds(500)));
+    EXPECT_FALSE(gate.due(t0 + milliseconds(649)));
+    EXPECT_TRUE(gate.due(t0 + milliseconds(650)));
+}
+
+} // namespace
+} // namespace sbn

@@ -42,10 +42,14 @@ exactly, and a speedup regression beyond the tolerance fails while an
 absolute-only faststat slowdown warns. Cycleskip-only baselines keep
 working unchanged.
 
-Only sample names present in both files are compared (adding or
-retiring a bench sample is not a regression); a current file with no
-overlapping samples is an error, as is any sample whose two kernels
-stopped producing identical metrics.
+Only sample names present in both files are judged on performance,
+and every row present in only one file gets its own clear message: a
+baselined sample missing from the current run fails (its coverage
+silently vanished), a new unbaselined sample warns. Malformed rows
+(no "name", duplicate names) are reported by file and row index, not
+as a traceback. A current file with no overlapping samples is an
+error, as is any sample whose two kernels stopped producing identical
+metrics.
 """
 
 import argparse
@@ -59,7 +63,23 @@ def load_samples(path):
     samples = doc.get("configs")
     if not isinstance(samples, list) or not samples:
         sys.exit(f"error: {path} carries no kernel-bench configs")
-    return {sample["name"]: sample for sample in samples}
+    by_name = {}
+    for index, sample in enumerate(samples):
+        # Validate per row so a malformed bench file names the row
+        # instead of dying with a KeyError traceback.
+        if not isinstance(sample, dict):
+            sys.exit(f"error: {path} configs[{index}] is not an "
+                     "object - the bench output format changed")
+        name = sample.get("name")
+        if not isinstance(name, str) or not name:
+            sys.exit(f"error: {path} configs[{index}] has no "
+                     "\"name\" string - the bench output format "
+                     "changed")
+        if name in by_name:
+            sys.exit(f"error: {path} configs[{index}] duplicates "
+                     f"sample name '{name}'")
+        by_name[name] = sample
+    return by_name
 
 
 def cycles_per_s(sample, kernel):
@@ -101,6 +121,24 @@ def main():
     if not shared:
         sys.exit("error: no sample names shared between "
                  f"{args.baseline} and {args.current}")
+    # Rows present in only one file get a clear per-row message
+    # rather than being silently dropped from the comparison: a
+    # baselined sample the bench stopped emitting is a failure (the
+    # coverage it provided is gone until the baseline is refreshed);
+    # a new sample the baseline has not caught up with only warns.
+    missing_failures = []
+    for name in sorted(set(baseline) - set(current)):
+        missing_failures.append(
+            f"{name}: in baseline {args.baseline} but missing from "
+            f"{args.current} - the bench no longer emits this "
+            "sample; refresh the baseline if it was retired on "
+            "purpose")
+    new_row_warnings = []
+    for name in sorted(set(current) - set(baseline)):
+        new_row_warnings.append(
+            f"{name}: in {args.current} but not baselined in "
+            f"{args.baseline} - not judged; refresh the baseline to "
+            "cover it")
 
     ref_base = ref_cur = None
     if args.normalize_by == "median":
@@ -132,8 +170,8 @@ def main():
                      "with cycleskip cycles/s not present in both "
                      "files")
 
-    failures = []
-    warnings = []
+    failures = missing_failures
+    warnings = new_row_warnings
     normalized_note = ""
     if args.normalize:
         normalized_note = ", normalized by classic"

@@ -1,6 +1,7 @@
 /**
  * @file
- * Sharded-sweep orchestrator: run, shard, spawn, merge, resume.
+ * Sharded-sweep orchestrator: run, shard, spawn, merge, resume - and
+ * client of the sbn_sweepd job daemon.
  *
  * One binary drives every stage of a distributed EBW sweep over the
  * paper's parameter grid:
@@ -19,6 +20,8 @@
  *   sbn_sweep ... --merge --shards=4 --dir=out/
  *       Validate and reassemble the shard files into the flat-grid
  *       ordered stream on stdout - byte-identical to the serial run.
+ *       A directory with no record files at all exits with the
+ *       distinct no-input code (66) and one structured stderr line.
  *
  *   sbn_sweep ... --spawn=4 --dir=out/
  *       Run the 4-shard fleet under ShardSupervisor: one worker per
@@ -33,6 +36,17 @@
  *       (EX_TEMPFAIL) so callers can tell "rerun the named points"
  *       from "the sweep is broken".
  *
+ *   sbn_sweep --connect=STATE_DIR_OR_PORT --submit="--n=8 ... --spawn=2"
+ *   sbn_sweep --connect=... --status [--job=N]
+ *   sbn_sweep --connect=... --results --job=N [--wait]
+ *   sbn_sweep --connect=... --cancel --job=N
+ *   sbn_sweep --connect=... --drain
+ *       Talk to a running sbn_sweepd (docs/service.md). --submit
+ *       with --wait blocks until the job is terminal and streams the
+ *       merged records to stdout, exiting with the job's own exit
+ *       disposition (0 complete, 75 partial). A daemon that cannot
+ *       be reached exits 69 (EX_UNAVAILABLE).
+ *
  * --adaptive switches every mode to adaptive-precision estimation
  * (per-point replications grown until --rel/--abs or --cap); records
  * then carry replication counts, rounds and the CI half-width, and
@@ -43,6 +57,7 @@
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -53,8 +68,10 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.hh"
 #include "exec/parallel_runner.hh"
+#include "service/client.hh"
+#include "service/journal.hh"
+#include "service/sweeprun.hh"
 #include "shard/fault.hh"
 #include "shard/merge.hh"
 #include "shard/plan.hh"
@@ -62,6 +79,7 @@
 #include "shard/runner.hh"
 #include "shard/supervisor.hh"
 #include "util/cli.hh"
+#include "util/exit_codes.hh"
 #include "util/logging.hh"
 
 namespace {
@@ -71,175 +89,19 @@ using namespace sbn;
 /** Everything parsed from the command line. */
 struct Options
 {
-    SweepSpec spec;
-    bool adaptive = false;
-    PrecisionTarget target;
-    RoundSchedule schedule;
-    unsigned threads = 0; //!< 0 = defaultExecThreads()
-    ShardLayout layout = ShardLayout::Contiguous;
+    SweepRunOptions run;
     std::string dir = "sbn-sweep-out";
     bool resume = false;
-
-    // --spawn supervision policy.
-    unsigned retries = 2;         //!< respawns allowed per shard
-    double hangTimeout = 0.0;     //!< seconds; 0 = liveness off
-    double backoffInitial = 0.25; //!< first-retry backoff seconds
-    bool steal = true;            //!< work stealing on by default
 };
-
-std::vector<ArbitrationPolicy>
-parsePolicyList(const std::vector<std::string> &names)
-{
-    std::vector<ArbitrationPolicy> policies;
-    for (const std::string &name : names) {
-        if (name == "proc")
-            policies.push_back(ArbitrationPolicy::ProcessorPriority);
-        else if (name == "mem")
-            policies.push_back(ArbitrationPolicy::MemoryPriority);
-        else
-            sbn_fatal("--policy: unknown policy '", name,
-                      "' (expected 'proc' or 'mem')");
-    }
-    return policies;
-}
 
 Options
 parseOptions(const CommandLine &cli)
 {
     Options opt;
-
-    SweepSpec &spec = opt.spec;
-    spec.base.seed =
-        static_cast<std::uint64_t>(cli.getInt("seed", 20260611));
-    spec.base.warmupCycles = cli.getInt("warmup", 20000);
-    spec.base.measureCycles = cli.getInt("measure", 200000);
-
-    for (std::int64_t n : cli.getIntList("n", {}))
-        spec.processors.push_back(static_cast<int>(n));
-    for (std::int64_t m : cli.getIntList("m", {}))
-        spec.modules.push_back(static_cast<int>(m));
-    for (std::int64_t r : cli.getIntList("r", {}))
-        spec.memoryRatios.push_back(static_cast<int>(r));
-    spec.requestProbabilities = cli.getDoubleList("p", {});
-    if (cli.has("policy"))
-        spec.policies =
-            parsePolicyList(cli.getStringList("policy", {}));
-    for (std::int64_t b : cli.getIntList("buffered", {}))
-        spec.buffering.push_back(b != 0);
-    spec.hotFractions = cli.getDoubleList("hot", {});
-    spec.favoriteFractions = cli.getDoubleList("favorite", {});
-
-    // Kernel selection applies to every point: materialize() copies
-    // the base config, and the fingerprint's kernel marker keeps
-    // FastStat records from merging into exact-kernel sweeps.
-    const std::string kernel = cli.getString("kernel", "cycleskip");
-    if (kernel == "cycleskip")
-        spec.base.kernel = KernelKind::CycleSkip;
-    else if (kernel == "faststat")
-        spec.base.kernel = KernelKind::FastStat;
-    else
-        sbn_fatal("--kernel: unknown kernel '", kernel,
-                  "' (expected 'cycleskip' or 'faststat')");
-
-    opt.adaptive = cli.getBool("adaptive", false);
-    opt.target.relative = cli.getDouble("rel", 0.05);
-    opt.target.absolute = cli.getDouble("abs", 0.0);
-    opt.target.level = cli.getDouble("level", 0.95);
-
-    // Range-check the schedule here, naming the flags: a negative
-    // value narrowed to unsigned would otherwise surface as an
-    // unrelated internal assertion (or a ~4e9-replication round).
-    const std::int64_t initial = cli.getInt("initial", 4);
-    if (initial < 2)
-        sbn_fatal("--initial must be >= 2 (got ", initial,
-                  "); the first round needs a confidence interval");
-    const std::int64_t cap = cli.getInt("cap", 64);
-    if (cap < initial)
-        sbn_fatal("--cap must be >= --initial (got cap=", cap,
-                  ", initial=", initial, ")");
-    opt.schedule.initial = static_cast<unsigned>(initial);
-    opt.schedule.growth = cli.getDouble("growth", 2.0);
-    if (!(opt.schedule.growth > 1.0))
-        sbn_fatal("--growth must be > 1 (got ", opt.schedule.growth,
-                  "); rounds must add replications");
-    opt.schedule.cap = static_cast<unsigned>(cap);
-
-    if (cli.has("threads")) {
-        opt.threads =
-            parseThreadsSpec(cli.getString("threads", "1").c_str());
-        // parseThreadsSpec keeps "0 = all hardware threads" symbolic;
-        // resolve it here so 0 never reaches the runShard*/runner
-        // plumbing, where 0 means "defaultExecThreads()" (serial
-        // unless SBN_THREADS is set) instead.
-        if (opt.threads == 0)
-            opt.threads = ThreadPool::hardwareThreads();
-    }
-    opt.layout =
-        parseShardLayout(cli.getString("layout", "contiguous"));
+    opt.run = parseSweepRunOptions(cli);
     opt.dir = cli.getString("dir", opt.dir);
     opt.resume = cli.getBool("resume", false);
-
-    const std::int64_t retries = cli.getInt("retries", 2);
-    if (retries < 0)
-        sbn_fatal("--retries must be >= 0 (got ", retries, ")");
-    opt.retries = static_cast<unsigned>(retries);
-    opt.hangTimeout = cli.getDouble("hang-timeout", 0.0);
-    if (opt.hangTimeout < 0.0)
-        sbn_fatal("--hang-timeout must be >= 0 seconds (got ",
-                  opt.hangTimeout, ")");
-    opt.backoffInitial = cli.getDouble("backoff", 0.25);
-    if (opt.backoffInitial < 0.0)
-        sbn_fatal("--backoff must be >= 0 seconds (got ",
-                  opt.backoffInitial, ")");
-    opt.steal = cli.getBool("steal", true);
-
-    spec.validate();
     return opt;
-}
-
-double
-evaluatePoint(const SystemConfig &cfg)
-{
-    return runEbw(cfg);
-}
-
-double
-evaluateReplication(const SystemConfig &cfg, std::uint64_t seed)
-{
-    SystemConfig c = cfg;
-    c.seed = seed;
-    return runEbw(c);
-}
-
-/** Run one shard to its canonical file; report stats on stderr. */
-void
-runOneShard(const Options &opt, const ShardSpec &shard)
-{
-    const std::string path = shardFilePath(opt.dir, shard);
-    ShardRunStats stats;
-    if (opt.adaptive)
-        stats = runShardAdaptive(opt.spec, shard, opt.layout,
-                                 opt.target, opt.schedule,
-                                 evaluateReplication, path,
-                                 opt.resume, opt.threads);
-    else
-        stats = runShardSweep(opt.spec, shard, opt.layout,
-                              evaluatePoint, path, opt.resume,
-                              opt.threads);
-    std::fprintf(stderr,
-                 "shard %s (%s): %zu point(s) owned, %zu resumed, "
-                 "%zu computed -> %s\n",
-                 shard.toString().c_str(),
-                 shardLayoutName(opt.layout), stats.owned,
-                 stats.skipped, stats.computed, path.c_str());
-}
-
-MergeCheck
-checkFor(const Options &opt, const std::vector<SystemConfig> &points)
-{
-    return opt.adaptive
-               ? adaptiveMergeCheck(points, opt.target, opt.schedule)
-               : sweepMergeCheck(points);
 }
 
 /**
@@ -259,17 +121,40 @@ mergeShards(const Options &opt, std::size_t shard_count,
     MergeCheck check =
         structural_size != 0
             ? structuralMergeCheck(structural_size)
-            : checkFor(opt, opt.spec.materialize());
+            : sweepRunMergeCheck(opt.run, opt.run.spec.materialize());
     if (files.empty()) {
         // Canonical shard set: give the check shard attribution so a
         // strict-merge failure names the exact missing indices and
         // the shard file expected to own each of them.
         check.shardCount = shard_count;
-        check.layout = opt.layout;
+        check.layout = opt.run.layout;
         check.dir = opt.dir;
     }
     const std::vector<std::string> paths =
         files.empty() ? shardFilePaths(opt.dir, shard_count) : files;
+
+    // Zero record files is its own failure mode - a wrong --dir or a
+    // sweep that never ran - and deserves a distinct diagnosis and
+    // exit code, not the per-file "cannot open" fatal (which is for
+    // a *partially* missing set, where naming the one absent shard
+    // is the useful message).
+    std::size_t present = 0;
+    for (const std::string &path : paths) {
+        struct stat info;
+        if (::stat(path.c_str(), &info) == 0)
+            ++present;
+    }
+    if (present == 0) {
+        std::fprintf(stderr,
+                     "sbn_sweep: --merge: no record files: none of "
+                     "the %zu expected file(s) exist under '%s' "
+                     "(first: %s); wrong --dir, or the sweep never "
+                     "ran\n",
+                     paths.size(), opt.dir.c_str(),
+                     paths.empty() ? "-" : paths.front().c_str());
+        std::exit(kExitNoInput);
+    }
+
     const std::vector<PointRecord> merged =
         mergeRecordFiles(paths, check);
     writeRecords(std::cout, merged);
@@ -281,25 +166,26 @@ mergeShards(const Options &opt, std::size_t shard_count,
 void
 runSerial(const Options &opt)
 {
-    const std::vector<SystemConfig> points = opt.spec.materialize();
+    const std::vector<SystemConfig> points =
+        opt.run.spec.materialize();
     ParallelRunner &runner = sharedParallelRunner(
-        opt.threads != 0 ? opt.threads : defaultExecThreads());
+        opt.run.threads != 0 ? opt.run.threads : defaultExecThreads());
 
-    if (opt.adaptive) {
-        const AdaptiveReplicator replicator(runner, opt.target,
-                                            opt.schedule);
+    if (opt.run.adaptive) {
+        const AdaptiveReplicator replicator(runner, opt.run.target,
+                                            opt.run.schedule);
         replicator.runPoints(
-            points, evaluateReplication,
+            points, evaluateSweepReplication,
             [&](std::size_t i, const SystemConfig &cfg,
                 const AdaptiveEstimate &estimate) {
                 std::cout << formatRecord(makeAdaptiveRecord(
-                                 i, cfg, estimate, opt.target,
-                                 opt.schedule))
+                                 i, cfg, estimate, opt.run.target,
+                                 opt.run.schedule))
                           << '\n';
             });
     } else {
         runner.mapConfigsStreamed(
-            points, evaluatePoint,
+            points, evaluateSweepPoint,
             [&](std::size_t i, const SystemConfig &cfg,
                 double value) {
                 std::cout << formatRecord(
@@ -320,51 +206,9 @@ runSerial(const Options &opt)
 void
 spawnAndMerge(const Options &opt, std::size_t shard_count)
 {
-    // Workers are forked before this process creates any thread
-    // pool, so each child owns a clean single-threaded image and
-    // builds its own pool. Each worker defaults to one thread; pass
-    // --threads to give every worker its own pool.
-    const std::vector<SystemConfig> points = opt.spec.materialize();
-    MergeCheck check = checkFor(opt, points);
-    check.shardCount = shard_count;
-    check.layout = opt.layout;
-    check.dir = opt.dir;
-
-    SupervisorConfig config;
-    config.shardCount = shard_count;
-    config.dir = opt.dir;
-    config.layout = opt.layout;
-    config.expectedRunFp = check.expectedRunFp;
-    config.maxRetries = opt.retries;
-    config.backoffInitialSeconds = opt.backoffInitial;
-    config.hangTimeoutSeconds = opt.hangTimeout;
-    config.workStealing = opt.steal;
-
-    Options worker = opt;
-    if (worker.threads == 0)
-        worker.threads = 1;
-
-    ShardSupervisor supervisor(
-        config, [&](const WorkerTask &task) {
-            if (task.steal) {
-                if (opt.adaptive)
-                    runStolenPointsAdaptive(
-                        points, task.points, opt.target, opt.schedule,
-                        evaluateReplication, task.outPath,
-                        worker.threads);
-                else
-                    runStolenPointsSweep(points, task.points,
-                                         evaluatePoint, task.outPath,
-                                         worker.threads);
-            } else {
-                Options w = worker;
-                // A respawn must keep the dead worker's flushed
-                // records; first launches honor the user's --resume.
-                w.resume = w.resume || task.attempt > 0;
-                runOneShard(w, task.shard);
-            }
-        });
-    const SupervisorReport report = supervisor.run();
+    const SupervisedSweepOutcome outcome = runSupervisedSweep(
+        opt.run, shard_count, opt.dir, opt.resume);
+    const SupervisorReport &report = outcome.report;
 
     if (report.interruptSignal != 0) {
         // The supervisor already SIGKILLed and reaped every live
@@ -377,7 +221,7 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
                      "killed and reaped, no merge attempted (shard "
                      "files in %s support --resume)\n",
                      report.interruptSignal, opt.dir.c_str());
-        std::exit(128 + report.interruptSignal);
+        std::exit(exitCodeForSignal(report.interruptSignal));
     }
 
     if (report.respawns != 0 || report.stealLaunches != 0)
@@ -387,34 +231,28 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
                      report.respawns, report.stealLaunches,
                      report.stolenPoints);
 
-    // Merge everything the fleet produced - canonical shard files
-    // plus steal files. Partial tails are tolerated: an exhausted
-    // shard legitimately leaves a torn final line, and any point it
-    // covers is deduped against the steal copy bit-identically.
-    const PartialMerge merged = collectRecordFiles(
-        report.recordFiles, check, /*tolerate_partial_tail=*/true);
-    writeRecords(std::cout, merged.records);
+    writeRecords(std::cout, outcome.merged.records);
 
     if (!report.complete) {
         // Graceful degradation: persist the exact uncovered points
         // machine-readably and report every failed shard - index,
         // wait status, launches - in ONE structured stderr line.
         const std::string manifest = missingManifestPath(opt.dir);
-        writeMissingPointsManifest(manifest, check,
+        writeMissingPointsManifest(manifest, outcome.check,
                                    report.missingPoints);
         std::string line = "--spawn: incomplete:";
         for (std::size_t i = 0; i < report.shards.size(); ++i) {
-            const ShardOutcome &outcome = report.shards[i];
-            if (outcome.state != ShardState::Exhausted)
+            const ShardOutcome &shard = report.shards[i];
+            if (shard.state != ShardState::Exhausted)
                 continue;
             line += " shard " + std::to_string(i) + "/" +
                     std::to_string(shard_count) + " {" +
-                    describeWaitStatus(outcome.lastStatus) + ", " +
-                    std::to_string(outcome.launches) + " launch(es)" +
-                    (outcome.everHung ? ", hung" : "") + "}";
+                    describeWaitStatus(shard.lastStatus) + ", " +
+                    std::to_string(shard.launches) + " launch(es)" +
+                    (shard.everHung ? ", hung" : "") + "}";
         }
         line += "; " + std::to_string(report.missingPoints.size()) +
-                "/" + std::to_string(check.gridSize) +
+                "/" + std::to_string(outcome.check.gridSize) +
                 " point(s) missing; merged partial stream written; "
                 "manifest: " +
                 manifest;
@@ -423,7 +261,199 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
     }
 
     std::fprintf(stderr, "merged %zu record(s) from %zu file(s)\n",
-                 merged.records.size(), report.recordFiles.size());
+                 outcome.merged.records.size(),
+                 report.recordFiles.size());
+}
+
+// ---------------------------------------------------------------------
+// Daemon client mode (--connect).
+// ---------------------------------------------------------------------
+
+/** One request/response over a fresh connection. */
+ClientResponse
+callDaemon(const std::string &endpoint, const Request &request)
+{
+    DaemonClient client(endpoint);
+    return client.call(request);
+}
+
+/** Re-serialize a parsed flat object (key order = map order). */
+std::string
+formatFlatObject(const JsonObject &fields)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &pair : fields) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + pair.first + "\":";
+        switch (pair.second.kind) {
+        case JsonScalar::Kind::String:
+            out += '"' + jsonEscape(pair.second.text) + '"';
+            break;
+        case JsonScalar::Kind::Number:
+            out += pair.second.text;
+            break;
+        case JsonScalar::Kind::Bool:
+            out += pair.second.boolean ? "true" : "false";
+            break;
+        case JsonScalar::Kind::Null:
+            out += "null";
+            break;
+        }
+    }
+    out += '}';
+    return out;
+}
+
+/** Print a protocol-level failure and exit nonzero. */
+[[noreturn]] void
+dieOnErrorResponse(const char *what, const ClientResponse &response)
+{
+    std::fprintf(stderr, "sbn_sweep: %s failed: %s: %s\n", what,
+                 response.errorCode().c_str(),
+                 response.text("message").c_str());
+    std::exit(kExitFatal);
+}
+
+/** Poll the daemon until @p job reaches a terminal state. */
+ClientResponse
+waitForTerminal(const std::string &endpoint, std::uint64_t job)
+{
+    Request status;
+    status.kind = RequestKind::Status;
+    status.hasJob = true;
+    status.job = job;
+    for (;;) {
+        const ClientResponse response = callDaemon(endpoint, status);
+        if (!response.ok())
+            dieOnErrorResponse("status", response);
+        JobState state = JobState::Submitted;
+        if (parseJobState(response.text("state"), state) &&
+            jobStateTerminal(state))
+            return response;
+        timespec delay{0, 200 * 1000 * 1000};
+        ::nanosleep(&delay, nullptr);
+    }
+}
+
+/**
+ * Fetch a finished job's merged records to stdout and exit with the
+ * job's own disposition (0 complete, kPartialResultExit partial).
+ */
+[[noreturn]] void
+fetchResultsAndExit(const std::string &endpoint, std::uint64_t job)
+{
+    Request request;
+    request.kind = RequestKind::Results;
+    request.hasJob = true;
+    request.job = job;
+    const ClientResponse response = callDaemon(endpoint, request);
+    if (!response.ok())
+        dieOnErrorResponse("results", response);
+    std::fwrite(response.payload.data(), 1, response.payload.size(),
+                stdout);
+    const int exit = static_cast<int>(response.number("exit", 0));
+    if (exit == kPartialResultExit)
+        std::fprintf(stderr,
+                     "sbn_sweep: job %llu finished partial; see the "
+                     "job's missing-points manifest in the daemon "
+                     "state dir\n",
+                     static_cast<unsigned long long>(job));
+    std::exit(exit == kPartialResultExit ? kPartialResultExit
+                                         : kExitOk);
+}
+
+[[noreturn]] void
+runClientMode(const CommandLine &cli, const std::string &endpoint)
+{
+    const bool wait = cli.getBool("wait", false);
+
+    if (cli.has("submit")) {
+        Request request;
+        request.kind = RequestKind::Submit;
+        request.spec = cli.getString("submit", "");
+        request.timeoutSeconds = cli.getDouble("job-timeout", 0.0);
+        if (request.timeoutSeconds < 0)
+            sbn_fatal("--job-timeout must be >= 0 seconds");
+        const ClientResponse response = callDaemon(endpoint, request);
+        if (!response.ok())
+            dieOnErrorResponse("submit", response);
+        const std::uint64_t job =
+            static_cast<std::uint64_t>(response.number("job", 0));
+        std::fprintf(stderr, "sbn_sweep: submitted job %llu\n",
+                     static_cast<unsigned long long>(job));
+        if (!wait) {
+            std::printf("%llu\n",
+                        static_cast<unsigned long long>(job));
+            std::exit(kExitOk);
+        }
+        const ClientResponse last = waitForTerminal(endpoint, job);
+        JobState state = JobState::Submitted;
+        parseJobState(last.text("state"), state);
+        if (state != JobState::Done) {
+            std::fprintf(stderr,
+                         "sbn_sweep: job %llu ended %s (%s)\n",
+                         static_cast<unsigned long long>(job),
+                         jobStateName(state),
+                         last.text("reason").c_str());
+            std::exit(kExitFatal);
+        }
+        fetchResultsAndExit(endpoint, job);
+    }
+
+    if (cli.getBool("results", false)) {
+        const std::int64_t job = cli.getInt("job", -1);
+        if (job < 0)
+            sbn_fatal("--results needs --job=N");
+        if (wait)
+            waitForTerminal(endpoint,
+                            static_cast<std::uint64_t>(job));
+        fetchResultsAndExit(endpoint,
+                            static_cast<std::uint64_t>(job));
+    }
+
+    if (cli.getBool("cancel", false)) {
+        const std::int64_t job = cli.getInt("job", -1);
+        if (job < 0)
+            sbn_fatal("--cancel needs --job=N");
+        Request request;
+        request.kind = RequestKind::Cancel;
+        request.hasJob = true;
+        request.job = static_cast<std::uint64_t>(job);
+        const ClientResponse response = callDaemon(endpoint, request);
+        if (!response.ok())
+            dieOnErrorResponse("cancel", response);
+        std::fprintf(stderr, "sbn_sweep: job %lld cancelled\n",
+                     static_cast<long long>(job));
+        std::exit(kExitOk);
+    }
+
+    if (cli.getBool("drain", false)) {
+        Request request;
+        request.kind = RequestKind::Drain;
+        const ClientResponse response = callDaemon(endpoint, request);
+        if (!response.ok())
+            dieOnErrorResponse("drain", response);
+        std::fprintf(stderr, "sbn_sweep: daemon draining\n");
+        std::exit(kExitOk);
+    }
+
+    // Default: status (daemon summary, or one job with --job=N).
+    Request request;
+    request.kind = RequestKind::Status;
+    if (cli.has("job")) {
+        request.hasJob = true;
+        request.job =
+            static_cast<std::uint64_t>(cli.getInt("job", 0));
+    }
+    const ClientResponse response = callDaemon(endpoint, request);
+    if (!response.ok())
+        dieOnErrorResponse("status", response);
+    // The status line is already machine-readable; pass it through.
+    std::printf("%s\n", formatFlatObject(response.fields).c_str());
+    std::exit(kExitOk);
 }
 
 } // namespace
@@ -431,56 +461,41 @@ spawnAndMerge(const Options &opt, std::size_t shard_count)
 int
 main(int argc, char **argv)
 {
-    const std::map<std::string, std::string> known{
-        {"n", "processor-count axis, e.g. 8 or 4,8,16"},
-        {"m", "memory-module axis"},
-        {"r", "memory/bus ratio axis"},
-        {"p", "request-probability axis, e.g. 0.1,0.5,1.0"},
-        {"policy", "arbitration axis: proc, mem or proc,mem"},
-        {"buffered", "Section-6 buffering axis: 0, 1 or 0,1"},
-        {"hot", "hot-spot workload axis: fraction h values, e.g. "
-                "0.0,0.2,0.4 (forces the HotSpot pattern)"},
-        {"favorite", "favorite-module workload axis: fraction f "
-                     "values (forces the Favorite pattern)"},
-        {"kernel", "simulation kernel: cycleskip (exact, default) or "
-                   "faststat (statistically equivalent, faster)"},
-        {"seed", "base RNG seed (per-point seeds derive from it)"},
-        {"warmup", "warmup bus cycles per run"},
-        {"measure", "measured bus cycles per run"},
-        {"adaptive", "adaptive-precision replications per point"},
-        {"rel", "adaptive: relative CI half-width target"},
-        {"abs", "adaptive: absolute CI half-width target"},
-        {"level", "adaptive: confidence level"},
-        {"initial", "adaptive: first-round replications"},
-        {"growth", "adaptive: round growth factor"},
-        {"cap", "adaptive: replication cap"},
-        {"threads", "worker threads (0 = all hardware threads)"},
+    std::map<std::string, std::string> known = sweepFlagHelp();
+    known.insert({
         {"shard", "run one shard: i/N (0-based)"},
         {"shards", "shard count for --merge"},
         {"files", "merge: explicit record files instead of the "
                   "canonical shard-i-of-N.jsonl set"},
         {"size", "merge: validate structure only, for a grid of this "
                  "many points (skips fingerprint checks)"},
-        {"layout", "shard layout: contiguous or strided"},
         {"dir", "shard file directory"},
         {"resume", "skip points with matching records on disk"},
         {"merge", "merge shard files to stdout"},
-        {"spawn", "run N supervised local shard workers, then merge"},
-        {"retries", "spawn: respawns allowed per shard (default 2)"},
-        {"hang-timeout", "spawn: seconds without record progress "
-                         "before a worker is declared hung and "
-                         "killed (0 = off)"},
-        {"backoff", "spawn: initial retry backoff seconds (doubles "
-                    "per failure, capped)"},
-        {"steal", "spawn: let free workers steal missing points from "
-                  "stragglers (default 1)"},
-    };
+        {"connect", "client mode: daemon state dir, PORT or "
+                    "host:PORT (see docs/service.md)"},
+        {"submit", "client: submit a job; value = sbn_sweep-style "
+                   "spec string"},
+        {"job-timeout", "client: wall-clock budget in seconds for "
+                        "the submitted job (0 = none)"},
+        {"status", "client: daemon summary, or one job with --job"},
+        {"results", "client: fetch a finished job's merged records "
+                    "(needs --job)"},
+        {"cancel", "client: cancel a job (needs --job)"},
+        {"drain", "client: stop intake, finish queued jobs, exit 0"},
+        {"job", "client: job id for --status/--results/--cancel"},
+        {"wait", "client: block until the job is terminal"},
+    });
     const CommandLine cli(argc, argv, known);
+
+    if (cli.has("connect"))
+        runClientMode(cli, cli.getString("connect", ""));
+
     const Options opt = parseOptions(cli);
 
     const bool has_shard = cli.has("shard");
     const bool has_merge = cli.getBool("merge", false);
-    const bool has_spawn = cli.has("spawn");
+    const bool has_spawn = opt.run.spawnShards != 0;
     if (has_shard + has_merge + has_spawn > 1)
         sbn_fatal("--shard, --merge and --spawn are mutually "
                   "exclusive (shard and merge are separate stages; "
@@ -507,7 +522,7 @@ main(int argc, char **argv)
             attempt = static_cast<unsigned>(parsed);
         }
         setFaultProcessScope(shard.index, attempt);
-        runOneShard(opt, shard);
+        runSweepShard(opt.run, shard, opt.dir, opt.resume);
     } else if (has_merge) {
         const std::vector<std::string> files =
             cli.getStringList("files", {});
@@ -522,11 +537,7 @@ main(int argc, char **argv)
         mergeShards(opt, static_cast<std::size_t>(shards), files,
                     static_cast<std::size_t>(size));
     } else if (has_spawn) {
-        const std::int64_t shards = cli.getInt("spawn", 0);
-        if (shards < 1)
-            sbn_fatal("--spawn=K needs K >= 1 worker processes");
-        ensureWritableShardDir(opt.dir);
-        spawnAndMerge(opt, static_cast<std::size_t>(shards));
+        spawnAndMerge(opt, opt.run.spawnShards);
     } else {
         runSerial(opt);
     }
