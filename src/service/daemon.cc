@@ -115,8 +115,10 @@ struct Job
 /** One connected client. */
 struct Client
 {
-    int fd = -1;
-    std::string inbox; //!< bytes received, not yet a full line
+    int fd = -1;           //!< O_NONBLOCK; -1 = dropped, reap pending
+    std::string inbox;     //!< bytes received, not yet a full line
+    std::string outbox;    //!< reply bytes not yet accepted by send()
+    std::size_t outboxSent = 0; //!< prefix of outbox already sent
 };
 
 class Daemon
@@ -142,6 +144,8 @@ class Daemon
     void serviceClient(Client &client);
     void handleRequest(Client &client, const std::string &line);
     void respond(Client &client, const std::string &line);
+    void queueOutput(Client &client, const std::string &bytes);
+    void flushClient(Client &client);
     void dropClient(Client &client);
 
     // --- request handlers --------------------------------------------
@@ -308,10 +312,20 @@ Daemon::run()
             return kExitOk;
         }
 
+        // fds layout: [0] listen, [1 .. polledClients] the clients_
+        // snapshot taken HERE, then one slot per runner status pipe.
+        // acceptClients() below appends to clients_, so every index
+        // into fds must use this snapshot count, never a live
+        // clients_.size().
         std::vector<pollfd> fds;
         fds.push_back({listenFd_, POLLIN, 0});
-        for (const Client &client : clients_)
-            fds.push_back({client.fd, POLLIN, 0});
+        const std::size_t polledClients = clients_.size();
+        for (const Client &client : clients_) {
+            short events = POLLIN;
+            if (client.outboxSent < client.outbox.size())
+                events |= POLLOUT;
+            fds.push_back({client.fd, events, 0});
+        }
         std::vector<std::uint64_t> pipeJobs;
         for (auto &pair : jobs_) {
             if (pair.second.statusPipe >= 0) {
@@ -332,13 +346,17 @@ Daemon::run()
 
         if ((fds[0].revents & POLLIN) != 0)
             acceptClients();
-        const std::size_t clientCount = clients_.size();
-        for (std::size_t i = 0; i < clientCount; ++i)
-            if ((fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) !=
-                0)
-                serviceClient(clients_[i]);
+        for (std::size_t i = 0; i < polledClients; ++i) {
+            Client &client = clients_[i];
+            if ((fds[1 + i].revents & POLLOUT) != 0)
+                flushClient(client);
+            if (client.fd >= 0 &&
+                (fds[1 + i].revents &
+                 (POLLIN | POLLHUP | POLLERR)) != 0)
+                serviceClient(client);
+        }
         for (std::size_t i = 0; i < pipeJobs.size(); ++i)
-            if ((fds[1 + clientCount + i].revents &
+            if ((fds[1 + polledClients + i].revents &
                  (POLLIN | POLLHUP | POLLERR)) != 0)
                 if (Job *job = findJob(pipeJobs[i]))
                     readStatusPipe(*job);
@@ -365,6 +383,12 @@ Daemon::acceptClients()
             sbn_warn("accept failed: ", std::strerror(errno));
             return;
         }
+        // Non-blocking from birth: all client I/O runs in the single
+        // poll() thread, so a peer that stops reading must cost us an
+        // EAGAIN and a buffered outbox, never a blocked write that
+        // wedges every other client, runner reap and heartbeat.
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
         Client client;
         client.fd = fd;
         clients_.push_back(std::move(client));
@@ -433,9 +457,49 @@ Daemon::handleRequest(Client &client, const std::string &line)
 void
 Daemon::respond(Client &client, const std::string &line)
 {
-    const std::string out = line + "\n";
-    if (!writeAll(client.fd, out.data(), out.size()))
+    queueOutput(client, line + "\n");
+}
+
+void
+Daemon::queueOutput(Client &client, const std::string &bytes)
+{
+    if (client.fd < 0)
+        return;
+    // A peer that keeps sending requests without reading replies
+    // (results payloads, typically) gets cut off rather than growing
+    // the outbox without bound.
+    constexpr std::size_t kMaxOutbox = std::size_t(256) << 20;
+    if (client.outbox.size() - client.outboxSent + bytes.size() >
+        kMaxOutbox) {
+        sbn_warn("client outbox over ", kMaxOutbox >> 20,
+                 " MiB (peer not reading); dropping it");
         dropClient(client);
+        return;
+    }
+    client.outbox += bytes;
+    flushClient(client); // opportunistic: common case drains here
+}
+
+void
+Daemon::flushClient(Client &client)
+{
+    while (client.fd >= 0 &&
+           client.outboxSent < client.outbox.size()) {
+        const ssize_t got =
+            ::write(client.fd, client.outbox.data() + client.outboxSent,
+                    client.outbox.size() - client.outboxSent);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return; // poll()'s POLLOUT resumes the flush
+            dropClient(client);
+            return;
+        }
+        client.outboxSent += static_cast<std::size_t>(got);
+    }
+    client.outbox.clear();
+    client.outboxSent = 0;
 }
 
 void
@@ -444,6 +508,8 @@ Daemon::dropClient(Client &client)
     if (client.fd >= 0)
         ::close(client.fd);
     client.fd = -1; // reaped by the main loop's erase pass
+    client.outbox.clear();
+    client.outboxSent = 0;
 }
 
 void
@@ -611,9 +677,8 @@ Daemon::handleResults(Client &client, const Request &request)
         "{\"ok\":true,\"job\":" + std::to_string(request.job) +
         ",\"exit\":" + std::to_string(job->entry.exitCode) +
         ",\"bytes\":" + std::to_string(bytes.size()) + "}\n";
-    if (!writeAll(client.fd, header.data(), header.size()) ||
-        !writeAll(client.fd, bytes.data(), bytes.size()))
-        dropClient(client);
+    queueOutput(client, header);
+    queueOutput(client, bytes);
 }
 
 void
@@ -639,6 +704,13 @@ Daemon::startPendingJobs()
 void
 Daemon::launchRunner(Job &job)
 {
+    // First launch ever (not per incarnation): stamp the wall-clock
+    // start the timeout deadline is measured from. Recovered jobs
+    // carry theirs in from the journal.
+    if (job.entry.startedUnix <= 0)
+        job.entry.startedUnix =
+            static_cast<double>(std::time(nullptr));
+
     // Journal the transition BEFORE the fork: a crash between the
     // two recovers to "running" and relaunches with resume, which is
     // idempotent; the reverse order could run a job the journal
@@ -685,12 +757,22 @@ Daemon::launchRunner(Job &job)
     ::close(pipeFds[1]);
     job.runnerPid = pid;
     job.statusPipe = pipeFds[0];
-    if (job.launches == 0 && job.entry.timeoutSeconds > 0) {
+    if (!job.hasDeadline && job.entry.timeoutSeconds > 0) {
+        // The deadline is anchored at the journaled first-launch
+        // wall-clock time, not at this launch: a job recovered after
+        // a daemon restart resumes whatever budget it had left
+        // instead of getting a fresh full timeout per incarnation.
+        // (Within one incarnation, relaunches keep the armed
+        // deadline and never re-enter this branch.)
+        const double elapsed = std::max(
+            0.0, static_cast<double>(std::time(nullptr)) -
+                     job.entry.startedUnix);
         job.hasDeadline = true;
         job.deadline = Clock::now() +
                        std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(
-                               job.entry.timeoutSeconds));
+                           std::chrono::duration<double>(std::max(
+                               0.0, job.entry.timeoutSeconds -
+                                        elapsed)));
     }
     ++job.launches;
 }
@@ -892,7 +974,17 @@ Daemon::writeHeartbeat()
 std::size_t
 Daemon::queuedCount() const
 {
-    return pending_.size();
+    // pending_ can transiently hold ids whose jobs already went
+    // terminal (startPendingJobs skips them); they must not count
+    // against the queue cap or show up in status/heartbeat.
+    std::size_t count = 0;
+    for (const std::uint64_t id : pending_) {
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end() &&
+            !jobStateTerminal(it->second.entry.state))
+            ++count;
+    }
+    return count;
 }
 
 std::size_t

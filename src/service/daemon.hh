@@ -54,7 +54,10 @@ struct DaemonConfig
 {
     std::string stateDir; //!< journal, job dirs, port + heartbeat files
     int port = 0;         //!< TCP port; 0 = kernel-assigned ephemeral
-    std::size_t queueLimit = 8; //!< queued-or-running job cap
+    /** Cap on jobs queued awaiting a runner (running jobs are capped
+     *  separately by maxRunning); submits beyond it get the
+     *  machine-readable queue_full rejection. */
+    std::size_t queueLimit = 8;
     std::size_t maxRunning = 1; //!< concurrent runner processes
     double heartbeatSeconds = 1.0;
     /** Relaunches allowed when a runner dies on a signal (a crash,

@@ -68,6 +68,9 @@ formatJournalEntry(const JobJournalEntry &entry)
     char timeout[32];
     std::snprintf(timeout, sizeof timeout, "%.17g",
                   entry.timeoutSeconds);
+    char started[32];
+    std::snprintf(started, sizeof started, "%.17g",
+                  entry.startedUnix);
     std::string line = "{\"type\":\"sbn.job.v1\",\"job\":";
     line += std::to_string(entry.job);
     line += ",\"state\":\"";
@@ -76,6 +79,8 @@ formatJournalEntry(const JobJournalEntry &entry)
     line += jsonEscape(entry.spec);
     line += "\",\"timeout_s\":";
     line += timeout;
+    line += ",\"started_unix\":";
+    line += started;
     line += ",\"exit\":";
     line += std::to_string(entry.exitCode);
     line += ",\"reason\":\"";
@@ -121,8 +126,8 @@ parseJournalEntry(const std::string &line, JobJournalEntry &out,
         error = "not a job journal line (type \"" + type + "\")";
         return false;
     }
-    if (object.size() != 7) {
-        error = "a journal line carries exactly 7 keys";
+    if (object.size() != 8) {
+        error = "a journal line carries exactly 8 keys";
         return false;
     }
 
@@ -146,6 +151,8 @@ parseJournalEntry(const std::string &line, JobJournalEntry &out,
     if (!string("spec", entry.spec))
         return false;
     if (!number("timeout_s", entry.timeoutSeconds))
+        return false;
+    if (!number("started_unix", entry.startedUnix))
         return false;
     double exitCode = 0;
     if (!number("exit", exitCode))
@@ -212,6 +219,7 @@ replayJobJournal(const std::string &path)
     std::map<std::uint64_t, JobJournalEntry> jobs;
     std::string line;
     std::size_t lineno = 0;
+    std::uint64_t goodBytes = 0; //!< file offset past the last good line
     bool pendingTail = false;
     std::string tailError;
     while (std::getline(in, line)) {
@@ -229,6 +237,10 @@ replayJobJournal(const std::string &path)
             tailError = error;
             continue;
         }
+        // Every good line is followed by more bytes (at worst the
+        // torn tail itself), so its terminating '\n' is on disk and
+        // this offset is exact.
+        goodBytes += line.size() + 1;
         const auto it = jobs.find(entry.job);
         if (entry.state == JobState::Submitted) {
             if (it != jobs.end())
@@ -247,10 +259,25 @@ replayJobJournal(const std::string &path)
         entry.timeoutSeconds = it->second.timeoutSeconds;
         it->second = entry;
     }
-    if (pendingTail)
+    if (pendingTail) {
         sbn_warn("job journal '", path,
                  "': dropped torn final line (", tailError,
                  ") - the artifact of a kill mid-append");
+        // Dropping the tail from the replay is not enough: the
+        // journal writer appends with O_APPEND, so leaving the torn
+        // bytes on disk would glue the next entry onto them -
+        // producing a malformed MID-file line that turns the next
+        // restart fatal. Truncate to the last good line now.
+        in.close();
+        const int fd = ::open(path.c_str(), O_WRONLY);
+        if (fd < 0 ||
+            ::ftruncate(fd, static_cast<off_t>(goodBytes)) != 0 ||
+            ::fsync(fd) != 0)
+            sbn_fatal("job journal '", path,
+                      "': cannot truncate torn tail: ",
+                      std::strerror(errno));
+        ::close(fd);
+    }
 
     std::vector<JobJournalEntry> result;
     result.reserve(jobs.size());

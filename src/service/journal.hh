@@ -18,10 +18,11 @@
  *
  * Replay is last-write-wins per job id: later lines supersede
  * earlier ones, and a torn final line (the artifact of a kill
- * mid-append) is dropped leniently, mirroring the shard record
- * format's crash-loss bound of "at most the line being written"
- * (shard/result_io.hh). A torn line anywhere else is corruption and
- * fatal.
+ * mid-append) is dropped leniently - and truncated off the file, so
+ * the next O_APPEND append starts on a clean line boundary -
+ * mirroring the shard record format's crash-loss bound of "at most
+ * the line being written" (shard/result_io.hh). A torn line
+ * anywhere else is corruption and fatal.
  *
  * The submitted entry carries everything needed to re-run the job
  * from nothing (the spec string, the timeout); later entries carry
@@ -72,6 +73,11 @@ struct JobJournalEntry
     JobState state = JobState::Submitted;
     std::string spec;          //!< submitted: sbn_sweep-style flags
     double timeoutSeconds = 0; //!< submitted: 0 = no timeout
+    /** Wall-clock seconds (unix) of the job's FIRST runner launch;
+     *  0 until then. The timeout deadline is anchored here so a
+     *  recovered job resumes its original budget instead of getting
+     *  a fresh one per daemon incarnation. */
+    double startedUnix = 0;
     int exitCode = 0;          //!< done/failed: runner disposition
     std::string reason;        //!< failed/cancelled: human cause
 };
@@ -120,8 +126,10 @@ class JobJournal
  * every later entry of that job, so callers always see the full job
  * description next to its latest state. A missing file replays to
  * empty (a fresh daemon); a torn final line is dropped with a
- * warning; any other malformed line - or a transition for a job id
- * that was never submitted - is fatal, naming the line.
+ * warning AND truncated off the file (so a later O_APPEND writer
+ * cannot concatenate a fresh entry onto the torn bytes); any other
+ * malformed line - or a transition for a job id that was never
+ * submitted - is fatal, naming the line.
  */
 std::vector<JobJournalEntry> replayJobJournal(const std::string &path);
 

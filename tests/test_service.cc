@@ -183,6 +183,7 @@ TEST(JobJournalFormat, EntryRoundTrips)
 {
     JobJournalEntry original = entry(7, JobState::Failed);
     original.timeoutSeconds = 30;
+    original.startedUnix = 1754600000;
     original.exitCode = 75;
     original.reason = "runner killed by signal 9 (\"oom\")";
 
@@ -195,6 +196,7 @@ TEST(JobJournalFormat, EntryRoundTrips)
     EXPECT_EQ(parsed.state, original.state);
     EXPECT_EQ(parsed.spec, original.spec);
     EXPECT_DOUBLE_EQ(parsed.timeoutSeconds, original.timeoutSeconds);
+    EXPECT_DOUBLE_EQ(parsed.startedUnix, original.startedUnix);
     EXPECT_EQ(parsed.exitCode, original.exitCode);
     EXPECT_EQ(parsed.reason, original.reason);
 }
@@ -208,9 +210,13 @@ TEST(JobJournalFormat, RejectsForeignAndPartialLines)
         "{\"job\":1,\"state\":\"done\"}",        // no type
         // right type, missing keys (a torn line, typically):
         "{\"type\":\"sbn.job.v1\",\"job\":1,\"state\":\"done\"}",
+        // the pre-started_unix 7-key shape is not this format:
+        "{\"type\":\"sbn.job.v1\",\"job\":1,\"state\":\"done\","
+        "\"spec\":\"x\",\"timeout_s\":0,\"exit\":0,\"reason\":\"\"}",
         // unknown state name:
         "{\"type\":\"sbn.job.v1\",\"job\":1,\"state\":\"paused\","
-        "\"spec\":\"x\",\"timeout_s\":0,\"exit\":0,\"reason\":\"\"}",
+        "\"spec\":\"x\",\"timeout_s\":0,\"started_unix\":0,"
+        "\"exit\":0,\"reason\":\"\"}",
     };
     for (const char *text : bad) {
         EXPECT_FALSE(parseJournalEntry(text, parsed, error)) << text;
@@ -267,6 +273,26 @@ TEST(JobJournalReplay, TornFinalLineIsDroppedLeniently)
     // The torn Done never happened; the job recovers as Running and
     // will be relaunched with resume.
     EXPECT_EQ(jobs[0].state, JobState::Running);
+
+    // Replay must also have TRUNCATED the torn bytes: the journal
+    // writer appends with O_APPEND, so a surviving tail would glue
+    // the next entry onto it - a malformed mid-file line that turns
+    // the restart after next fatal. Appending and replaying again
+    // must therefore work cleanly.
+    {
+        std::ifstream check(path, std::ios::binary);
+        std::string bytes{std::istreambuf_iterator<char>(check),
+                          std::istreambuf_iterator<char>()};
+        ASSERT_FALSE(bytes.empty());
+        EXPECT_EQ(bytes.back(), '\n'); // ends on a line boundary
+    }
+    {
+        JobJournal journal(path);
+        journal.append(entry(3, JobState::Done, ""));
+    }
+    const std::vector<JobJournalEntry> after = replayJobJournal(path);
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].state, JobState::Done);
 }
 
 TEST(JobJournalDeathTest, TornLineFollowedByMoreIsCorruptionNotATail)
