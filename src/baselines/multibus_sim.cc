@@ -49,6 +49,11 @@ runMultibusSim(const MultibusSimConfig &config)
     result.busyPmf.assign(std::min(n, m) + 1, 0.0);
     std::uint64_t completions = 0;
 
+    // Histogram of serviced-module counts over measured slots; the
+    // per-bus busy breakdown falls out of it after the run.
+    std::vector<std::uint64_t> servicedHist(
+        static_cast<std::size_t>(std::min({n, m, b})) + 1, 0);
+
     std::vector<int> next_ready;
     next_ready.reserve(n);
 
@@ -77,8 +82,10 @@ runMultibusSim(const MultibusSimConfig &config)
         // slot-stepped simulator): with nothing waiting, arbitration
         // and service are no-ops that consume no RNG -- skip them.
         if (waitingTotal == 0) {
-            if (measured)
+            if (measured) {
                 result.busyPmf[0] += 1.0;
+                ++servicedHist[0];
+            }
             continue;
         }
 
@@ -122,6 +129,8 @@ runMultibusSim(const MultibusSimConfig &config)
         }
         for (int proc : next_ready)
             ready[proc] = 1;
+        if (measured)
+            ++servicedHist[static_cast<std::size_t>(serviced)];
     }
 
     result.measuredSlots = config.measureSlots;
@@ -132,6 +141,21 @@ runMultibusSim(const MultibusSimConfig &config)
         result.bandwidth / static_cast<double>(n);
     for (auto &v : result.busyPmf)
         v /= static_cast<double>(config.measureSlots);
+
+    // Bus k is busy in a slot iff at least k+1 modules are serviced:
+    // suffix-sum the serviced histogram. Buses beyond min(n, m) can
+    // never be busy and report zero.
+    result.perBusBusySlots.assign(static_cast<std::size_t>(b), 0);
+    result.perBusUtilization.assign(static_cast<std::size_t>(b), 0.0);
+    std::uint64_t suffix = 0;
+    for (std::size_t s = servicedHist.size(); s-- > 1;) {
+        suffix += servicedHist[s];
+        result.perBusBusySlots[s - 1] = suffix;
+    }
+    for (std::size_t k = 0; k < result.perBusBusySlots.size(); ++k)
+        result.perBusUtilization[k] =
+            static_cast<double>(result.perBusBusySlots[k]) /
+            static_cast<double>(config.measureSlots);
     return result;
 }
 

@@ -53,6 +53,18 @@ struct MultibusSimResult
 
     /** Stationary pmf of busy-module count (index = x). */
     std::vector<double> busyPmf;
+
+    /**
+     * Per-bus busy slot counts (index = bus): bus k carries a
+     * transfer in exactly the slots where at least k+1 modules are
+     * serviced, so entry k counts those slots. Derived from the
+     * serviced-count histogram after the run - the accounting
+     * consumes no RNG and perturbs nothing.
+     */
+    std::vector<std::uint64_t> perBusBusySlots;
+
+    /** perBusBusySlots / measuredSlots. */
+    std::vector<double> perBusUtilization;
 };
 
 /** Run the synchronous b-bus simulation. */

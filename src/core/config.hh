@@ -128,6 +128,17 @@ struct SystemConfig
     bool collectWaitHistogram = false;
 
     /**
+     * Collect per-module breakdowns (Metrics::perModule*): busy
+     * cycles/utilization and queue-depth time-average/max per memory
+     * module. Purely passive accounting - it consumes no RNG and
+     * changes no trajectory, so enabling it leaves every other metric
+     * (and every golden pin) bit-identical. Like
+     * collectWaitHistogram, it does not fold into the config
+     * fingerprint.
+     */
+    bool collectPerModule = false;
+
+    /**
      * Optional event tracing (categories: "proc", "bus", "mem").
      * Not owned; must outlive the system. nullptr disables tracing.
      */

@@ -5,6 +5,7 @@
 
 #include "core/fingerprint.hh"
 #include "desim/trace.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -69,6 +70,13 @@ FastStatSystem::FastStatSystem(const SystemConfig &config)
     perProcCompleted_.assign(n, 0);
     if (cfg_.collectWaitHistogram) {
         waitHist_.emplace(0.0, 20.0 * static_cast<double>(pc_), 200);
+    }
+    if (cfg_.collectPerModule) {
+        perModBusy_.assign(m, 0);
+        perModDepth_.assign(m, 0);
+        perModDepthArea_.assign(m, 0);
+        perModDepthSince_.assign(m, 0);
+        perModDepthMax_.assign(m, 0);
     }
 }
 
@@ -210,6 +218,8 @@ FastStatSystem::issue(int proc, Tick now)
     if (inWindow(now))
         ++issued_;
     procBecomesWaiting(proc, target);
+    if (cfg_.collectPerModule)
+        noteQueueDepth(target, now, +1);
 }
 
 template <bool Buffered>
@@ -231,12 +241,12 @@ FastStatSystem::memoryCompletion(int module, Tick now)
         modState_[idx] = ModState::HoldingResponse;
         modHasResponse_[idx] = 1;
         candModSet_.insert(idx);
-        recordAccessSpan(modAccessStart_[idx], now);
+        recordAccessSpan(module, modAccessStart_[idx], now);
     } else {
         outputQueues_[idx].push_back(Response{modServing_[idx], now});
         modAccessing_[idx] = 0;
         modServing_[idx] = -1;
-        recordAccessSpan(modAccessStart_[idx], now);
+        recordAccessSpan(module, modAccessStart_[idx], now);
         refreshModule(module);
         maybeStartBufferedAccess(module, now);
     }
@@ -257,6 +267,8 @@ FastStatSystem::maybeStartBufferedAccess(int module, Tick now)
     inputQueues_[idx].pop_front();
     modAccessing_[idx] = 1;
     modAccessStart_[idx] = now;
+    if (cfg_.collectPerModule)
+        noteQueueDepth(module, now, -1);
     if (cfg_.trace) {
         cfg_.trace->record(now, "mem",
                            traceText("module ", module,
@@ -356,6 +368,10 @@ FastStatSystem::grantRequest(int proc, Tick now)
     if constexpr (!Buffered) {
         sbn_debug_assert(modState_[tgt] == ModState::Idle,
                    "request granted to a non-idle module");
+        // The request leaves the queue for the (dedicated) server;
+        // buffered grants stay queued until the module starts them.
+        if (cfg_.collectPerModule)
+            noteQueueDepth(target, now, -1);
         // Idle -> Accessing at the arrival tick: acceptance flips
         // off and the module's remaining waiters leave the candidate
         // set; the access completes a fixed stride later.
@@ -448,13 +464,55 @@ FastStatSystem::recordCompletion(int proc, Tick grant_tick)
 }
 
 void
-FastStatSystem::recordAccessSpan(Tick start, Tick end)
+FastStatSystem::recordAccessSpan(int module, Tick start, Tick end)
 {
     // end is an event tick, so end < windowEnd_ always holds; only
     // the start needs clamping to the window.
     const Tick lo = std::max(start, windowStart_);
-    if (end > lo)
+    if (end > lo) {
         accessCycles_ += end - lo;
+        if (cfg_.collectPerModule)
+            perModBusy_[static_cast<std::size_t>(module)] +=
+                static_cast<std::uint64_t>(end - lo);
+    }
+}
+
+void
+FastStatSystem::noteQueueDepth(int module, Tick now, int delta)
+{
+    const auto idx = static_cast<std::size_t>(module);
+    const Tick lo = std::max(perModDepthSince_[idx], windowStart_);
+    const Tick hi = std::min(now, windowEnd_);
+    if (hi > lo) {
+        perModDepthArea_[idx] +=
+            perModDepth_[idx] * static_cast<std::uint64_t>(hi - lo);
+        if (perModDepth_[idx] > perModDepthMax_[idx])
+            perModDepthMax_[idx] = perModDepth_[idx];
+    }
+    const auto next =
+        static_cast<std::int64_t>(perModDepth_[idx]) + delta;
+    sbn_debug_assert(next >= 0, "module queue depth went negative");
+    perModDepth_[idx] = static_cast<std::uint64_t>(next);
+    perModDepthSince_[idx] = now;
+}
+
+void
+FastStatSystem::finishPerModule(Metrics &out)
+{
+    const auto m = static_cast<std::size_t>(cfg_.numModules);
+    const auto cycles = static_cast<double>(out.measuredCycles);
+    out.perModuleBusyCycles = perModBusy_;
+    out.perModuleUtilization.resize(m);
+    out.perModuleQueueDepthAvg.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        // Close the depth integral at the window end (delta 0).
+        noteQueueDepth(static_cast<int>(j), windowEnd_, 0);
+        out.perModuleUtilization[j] =
+            static_cast<double>(perModBusy_[j]) / cycles;
+        out.perModuleQueueDepthAvg[j] =
+            static_cast<double>(perModDepthArea_[j]) / cycles;
+    }
+    out.perModuleQueueDepthMax = perModDepthMax_;
 }
 
 // Flatten: inline the whole per-event helper chain into the driver
@@ -517,10 +575,20 @@ FastStatSystem::run()
     sbn_assert(!ran_, "FastStatSystem::run may only be called once");
     ran_ = true;
 
-    if (cfg_.buffered)
-        runLoop<true>();
-    else
-        runLoop<false>();
+    {
+        TelemetryTimerScope timer(TelemetryTimer::SimRun);
+        if (cfg_.buffered)
+            runLoop<true>();
+        else
+            runLoop<false>();
+    }
+
+    // Flush the run's locally accumulated counts in one batch; the
+    // flattened driver loop never touches the telemetry registry.
+    telemetryAdd(TelemetryCounter::SimRuns, 1);
+    telemetryAdd(TelemetryCounter::SimThinkDraws, thinkDraws_);
+    telemetryAdd(TelemetryCounter::SimRequestsIssued, issued_);
+    telemetryAdd(TelemetryCounter::SimRequestsCompleted, completed_);
 
     Metrics out;
     out.measuredCycles = windowEnd_ - windowStart_;
@@ -558,6 +626,8 @@ FastStatSystem::run()
     out.waitStats = waitStats;
     out.perProcessorCompletions = perProcCompleted_;
     out.waitHistogram = waitHist_;
+    if (cfg_.collectPerModule)
+        finishPerModule(out);
     return out;
 }
 

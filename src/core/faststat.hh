@@ -139,7 +139,9 @@ class FastStatSystem
         return t >= windowStart_ && t < windowEnd_;
     }
     void recordCompletion(int proc, Tick grant_tick);
-    void recordAccessSpan(Tick start, Tick end);
+    void recordAccessSpan(int module, Tick start, Tick end);
+    void noteQueueDepth(int module, Tick now, int delta);
+    void finishPerModule(Metrics &out);
 
     SystemConfig cfg_;
     WorkloadModel workload_;
@@ -219,6 +221,14 @@ class FastStatSystem
 
     std::vector<std::uint64_t> perProcCompleted_;
     std::optional<Histogram> waitHist_;
+
+    /** Per-module accounting (cfg_.collectPerModule), mirroring the
+     *  exact kernel's passive busy/queue-depth integration. */
+    std::vector<std::uint64_t> perModBusy_;
+    std::vector<std::uint64_t> perModDepth_;
+    std::vector<std::uint64_t> perModDepthArea_;
+    std::vector<Tick> perModDepthSince_;
+    std::vector<std::uint64_t> perModDepthMax_;
 
     bool ran_ = false;
 };

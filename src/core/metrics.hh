@@ -64,6 +64,28 @@ struct Metrics
 
     /** Optional waiting-time histogram (config.collectWaitHistogram). */
     std::optional<Histogram> waitHistogram;
+
+    // Per-module breakdowns (config.collectPerModule); empty vectors
+    // otherwise. Additive and passively collected: enabling them
+    // changes no other field.
+
+    /** Per-module cycles spent accessing within the window. */
+    std::vector<std::uint64_t> perModuleBusyCycles;
+
+    /** perModuleBusyCycles / measuredCycles; its mean equals
+     *  meanModuleUtilization. */
+    std::vector<double> perModuleUtilization;
+
+    /**
+     * Time-averaged queue depth per module: requests waiting for the
+     * module (issued but not yet in service; buffered organizations
+     * count buffered and in-flight-to-buffer requests), averaged over
+     * the measurement window.
+     */
+    std::vector<double> perModuleQueueDepthAvg;
+
+    /** Maximum queue depth held for a nonzero span of window time. */
+    std::vector<std::uint64_t> perModuleQueueDepthMax;
 };
 
 } // namespace sbn

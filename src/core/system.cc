@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -71,6 +72,15 @@ SingleBusSystem::SingleBusSystem(const SystemConfig &config)
     modCanAccept_.assign(static_cast<std::size_t>(cfg_.numModules), 1);
     modHasResponse_.assign(static_cast<std::size_t>(cfg_.numModules),
                            0);
+
+    if (cfg_.collectPerModule) {
+        const auto m = static_cast<std::size_t>(cfg_.numModules);
+        perModBusy_.assign(m, 0);
+        perModDepth_.assign(m, 0);
+        perModDepthArea_.assign(m, 0);
+        perModDepthSince_.assign(m, 0);
+        perModDepthMax_.assign(m, 0);
+    }
 }
 
 std::vector<std::size_t>
@@ -79,6 +89,11 @@ SingleBusSystem::scratchCapacities() const
     std::vector<std::size_t> caps;
     for (const auto &bucket : thinkBuckets_)
         caps.push_back(bucket.capacity());
+    caps.push_back(perModBusy_.capacity());
+    caps.push_back(perModDepth_.capacity());
+    caps.push_back(perModDepthArea_.capacity());
+    caps.push_back(perModDepthSince_.capacity());
+    caps.push_back(perModDepthMax_.capacity());
     return caps;
 }
 
@@ -176,6 +191,8 @@ SingleBusSystem::drawProcessor(int proc, Tick now)
         if (inWindow(now))
             ++issued_;
         procBecomesWaiting(proc, p.target);
+        if (cfg_.collectPerModule)
+            noteQueueDepth(p.target, now, +1);
         if (modCanAccept_[p.target])
             requestArbitration(now);
         return true;
@@ -278,6 +295,7 @@ SingleBusSystem::processThinkTick(Tick now, std::size_t idx)
     auto &bucket = thinkBuckets_[idx];
     sbn_assert(!bucket.empty() && thinkBucketDue_[idx] == now,
                "processing a think bucket at the wrong tick");
+    ++calendarDrains_;
 
     // Draw in bucket order (== event sequence order). A failure's
     // next draw is due exactly one processor cycle later, i.e. in
@@ -315,7 +333,7 @@ SingleBusSystem::memoryCompletion(int module)
         sbn_assert(mod.state == ModState::Accessing,
                    "completion on non-accessing module");
         mod.state = ModState::HoldingResponse;
-        recordAccessSpan(mod.accessStart, now);
+        recordAccessSpan(module, mod.accessStart, now);
         refreshModule(module);
         requestArbitration(now);
         return;
@@ -324,7 +342,7 @@ SingleBusSystem::memoryCompletion(int module)
     mod.outputQueue.push_back(Response{mod.servingProc, now});
     mod.accessing = false;
     mod.servingProc = -1;
-    recordAccessSpan(mod.accessStart, now);
+    recordAccessSpan(module, mod.accessStart, now);
     refreshModule(module);
     maybeStartBufferedAccess(module);
     requestArbitration(now);
@@ -345,6 +363,8 @@ SingleBusSystem::maybeStartBufferedAccess(int module)
     mod.inputQueue.pop_front();
     mod.accessing = true;
     mod.accessStart = now;
+    if (cfg_.collectPerModule)
+        noteQueueDepth(module, now, -1);
     if (cfg_.trace) {
         cfg_.trace->record(now, "mem",
                            traceText("module ", module,
@@ -531,6 +551,10 @@ SingleBusSystem::grantRequest(int proc)
         sbn_assert(mod.state == ModState::Idle,
                    "request granted to a non-idle module");
         mod.state = ModState::RequestInFlight;
+        // The request leaves the queue for the (dedicated) server;
+        // buffered grants stay queued until the module starts them.
+        if (cfg_.collectPerModule)
+            noteQueueDepth(p.target, sim_.now(), -1);
     } else {
         ++mod.reservedInput;
     }
@@ -593,12 +617,54 @@ SingleBusSystem::recordCompletion(int proc, Tick grant_tick)
 }
 
 void
-SingleBusSystem::recordAccessSpan(Tick start, Tick end)
+SingleBusSystem::recordAccessSpan(int module, Tick start, Tick end)
 {
     const Tick lo = std::max(start, windowStart_);
     const Tick hi = std::min(end, windowEnd_);
-    if (hi > lo)
+    if (hi > lo) {
         accessCycles_ += static_cast<double>(hi - lo);
+        if (cfg_.collectPerModule)
+            perModBusy_[static_cast<std::size_t>(module)] +=
+                static_cast<std::uint64_t>(hi - lo);
+    }
+}
+
+void
+SingleBusSystem::noteQueueDepth(int module, Tick now, int delta)
+{
+    const auto idx = static_cast<std::size_t>(module);
+    const Tick lo = std::max(perModDepthSince_[idx], windowStart_);
+    const Tick hi = std::min(now, windowEnd_);
+    if (hi > lo) {
+        perModDepthArea_[idx] +=
+            perModDepth_[idx] * static_cast<std::uint64_t>(hi - lo);
+        if (perModDepth_[idx] > perModDepthMax_[idx])
+            perModDepthMax_[idx] = perModDepth_[idx];
+    }
+    const auto next =
+        static_cast<std::int64_t>(perModDepth_[idx]) + delta;
+    sbn_debug_assert(next >= 0, "module queue depth went negative");
+    perModDepth_[idx] = static_cast<std::uint64_t>(next);
+    perModDepthSince_[idx] = now;
+}
+
+void
+SingleBusSystem::finishPerModule(Metrics &out)
+{
+    const auto m = static_cast<std::size_t>(cfg_.numModules);
+    const auto cycles = static_cast<double>(out.measuredCycles);
+    out.perModuleBusyCycles = perModBusy_;
+    out.perModuleUtilization.resize(m);
+    out.perModuleQueueDepthAvg.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        // Close the depth integral at the window end (delta 0).
+        noteQueueDepth(static_cast<int>(j), windowEnd_, 0);
+        out.perModuleUtilization[j] =
+            static_cast<double>(perModBusy_[j]) / cycles;
+        out.perModuleQueueDepthAvg[j] =
+            static_cast<double>(perModDepthArea_[j]) / cycles;
+    }
+    out.perModuleQueueDepthMax = perModDepthMax_;
 }
 
 void
@@ -648,7 +714,20 @@ SingleBusSystem::run()
     sbn_assert(!ran_, "SingleBusSystem::run may only be called once");
     ran_ = true;
 
-    runCycleSkip();
+    {
+        TelemetryTimerScope timer(TelemetryTimer::SimRun);
+        runCycleSkip();
+    }
+
+    // Flush the run's locally accumulated counts in one batch; the
+    // inner loops never touch the telemetry registry.
+    telemetryAdd(TelemetryCounter::SimRuns, 1);
+    telemetryAdd(TelemetryCounter::SimHeapEvents,
+                 sim_.queue().executed());
+    telemetryAdd(TelemetryCounter::SimCalendarDrains, calendarDrains_);
+    telemetryAdd(TelemetryCounter::SimThinkDraws, thinkDraws_);
+    telemetryAdd(TelemetryCounter::SimRequestsIssued, issued_);
+    telemetryAdd(TelemetryCounter::SimRequestsCompleted, completed_);
 
     Metrics out;
     out.measuredCycles = windowEnd_ - windowStart_;
@@ -670,6 +749,8 @@ SingleBusSystem::run()
     out.waitStats = waitStats_;
     out.perProcessorCompletions = perProcCompleted_;
     out.waitHistogram = waitHist_;
+    if (cfg_.collectPerModule)
+        finishPerModule(out);
     return out;
 }
 

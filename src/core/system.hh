@@ -189,7 +189,9 @@ class SingleBusSystem
         return t >= windowStart_ && t < windowEnd_;
     }
     void recordCompletion(int proc, Tick grant_tick);
-    void recordAccessSpan(Tick start, Tick end);
+    void recordAccessSpan(int module, Tick start, Tick end);
+    void noteQueueDepth(int module, Tick now, int delta);
+    void finishPerModule(Metrics &out);
 
     SystemConfig cfg_;
     Simulation sim_;
@@ -255,7 +257,21 @@ class SingleBusSystem
     std::uint64_t busBusy_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t issued_ = 0;
+    std::uint64_t calendarDrains_ = 0;
     double accessCycles_ = 0.0;
+
+    /**
+     * Per-module accounting (cfg_.collectPerModule; otherwise the
+     * vectors stay empty and untouched). Busy ticks plus
+     * change-driven time-weighted queue-depth integration: every
+     * depth change accrues depth x (window-clipped span since the
+     * last change). Purely passive - no RNG, no trajectory change.
+     */
+    std::vector<std::uint64_t> perModBusy_;
+    std::vector<std::uint64_t> perModDepth_;
+    std::vector<std::uint64_t> perModDepthArea_;
+    std::vector<Tick> perModDepthSince_;
+    std::vector<std::uint64_t> perModDepthMax_;
     Accumulator waitStats_;
     Accumulator serviceStats_;
     std::vector<std::uint64_t> perProcCompleted_;

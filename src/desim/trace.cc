@@ -2,8 +2,46 @@
 
 namespace sbn {
 
-TraceSink::TraceSink(std::ostream *stream, std::size_t capacity)
-    : stream_(stream), capacity_(capacity)
+namespace {
+
+/** Minimal JSON string escaping for the Jsonl stream format. Kept
+ *  local: desim must not depend on the service layer's jsonEscape,
+ *  but the escapes match it, so service/protocol.hh's
+ *  parseFlatJsonObject round-trips these lines. */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TraceSink::TraceSink(std::ostream *stream, std::size_t capacity,
+                     TraceFormat format)
+    : stream_(stream), capacity_(capacity), format_(format)
 {
 }
 
@@ -35,8 +73,14 @@ TraceSink::record(Tick tick, const std::string &category,
         return;
     ++emitted_;
     if (stream_) {
-        *stream_ << tick << ": [" << category << "] " << message
-                 << '\n';
+        if (format_ == TraceFormat::Jsonl) {
+            *stream_ << "{\"tick\":" << tick << ",\"category\":\""
+                     << escapeJson(category) << "\",\"message\":\""
+                     << escapeJson(message) << "\"}\n";
+        } else {
+            *stream_ << tick << ": [" << category << "] " << message
+                     << '\n';
+        }
     }
     records_.push_back(TraceRecord{tick, category, std::move(message)});
     if (records_.size() > capacity_)

@@ -29,6 +29,13 @@ struct TraceRecord
     std::string message;
 };
 
+/** How a TraceSink's stream renders records. */
+enum class TraceFormat
+{
+    Text,  //!< "tick: [category] message" - human-first (default)
+    Jsonl, //!< one flat JSON object per line - machine-first
+};
+
 /**
  * Collector for trace records with per-category filtering.
  *
@@ -41,11 +48,15 @@ class TraceSink
   public:
     /**
      * @param stream    if non-null, records are also written there as
-     *                  "tick: [category] message" lines
+     *                  they arrive, rendered per @p format
      * @param capacity  maximum records retained (oldest dropped)
+     * @param format    stream rendering; Jsonl emits
+     *                  {"tick":N,"category":"...","message":"..."}
+     *                  lines that parseFlatJsonObject round-trips
      */
     explicit TraceSink(std::ostream *stream = nullptr,
-                       std::size_t capacity = 65536);
+                       std::size_t capacity = 65536,
+                       TraceFormat format = TraceFormat::Text);
 
     /** Restrict tracing to the given categories. */
     void enableOnly(std::set<std::string> categories);
@@ -72,6 +83,7 @@ class TraceSink
   private:
     std::ostream *stream_;
     std::size_t capacity_;
+    TraceFormat format_;
     bool filterActive_ = false;
     std::set<std::string> enabled_;
     std::deque<TraceRecord> records_;

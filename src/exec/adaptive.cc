@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "stats/replication.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -69,8 +70,13 @@ AdaptiveReplicator::run(
         out.rounds = round + 1;
         out.estimate = rounds.estimate();
         out.converged = target_.met(out.estimate);
-        if (out.converged || rounds.completed() >= schedule_.cap)
+        if (out.converged || rounds.completed() >= schedule_.cap) {
+            // Grown rounds are decided serially per point, so the
+            // count is invariant to the worker thread partition.
+            telemetryAdd(TelemetryCounter::AdaptiveRoundsGrown,
+                         out.rounds - 1);
             return out;
+        }
     }
 }
 
@@ -163,6 +169,10 @@ AdaptiveReplicator::runPoints(
                 state.rounds.completed() >= schedule_.cap) {
                 state.final = true;
                 --open_points;
+                // Counted at finalization in the serial phase, so the
+                // total never depends on the thread partition.
+                telemetryAdd(TelemetryCounter::AdaptiveRoundsGrown,
+                             out.rounds - 1);
             }
         }
 

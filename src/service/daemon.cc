@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "service/journal.hh"
+#include "service/metrics.hh"
 #include "service/protocol.hh"
 #include "service/sweeprun.hh"
 #include "shard/fault.hh"
@@ -110,6 +112,13 @@ struct Job
     Clock::time_point deadline{};    //!< job timeout
     bool killPending = false;
     Clock::time_point killDeadline{}; //!< SIGTERM -> SIGKILL escalation
+    /** CPU seconds (user+system) of every reaped runner of this job,
+     *  workers included - wait4's rusage covers the descendants the
+     *  runner's supervisor waited for. This-incarnation only. */
+    double cpuSeconds = 0;
+    /** Wall-clock (unix) when the job went terminal under this
+     *  daemon; 0 while live or for journal-recovered terminals. */
+    double finishedUnix = 0;
 };
 
 /** One connected client. */
@@ -154,6 +163,7 @@ class Daemon
     void handleCancel(Client &client, const Request &request);
     void handleResults(Client &client, const Request &request);
     void handleDrain(Client &client);
+    void handleMetrics(Client &client, const Request &request);
 
     // --- runners -----------------------------------------------------
     void startPendingJobs();
@@ -167,6 +177,7 @@ class Daemon
 
     // --- misc --------------------------------------------------------
     void writeHeartbeat();
+    DaemonMetricsSnapshot collectMetrics() const;
     std::size_t queuedCount() const;
     std::size_t runningCount() const;
     Job *findJob(std::uint64_t id);
@@ -181,6 +192,12 @@ class Daemon
     bool draining_ = false;
     Clock::time_point lastHeartbeat_{};
     bool heartbeatEver_ = false;
+
+    // Metrics state (service/metrics.hh): in-memory only, anchored at
+    // this incarnation's start.
+    Clock::time_point startTime_ = Clock::now();
+    std::uint64_t resultsBytesServed_ = 0;
+    std::uint64_t runnerRelaunches_ = 0;
 };
 
 void
@@ -197,6 +214,8 @@ Daemon::appendState(Job &job, JobState state, int exit_code,
     entry.reason = reason;
     journal_.append(entry); // durable (+ crash_after_journal window)
     job.entry = entry;
+    if (jobStateTerminal(state))
+        job.finishedUnix = static_cast<double>(std::time(nullptr));
 }
 
 void
@@ -451,6 +470,9 @@ Daemon::handleRequest(Client &client, const std::string &line)
     case RequestKind::Drain:
         handleDrain(client);
         break;
+    case RequestKind::Metrics:
+        handleMetrics(client, request);
+        break;
     }
 }
 
@@ -679,6 +701,10 @@ Daemon::handleResults(Client &client, const Request &request)
         ",\"bytes\":" + std::to_string(bytes.size()) + "}\n";
     queueOutput(client, header);
     queueOutput(client, bytes);
+    // Counted when queued, not when the peer drains it: the metric
+    // answers "how much result data has this daemon served", and a
+    // peer that hangs up mid-payload still cost us the read+queue.
+    resultsBytesServed_ += bytes.size();
 }
 
 void
@@ -686,6 +712,92 @@ Daemon::handleDrain(Client &client)
 {
     draining_ = true;
     respond(client, "{\"ok\":true,\"draining\":true}");
+}
+
+void
+Daemon::handleMetrics(Client &client, const Request &request)
+{
+    // Everything below reads in-memory daemon state only - never a
+    // file, never a blocking call - so a metrics poll during an
+    // active job costs the poll loop one formatted line and nothing
+    // else.
+    if (!request.hasJob) {
+        respond(client,
+                formatDaemonMetricsResponse(collectMetrics()));
+        return;
+    }
+    const Job *job = findJob(request.job);
+    if (job == nullptr) {
+        respond(client, errorResponse("unknown_job",
+                                      "no job " +
+                                          std::to_string(request.job)));
+        return;
+    }
+    // Wall clock: submit-to-now while live, submit-to-terminal once
+    // finished under this daemon. A journal-recovered terminal job
+    // has no finish stamp (the line records state, not duration) -
+    // report 0 rather than a number that counts daemon downtime.
+    double wall = 0;
+    if (job->entry.startedUnix > 0) {
+        if (job->finishedUnix > 0)
+            wall = job->finishedUnix - job->entry.startedUnix;
+        else if (!jobStateTerminal(job->entry.state))
+            wall = static_cast<double>(std::time(nullptr)) -
+                   job->entry.startedUnix;
+        wall = std::max(0.0, wall);
+    }
+    char wallText[32];
+    std::snprintf(wallText, sizeof wallText, "%.3f", wall);
+    char cpuText[32];
+    std::snprintf(cpuText, sizeof cpuText, "%.3f", job->cpuSeconds);
+    respond(client,
+            "{\"ok\":true,\"type\":\"sbn.metrics.v1\",\"job\":" +
+                std::to_string(request.job) + ",\"state\":\"" +
+                jobStateName(job->entry.state) +
+                "\",\"launches\":" + std::to_string(job->launches) +
+                ",\"wall_s\":" + wallText + ",\"cpu_s\":" + cpuText +
+                ",\"exit\":" + std::to_string(job->entry.exitCode) +
+                "}");
+}
+
+DaemonMetricsSnapshot
+Daemon::collectMetrics() const
+{
+    DaemonMetricsSnapshot m;
+    m.uptimeSeconds =
+        std::chrono::duration<double>(Clock::now() - startTime_)
+            .count();
+    m.draining = draining_;
+    m.queued = queuedCount();
+    m.running = runningCount();
+    for (const auto &pair : jobs_) {
+        switch (pair.second.entry.state) {
+        case JobState::Done:
+            ++m.done;
+            break;
+        case JobState::Failed:
+            ++m.failed;
+            break;
+        case JobState::Cancelled:
+            ++m.cancelled;
+            break;
+        default:
+            break;
+        }
+        if (pair.second.runnerPid > 0 && !m.hasActiveJob) {
+            // jobs_ iterates in id order, so this is the lowest-id
+            // job with a live runner.
+            m.hasActiveJob = true;
+            m.activeJob = pair.first;
+        }
+    }
+    m.jobsTotal = jobs_.size();
+    m.queueDepth = m.queued;
+    m.journalAppends = journal_.appends();
+    m.journalFsyncs = journal_.fsyncs();
+    m.resultsBytesServed = resultsBytesServed_;
+    m.runnerRelaunches = runnerRelaunches_;
+    return m;
 }
 
 void
@@ -757,6 +869,8 @@ Daemon::launchRunner(Job &job)
     ::close(pipeFds[1]);
     job.runnerPid = pid;
     job.statusPipe = pipeFds[0];
+    if (job.launches > 0)
+        ++runnerRelaunches_; // crash recovery, not steady state
     if (!job.hasDeadline && job.entry.timeoutSeconds > 0) {
         // The deadline is anchored at the journaled first-launch
         // wall-clock time, not at this launch: a job recovered after
@@ -832,11 +946,20 @@ Daemon::reapRunners()
 {
     for (;;) {
         int status = 0;
-        const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+        // wait4, not waitpid: the rusage that rides along is the
+        // runner's OWN usage plus every descendant its supervisor
+        // waited for - i.e. the whole fleet's CPU time, for free.
+        struct rusage usage{};
+        const pid_t pid = ::wait4(-1, &status, WNOHANG, &usage);
         if (pid <= 0)
             return;
         for (auto &pair : jobs_) {
             if (pair.second.runnerPid == pid) {
+                pair.second.cpuSeconds +=
+                    static_cast<double>(usage.ru_utime.tv_sec) +
+                    static_cast<double>(usage.ru_utime.tv_usec) / 1e6 +
+                    static_cast<double>(usage.ru_stime.tv_sec) +
+                    static_cast<double>(usage.ru_stime.tv_usec) / 1e6;
                 runnerExited(pair.second, status);
                 break;
             }
@@ -960,15 +1083,14 @@ Daemon::writeHeartbeat()
 {
     lastHeartbeat_ = Clock::now();
     heartbeatEver_ = true;
+    // v2 = v1 (ts_unix/queued/running/draining, same meanings) plus
+    // the full metrics snapshot; a watchdog gets the whole health
+    // picture from the file alone, no socket round trip.
     atomicWriteFile(
         daemonHeartbeatPath(config_.stateDir),
-        "{\"type\":\"sbn.heartbeat.v1\",\"ts_unix\":" +
-            std::to_string(
-                static_cast<long long>(std::time(nullptr))) +
-            ",\"queued\":" + std::to_string(queuedCount()) +
-            ",\"running\":" + std::to_string(runningCount()) +
-            ",\"draining\":" + (draining_ ? "true" : "false") +
-            "}\n");
+        formatHeartbeatV2(
+            collectMetrics(),
+            static_cast<long long>(std::time(nullptr))));
 }
 
 std::size_t

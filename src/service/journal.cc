@@ -197,6 +197,8 @@ JobJournal::append(const JobJournalEntry &entry)
     if (::fsync(fd_) != 0)
         sbn_fatal("job journal '", path_,
                   "': fsync failed: ", std::strerror(errno));
+    ++appends_;
+    ++fsyncs_;
     // The durability point: the transition is on disk. This is
     // exactly where kill-anywhere testing wants its crash.
     faultAfterJournalState(jobStateName(entry.state));

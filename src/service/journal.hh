@@ -115,9 +115,20 @@ class JobJournal
     /** The descriptor, for the daemon's close-in-child hygiene. */
     int fd() const { return fd_; }
 
+    /** Lines durably appended by THIS writer (not replayed history);
+     *  feeds the daemon's metrics surface. */
+    std::uint64_t appends() const { return appends_; }
+
+    /** fsync() calls issued; today 1:1 with appends(), but counted
+     *  separately so a future group-commit cannot silently skew the
+     *  metric. */
+    std::uint64_t fsyncs() const { return fsyncs_; }
+
   private:
     std::string path_;
     int fd_ = -1;
+    std::uint64_t appends_ = 0;
+    std::uint64_t fsyncs_ = 0;
 };
 
 /**

@@ -1,0 +1,61 @@
+#include "service/metrics.hh"
+
+#include <cstdio>
+
+namespace sbn {
+
+namespace {
+
+std::string
+formatSeconds(double value)
+{
+    // Millisecond resolution is plenty for uptime; fixed-point keeps
+    // the field regular for line-oriented consumers (no exponents).
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%.3f", value);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+formatDaemonMetricsFields(const DaemonMetricsSnapshot &m)
+{
+    std::string out;
+    out += "\"uptime_s\":" + formatSeconds(m.uptimeSeconds);
+    out += ",\"queued\":" + std::to_string(m.queued);
+    out += ",\"running\":" + std::to_string(m.running);
+    out += ",\"done\":" + std::to_string(m.done);
+    out += ",\"failed\":" + std::to_string(m.failed);
+    out += ",\"cancelled\":" + std::to_string(m.cancelled);
+    out += ",\"jobs_total\":" + std::to_string(m.jobsTotal);
+    out += ",\"queue_depth\":" + std::to_string(m.queueDepth);
+    out += ",\"draining\":";
+    out += m.draining ? "true" : "false";
+    out += ",\"journal_appends\":" + std::to_string(m.journalAppends);
+    out += ",\"journal_fsyncs\":" + std::to_string(m.journalFsyncs);
+    out += ",\"results_bytes_served\":" +
+           std::to_string(m.resultsBytesServed);
+    out += ",\"runner_relaunches\":" +
+           std::to_string(m.runnerRelaunches);
+    out += ",\"active_job\":";
+    out += m.hasActiveJob ? std::to_string(m.activeJob) : "null";
+    return out;
+}
+
+std::string
+formatDaemonMetricsResponse(const DaemonMetricsSnapshot &m)
+{
+    return "{\"ok\":true,\"type\":\"sbn.metrics.v1\"," +
+           formatDaemonMetricsFields(m) + "}";
+}
+
+std::string
+formatHeartbeatV2(const DaemonMetricsSnapshot &m, long long ts_unix)
+{
+    return "{\"type\":\"sbn.heartbeat.v2\",\"ts_unix\":" +
+           std::to_string(ts_unix) + "," +
+           formatDaemonMetricsFields(m) + "}\n";
+}
+
+} // namespace sbn

@@ -275,6 +275,8 @@ requestKindName(RequestKind kind)
         return "results";
     case RequestKind::Drain:
         return "drain";
+    case RequestKind::Metrics:
+        return "metrics";
     }
     return "unknown";
 }
@@ -313,8 +315,11 @@ parseRequest(const std::string &line, Request &out, std::string &error)
             }
             request.timeoutSeconds = timeout->number;
         }
-    } else if (cmd->text == "status") {
-        request.kind = RequestKind::Status;
+    } else if (cmd->text == "status" || cmd->text == "metrics") {
+        // Both take an optional job id: bare = whole-daemon summary
+        // or metrics snapshot, with "job" = one job's view.
+        request.kind = cmd->text == "status" ? RequestKind::Status
+                                             : RequestKind::Metrics;
         if (!takeJob(object, request, error))
             return false;
     } else if (cmd->text == "cancel" || cmd->text == "results") {

@@ -21,6 +21,8 @@
  *   {"cmd":"status","job":3}    one job
  *   {"cmd":"cancel","job":3}
  *   {"cmd":"results","job":3}
+ *   {"cmd":"metrics"}           daemon metrics snapshot
+ *   {"cmd":"metrics","job":3}   one job's metrics
  *   {"cmd":"drain"}
  *
  * Responses always carry "ok" (boolean). Failures carry a
@@ -79,6 +81,7 @@ enum class RequestKind
     Cancel,
     Results,
     Drain,
+    Metrics,
 };
 
 /** Canonical wire name of a request kind ("submit", ...). */

@@ -9,12 +9,49 @@
 #include "core/experiment.hh"
 #include "exec/parallel_runner.hh"
 #include "shard/result_io.hh"
+#include "telemetry/telemetry.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 
 namespace sbn {
 
 namespace {
+
+/**
+ * Append this process's telemetry snapshot as one JSONL record next
+ * to @p record_path: "dir/shard-1-of-4.jsonl" gains a sibling
+ * "dir/telemetry-shard-1-of-4.jsonl". The "telemetry-" prefix keeps
+ * sidecars invisible to merge and resume, which open exact shard
+ * paths and never glob the directory. Appending (not truncating)
+ * means a respawned worker adds a second record instead of erasing
+ * the crashed attempt's numbers. Best effort: a sidecar write
+ * failure must not fail the shard whose records already landed.
+ */
+void
+appendTelemetrySidecar(const std::string &record_path)
+{
+    if (!telemetryEnabled())
+        return;
+    std::string dir;
+    std::string base = record_path;
+    const std::size_t slash = record_path.rfind('/');
+    if (slash != std::string::npos) {
+        dir = record_path.substr(0, slash + 1);
+        base = record_path.substr(slash + 1);
+    }
+    const std::string path = dir + "telemetry-" + base;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f) {
+        std::fprintf(stderr,
+                     "warning: cannot append telemetry sidecar %s\n",
+                     path.c_str());
+        return;
+    }
+    const std::string line = formatTelemetrySnapshot(
+        telemetrySnapshot(), /*include_timers=*/true);
+    std::fprintf(f, "%s\n", line.c_str());
+    std::fclose(f);
+}
 
 std::vector<ArbitrationPolicy>
 parsePolicyList(const std::vector<std::string> &names)
@@ -71,6 +108,11 @@ sweepFlagHelp()
                     "per failure, capped)"},
         {"steal", "spawn: let free workers steal missing points from "
                   "stragglers (default 1)"},
+        {"telemetry", "collect run telemetry counters/timers; the "
+                      "optional value names the dump file (default "
+                      "'-' = stderr). Shard workers also append "
+                      "telemetry-shard-*.jsonl sidecars next to "
+                      "their record files"},
     };
     return help;
 }
@@ -167,6 +209,26 @@ parseSweepRunOptions(const CommandLine &cli)
     if (cli.has("spawn") && spawn < 1)
         sbn_fatal("--spawn=K needs K >= 1 worker processes");
     opt.spawnShards = static_cast<std::size_t>(spawn);
+
+    if (cli.has("telemetry")) {
+        // Bare --telemetry (the parser stores "true") and the boolean
+        // spellings toggle collection; any other value names the dump
+        // file for front ends that dump at exit.
+        const std::string value = cli.getString("telemetry", "");
+        if (value == "0" || value == "false") {
+            opt.telemetry = false;
+        } else {
+            opt.telemetry = true;
+            if (value != "true" && value != "1" && !value.empty())
+                opt.telemetryDump = value;
+        }
+    }
+    // Enabling here - not in the front ends - is what makes a daemon
+    // job spec carrying --telemetry behave exactly like the local
+    // command: every path that parses sweep options gets collection
+    // armed before any work runs.
+    if (opt.telemetry)
+        setTelemetryEnabled(true);
 
     spec.validate();
     return opt;
@@ -275,6 +337,7 @@ runSweepShard(const SweepRunOptions &opt, const ShardSpec &shard,
                  shard.toString().c_str(),
                  shardLayoutName(opt.layout), stats.owned,
                  stats.skipped, stats.computed, path.c_str());
+    appendTelemetrySidecar(path);
     return stats;
 }
 
@@ -301,6 +364,7 @@ makeSweepWorkerBody(const SweepRunOptions &opt,
                 runStolenPointsSweep(points, task.points,
                                      evaluateSweepPoint, task.outPath,
                                      worker.threads);
+            appendTelemetrySidecar(task.outPath);
         } else {
             // A respawn must keep the dead worker's flushed records;
             // first launches honor the caller's resume choice.

@@ -55,6 +55,16 @@ struct SweepRunOptions
 
     /** --spawn=K worker count; 0 = the flag was not given. */
     std::size_t spawnShards = 0;
+
+    /**
+     * --telemetry[=FILE]: collect run telemetry (src/telemetry) for
+     * this sweep. Shard workers append per-launch JSONL sidecars
+     * (telemetry-shard-*.jsonl) next to their record files; the CLI
+     * front end additionally dumps a whole-process snapshot at exit
+     * to @c telemetryDump ("-" = stderr).
+     */
+    bool telemetry = false;
+    std::string telemetryDump = "-";
 };
 
 class CommandLine;

@@ -4,6 +4,7 @@
 
 #include "core/fingerprint.hh"
 #include "shard/fault.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -73,6 +74,9 @@ collectRecordFiles(const std::vector<std::string> &paths,
                "merge check fingerprint list does not match the grid");
     faultMaybeAbortInMerge();
 
+    TelemetryTimerScope timer(TelemetryTimer::ShardMerge);
+    std::uint64_t merged = 0;
+    std::uint64_t deduped = 0;
     std::vector<std::unique_ptr<PointRecord>> slots(check.gridSize);
     for (const std::string &path : paths) {
         const std::vector<PointRecord> records =
@@ -105,11 +109,15 @@ collectRecordFiles(const std::vector<std::string> &paths,
                         "') - determinism guarantees duplicates are "
                         "bit-identical, so one of the files is "
                         "corrupt or from a different run");
+                ++deduped;
                 continue; // benign recomputation, keep the first copy
             }
             slot = std::make_unique<PointRecord>(record);
+            ++merged;
         }
     }
+    telemetryAdd(TelemetryCounter::ShardRecordsMerged, merged);
+    telemetryAdd(TelemetryCounter::ShardRecordsDeduped, deduped);
 
     PartialMerge result;
     result.records.reserve(slots.size());

@@ -16,6 +16,7 @@
 
 #include "core/fingerprint.hh"
 #include "shard/fault.hh"
+#include "telemetry/telemetry.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
 
@@ -679,6 +680,7 @@ RecordWriter::add(const PointRecord &record)
         done += static_cast<std::size_t>(wrote);
     }
     ++written_;
+    telemetryAdd(TelemetryCounter::ShardRecordsWritten, 1);
     // Record boundary: the line is fully on disk (unbuffered write).
     // This is where the fault plane kills, tears or wedges a worker.
     faultAtRecordBoundary(ordinal, line, fd_);

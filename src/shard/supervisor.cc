@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "shard/fault.hh"
+#include "telemetry/telemetry.hh"
 #include "shard/result_io.hh"
 #include "util/logging.hh"
 
@@ -244,6 +245,7 @@ ShardSupervisor::handleFailure(Task &task, int status, bool hung)
                   std::chrono::microseconds(
                       static_cast<long long>(seconds * 1e6));
     ++report_.respawns;
+    telemetryAdd(TelemetryCounter::SupervisorRespawns, 1);
     sbn_warn("supervisor: shard ", task.work.shard.toString(),
              " worker failed (", describeWaitStatus(status),
              hung ? ", hung" : "", "); respawning with resume in ",
@@ -310,6 +312,7 @@ ShardSupervisor::killHungWorkers()
                  config_.hangTimeoutSeconds,
                  "s; killing the hung worker (pid ", task.pid, ")");
         ::kill(task.pid, SIGKILL);
+        telemetryAdd(TelemetryCounter::SupervisorHangKills, 1);
         int status = 0;
         ::waitpid(task.pid, &status, 0);
         handleFailure(task, status, /*hung=*/true);
@@ -470,6 +473,7 @@ ShardSupervisor::launchSteal(const std::vector<std::size_t> &points,
         path + "steal-" + std::to_string(stealSequence_++) + ".jsonl";
     report_.stolenPoints += points.size();
     ++report_.stealLaunches;
+    telemetryAdd(TelemetryCounter::SupervisorSteals, 1);
     // stderr, not sbn_inform: orchestrators reserve stdout for the
     // merged record stream.
     std::fprintf(stderr,

@@ -246,20 +246,28 @@ TEST(KernelGridExtras, LowPHeapEventsStaySparse)
 
 TEST(KernelGridExtras, SteadyStateArbitrationDoesNotReallocate)
 {
-    for (bool buffered : {false, true}) {
-        SystemConfig cfg = diffBase();
-        cfg.buffered = buffered;
-        cfg.requestProbability = 0.6;
-        cfg.numProcessors = 24;
-        cfg.numModules = 6;
-        cfg.measureCycles = 20000;
+    // collectPerModule covers both states: the per-module scratch
+    // (pre-sized at construction, part of scratchCapacities()) and
+    // telemetry flushes (disabled by default: no-op branches) must
+    // stay allocation-free through the inner loop either way.
+    for (bool per_module : {false, true}) {
+        for (bool buffered : {false, true}) {
+            SystemConfig cfg = diffBase();
+            cfg.buffered = buffered;
+            cfg.requestProbability = 0.6;
+            cfg.numProcessors = 24;
+            cfg.numModules = 6;
+            cfg.measureCycles = 20000;
+            cfg.collectPerModule = per_module;
 
-        SingleBusSystem system(cfg);
-        const auto before = system.scratchCapacities();
-        (void)system.run();
-        EXPECT_EQ(before, system.scratchCapacities())
-            << "scratch container reallocated during run (buffered="
-            << buffered << ")";
+            SingleBusSystem system(cfg);
+            const auto before = system.scratchCapacities();
+            (void)system.run();
+            EXPECT_EQ(before, system.scratchCapacities())
+                << "scratch container reallocated during run "
+                << "(buffered=" << buffered
+                << " perModule=" << per_module << ")";
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 
 #include "service/daemon.hh"
 #include "service/journal.hh"
+#include "service/metrics.hh"
 #include "service/protocol.hh"
 #include "service/sweeprun.hh"
 #include "shard/fault.hh"
@@ -413,6 +414,133 @@ TEST(DaemonPaths, AreCanonical)
     EXPECT_EQ(daemonJobDir("st", 12), "st/job-12");
     EXPECT_EQ(daemonMergedPath("st/job-12"),
               "st/job-12/merged.jsonl");
+}
+
+// ---------------------------------------------------- daemon metrics
+
+TEST(Protocol, MetricsRequestRoundTrips)
+{
+    Request whole;
+    whole.kind = RequestKind::Metrics;
+
+    Request one_job;
+    one_job.kind = RequestKind::Metrics;
+    one_job.hasJob = true;
+    one_job.job = 3;
+
+    for (const Request &original : {whole, one_job}) {
+        Request parsed;
+        std::string error;
+        ASSERT_TRUE(
+            parseRequest(formatRequest(original), parsed, error))
+            << error;
+        EXPECT_EQ(parsed.kind, RequestKind::Metrics);
+        EXPECT_EQ(parsed.hasJob, original.hasJob);
+        EXPECT_EQ(parsed.job, original.job);
+    }
+
+    // The hand-written wire forms parse too.
+    Request parsed;
+    std::string error;
+    ASSERT_TRUE(parseRequest("{\"cmd\":\"metrics\"}", parsed, error))
+        << error;
+    EXPECT_EQ(parsed.kind, RequestKind::Metrics);
+    EXPECT_FALSE(parsed.hasJob);
+    ASSERT_TRUE(parseRequest("{\"cmd\":\"metrics\",\"job\":3}",
+                             parsed, error))
+        << error;
+    EXPECT_TRUE(parsed.hasJob);
+    EXPECT_EQ(parsed.job, 3u);
+    EXPECT_FALSE(parseRequest("{\"cmd\":\"metrics\",\"job\":-2}",
+                              parsed, error));
+}
+
+/** A snapshot with every field distinct, so a swapped key would show. */
+DaemonMetricsSnapshot
+sampleMetrics()
+{
+    DaemonMetricsSnapshot m;
+    m.uptimeSeconds = 12.5;
+    m.draining = true;
+    m.queued = 2;
+    m.running = 1;
+    m.done = 3;
+    m.failed = 4;
+    m.cancelled = 5;
+    m.jobsTotal = 15;
+    m.queueDepth = 2;
+    m.journalAppends = 21;
+    m.journalFsyncs = 22;
+    m.resultsBytesServed = 1024;
+    m.runnerRelaunches = 6;
+    m.hasActiveJob = true;
+    m.activeJob = 7;
+    return m;
+}
+
+TEST(DaemonMetrics, ResponseIsFlatJsonWithDocumentedKeys)
+{
+    const std::string line =
+        formatDaemonMetricsResponse(sampleMetrics());
+    JsonObject fields;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(line, fields, error)) << error;
+
+    EXPECT_EQ(fields.at("ok").kind, JsonScalar::Kind::Bool);
+    EXPECT_EQ(fields.at("type").text, "sbn.metrics.v1");
+    EXPECT_EQ(fields.at("uptime_s").number, 12.5);
+    EXPECT_EQ(fields.at("queued").number, 2.0);
+    EXPECT_EQ(fields.at("running").number, 1.0);
+    EXPECT_EQ(fields.at("done").number, 3.0);
+    EXPECT_EQ(fields.at("failed").number, 4.0);
+    EXPECT_EQ(fields.at("cancelled").number, 5.0);
+    EXPECT_EQ(fields.at("jobs_total").number, 15.0);
+    EXPECT_EQ(fields.at("queue_depth").number, 2.0);
+    EXPECT_EQ(fields.at("draining").kind, JsonScalar::Kind::Bool);
+    EXPECT_EQ(fields.at("journal_appends").number, 21.0);
+    EXPECT_EQ(fields.at("journal_fsyncs").number, 22.0);
+    EXPECT_EQ(fields.at("results_bytes_served").number, 1024.0);
+    EXPECT_EQ(fields.at("runner_relaunches").number, 6.0);
+    EXPECT_EQ(fields.at("active_job").number, 7.0);
+}
+
+TEST(DaemonMetrics, IdleSnapshotReportsNullActiveJob)
+{
+    DaemonMetricsSnapshot m = sampleMetrics();
+    m.hasActiveJob = false;
+    const std::string line = formatDaemonMetricsResponse(m);
+    JsonObject fields;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(line, fields, error)) << error;
+    EXPECT_EQ(fields.at("active_job").kind, JsonScalar::Kind::Null);
+}
+
+TEST(DaemonMetrics, HeartbeatV2KeepsEveryV1Key)
+{
+    const std::string body =
+        formatHeartbeatV2(sampleMetrics(), 1754650000);
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.back(), '\n');
+
+    JsonObject fields;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(
+        body.substr(0, body.size() - 1), fields, error))
+        << error;
+    EXPECT_EQ(fields.at("type").text, "sbn.heartbeat.v2");
+
+    // The v1 contract: a consumer reading ts_unix, queued, running
+    // and draining keeps working against a v2 body - same keys, same
+    // scalar kinds, same meanings.
+    EXPECT_EQ(fields.at("ts_unix").number, 1754650000.0);
+    EXPECT_EQ(fields.at("queued").kind, JsonScalar::Kind::Number);
+    EXPECT_EQ(fields.at("running").kind, JsonScalar::Kind::Number);
+    EXPECT_EQ(fields.at("draining").kind, JsonScalar::Kind::Bool);
+
+    // And the v2 additions ride alongside.
+    EXPECT_TRUE(fields.count("queue_depth"));
+    EXPECT_TRUE(fields.count("journal_appends"));
+    EXPECT_TRUE(fields.count("active_job"));
 }
 
 } // namespace

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "core/experiment.hh"
 #include "desim/trace.hh"
+#include "service/protocol.hh"
 
 namespace sbn {
 namespace {
@@ -60,6 +62,121 @@ TEST(TraceSink, StreamsToOstream)
     TraceSink sink(&os);
     sink.record(42, "bus", "grant request proc 0 -> module 3");
     EXPECT_EQ(os.str(), "42: [bus] grant request proc 0 -> module 3\n");
+}
+
+TEST(TraceSink, JsonlStreamFormat)
+{
+    std::ostringstream os;
+    TraceSink sink(&os, 65536, TraceFormat::Jsonl);
+    sink.record(42, "bus", "grant request proc 0 -> module 3");
+    EXPECT_EQ(os.str(),
+              "{\"tick\":42,\"category\":\"bus\",\"message\":\"grant "
+              "request proc 0 -> module 3\"}\n");
+}
+
+TEST(TraceSink, JsonlEscapesAndRoundTrips)
+{
+    // Hostile message bytes must come back intact through the strict
+    // flat-JSON parser the rest of the codebase uses.
+    std::ostringstream os;
+    TraceSink sink(&os, 65536, TraceFormat::Jsonl);
+    const std::string nasty = "quote \" slash \\ tab \t newline \n";
+    sink.record(7, "mem", nasty);
+
+    std::string line = os.str();
+    ASSERT_FALSE(line.empty());
+    ASSERT_EQ(line.back(), '\n');
+    line.pop_back();
+    // The line itself must be exactly one line (escapes worked).
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+
+    JsonObject fields;
+    std::string error;
+    ASSERT_TRUE(parseFlatJsonObject(line, fields, error)) << error;
+    EXPECT_EQ(fields.at("tick").number, 7.0);
+    EXPECT_EQ(fields.at("category").text, "mem");
+    EXPECT_EQ(fields.at("message").text, nasty);
+}
+
+TEST(TraceSink, JsonlStreamingKeepsRingSemantics)
+{
+    // The stream sees every emitted record; the ring still only
+    // retains the newest `capacity`.
+    std::ostringstream os;
+    TraceSink sink(&os, 2, TraceFormat::Jsonl);
+    for (int i = 0; i < 5; ++i)
+        sink.record(static_cast<Tick>(i), "c", std::to_string(i));
+    EXPECT_EQ(sink.emitted(), 5u);
+    ASSERT_EQ(sink.records().size(), 2u);
+    EXPECT_EQ(sink.records().front().message, "3");
+    EXPECT_EQ(sink.records().back().message, "4");
+
+    std::istringstream in(os.str());
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+        JsonObject fields;
+        std::string error;
+        ASSERT_TRUE(parseFlatJsonObject(line, fields, error)) << error;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 5u);
+}
+
+TEST(TraceSink, EvictionAtExactCapacityBoundary)
+{
+    TraceSink sink(nullptr, 3);
+    sink.record(0, "c", "0");
+    sink.record(1, "c", "1");
+    sink.record(2, "c", "2");
+    // Exactly at capacity: nothing evicted yet.
+    ASSERT_EQ(sink.records().size(), 3u);
+    EXPECT_EQ(sink.records().front().message, "0");
+    // One past capacity evicts exactly the oldest.
+    sink.record(3, "c", "3");
+    ASSERT_EQ(sink.records().size(), 3u);
+    EXPECT_EQ(sink.records().front().message, "1");
+    EXPECT_EQ(sink.records().back().message, "3");
+}
+
+TEST(TraceSink, ZeroCapacityRetainsNothingButCountsAndStreams)
+{
+    std::ostringstream os;
+    TraceSink sink(&os, 0);
+    sink.record(0, "c", "gone");
+    EXPECT_TRUE(sink.records().empty());
+    EXPECT_EQ(sink.emitted(), 1u);
+    EXPECT_EQ(os.str(), "0: [c] gone\n");
+}
+
+TEST(TraceSink, CategoryToggleEdgeCases)
+{
+    TraceSink sink;
+    // enableOnly({}) is "nothing", not "everything".
+    sink.enableOnly({});
+    EXPECT_FALSE(sink.wants("bus"));
+    sink.record(0, "bus", "dropped");
+    EXPECT_EQ(sink.emitted(), 0u);
+
+    // Narrow -> renarrow replaces the set, it does not union.
+    sink.enableOnly({"bus"});
+    sink.enableOnly({"mem"});
+    EXPECT_FALSE(sink.wants("bus"));
+    EXPECT_TRUE(sink.wants("mem"));
+
+    // enableAll clears the filter AND the remembered set: a later
+    // enableOnly starts from scratch.
+    sink.enableAll();
+    EXPECT_TRUE(sink.wants("bus"));
+    sink.enableOnly({"proc"});
+    EXPECT_FALSE(sink.wants("mem"));
+    EXPECT_TRUE(sink.wants("proc"));
+
+    // Toggling does not disturb already-retained records.
+    sink.record(1, "proc", "kept");
+    sink.enableOnly({"bus"});
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records()[0].message, "kept");
 }
 
 TEST(TraceIntegration, UncontendedCycleSequence)

@@ -32,7 +32,15 @@ mode an absolute-only regression just warns.
 Usage:
     check_bench_trend.py --baseline bench/baseline_kernel.json \
         --current BENCH_kernel.json [--tolerance 0.20] \
-        [--normalize | --normalize-by median | --normalize-by NAME]
+        [--normalize | --normalize-by median | --normalize-by NAME] \
+        [--json SUMMARY]
+
+--json SUMMARY additionally writes a machine-readable summary of the
+run to SUMMARY ('-' = stdout): one object with the judged tolerance,
+a per-row list (name, kernel, baseline/current cycles/s, changes,
+verdict) and the flat failure/warning message lists, so CI can
+annotate results without scraping the human output. The exit code is
+unchanged by --json.
 
 Samples that carry a "faststat" object in both files are additionally
 judged on the FastStat kernel. The yardstick there needs no flag:
@@ -110,6 +118,10 @@ def main():
                              "median ratio over all samples "
                              "(machine-independent); absolute "
                              "regressions then only warn")
+    parser.add_argument("--json", metavar="SUMMARY",
+                        help="write a machine-readable per-row "
+                             "pass/fail summary to this file "
+                             "('-' = stdout)")
     args = parser.parse_args()
     if args.normalize and args.normalize_by:
         sys.exit("error: --normalize and --normalize-by are "
@@ -172,6 +184,7 @@ def main():
 
     failures = missing_failures
     warnings = new_row_warnings
+    rows = []  # --json: one entry per judged (name, kernel) pair
     normalized_note = ""
     if args.normalize:
         normalized_note = ", normalized by classic"
@@ -191,6 +204,10 @@ def main():
             failures.append(
                 f"{name}: kernels no longer produce identical "
                 "metrics - correctness, not performance")
+            rows.append({"name": name, "kernel": "cycleskip",
+                         "verdict": "error",
+                         "reason": "kernels no longer produce "
+                                   "identical metrics"})
             continue
 
         abs_base = cycles_per_s(base, "cycleskip")
@@ -199,6 +216,9 @@ def main():
             failures.append(
                 f"{name}: no cycleskip cycles_per_s in one of the "
                 "files - the bench output format changed")
+            rows.append({"name": name, "kernel": "cycleskip",
+                         "verdict": "error",
+                         "reason": "no cycleskip cycles_per_s"})
             continue
         abs_change = abs_cur / abs_base - 1.0
 
@@ -243,6 +263,15 @@ def main():
         print(f"  {name:24s} cycles/s {abs_base:12.0f} -> "
               f"{abs_cur:12.0f} ({abs_change:+7.1%}){speedups}"
               f"   {verdict}")
+        rows.append({"name": name, "kernel": "cycleskip",
+                     "baseline_cycles_per_s": abs_base,
+                     "current_cycles_per_s": abs_cur,
+                     "abs_change": abs_change,
+                     "normalized_change": norm_change,
+                     "judged": ("normalized" if judge_normalized
+                                else "absolute"),
+                     "verdict": verdict,
+                     "pass": verdict != "REGRESSION"})
 
     # FastStat rows, judged only where both files carry them. The
     # same-run cycleskip kernel is the yardstick: bench_perf measures
@@ -265,6 +294,10 @@ def main():
             failures.append(
                 f"{name}: faststat present without cycleskip - the "
                 "bench output format changed")
+            rows.append({"name": name, "kernel": "faststat",
+                         "verdict": "error",
+                         "reason": "faststat present without "
+                                   "cycleskip"})
             continue
         abs_change = fs_cur / fs_base - 1.0
         speedup_base = fs_base / cs_base
@@ -289,12 +322,44 @@ def main():
               f"   speedup {speedup_base:5.2f}x -> "
               f"{speedup_cur:5.2f}x ({speedup_change:+7.1%})"
               f"   {verdict}")
+        rows.append({"name": name, "kernel": "faststat",
+                     "baseline_cycles_per_s": fs_base,
+                     "current_cycles_per_s": fs_cur,
+                     "abs_change": abs_change,
+                     "speedup_change": speedup_change,
+                     "judged": "speedup",
+                     "verdict": verdict,
+                     "pass": verdict != "REGRESSION"})
 
     for message in warnings:
         print(f"warning: {message}")
     if failures:
         for message in failures:
             print(f"FAIL: {message}")
+
+    if args.json:
+        summary = {
+            "type": "sbn.bench_trend.v1",
+            "baseline": args.baseline,
+            "current": args.current,
+            "tolerance": args.tolerance,
+            "normalized": (
+                "classic" if args.normalize
+                else args.normalize_by if args.normalize_by
+                else None),
+            "rows": rows,
+            "failures": failures,
+            "warnings": warnings,
+            "pass": not failures,
+        }
+        text = json.dumps(summary, indent=2) + "\n"
+        if args.json == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(text)
+
+    if failures:
         return 1
     print(f"trend check passed over {len(shared)} sample(s)")
     return 0

@@ -78,6 +78,7 @@
 #include "shard/result_io.hh"
 #include "shard/runner.hh"
 #include "shard/supervisor.hh"
+#include "telemetry/telemetry.hh"
 #include "util/cli.hh"
 #include "util/exit_codes.hh"
 #include "util/logging.hh"
@@ -102,6 +103,26 @@ parseOptions(const CommandLine &cli)
     opt.dir = cli.getString("dir", opt.dir);
     opt.resume = cli.getBool("resume", false);
     return opt;
+}
+
+std::string g_telemetryDumpPath = "-";
+
+/**
+ * atexit hook: dump one flat-JSON telemetry line whatever the exit
+ * path - success, the partial exit 75 in spawnAndMerge, or a merge
+ * fatal. Forked shard workers leave via _exit and never run it, so
+ * the dump always describes this orchestrating process. The entered
+ * guard keeps a dump failure (sbn_fatal -> exit during exit) from
+ * recursing.
+ */
+void
+dumpTelemetryAtExit()
+{
+    static bool entered = false;
+    if (entered)
+        return;
+    entered = true;
+    writeTelemetryDump(g_telemetryDumpPath, /*include_timers=*/true);
 }
 
 /**
@@ -440,6 +461,23 @@ runClientMode(const CommandLine &cli, const std::string &endpoint)
         std::exit(kExitOk);
     }
 
+    if (cli.getBool("metrics", false)) {
+        Request request;
+        request.kind = RequestKind::Metrics;
+        if (cli.has("job")) {
+            request.hasJob = true;
+            request.job =
+                static_cast<std::uint64_t>(cli.getInt("job", 0));
+        }
+        const ClientResponse response = callDaemon(endpoint, request);
+        if (!response.ok())
+            dieOnErrorResponse("metrics", response);
+        // One flat-JSON line, same shape as --status: machine
+        // consumers parse it, humans can read it.
+        std::printf("%s\n", formatFlatObject(response.fields).c_str());
+        std::exit(kExitOk);
+    }
+
     // Default: status (daemon summary, or one job with --job=N).
     Request request;
     request.kind = RequestKind::Status;
@@ -483,7 +521,10 @@ main(int argc, char **argv)
                     "(needs --job)"},
         {"cancel", "client: cancel a job (needs --job)"},
         {"drain", "client: stop intake, finish queued jobs, exit 0"},
-        {"job", "client: job id for --status/--results/--cancel"},
+        {"metrics", "client: daemon metrics snapshot (flat JSON), or "
+                    "one job's with --job"},
+        {"job", "client: job id for "
+                "--status/--results/--cancel/--metrics"},
         {"wait", "client: block until the job is terminal"},
     });
     const CommandLine cli(argc, argv, known);
@@ -492,6 +533,11 @@ main(int argc, char **argv)
         runClientMode(cli, cli.getString("connect", ""));
 
     const Options opt = parseOptions(cli);
+
+    if (opt.run.telemetry) {
+        g_telemetryDumpPath = opt.run.telemetryDump;
+        std::atexit(dumpTelemetryAtExit);
+    }
 
     const bool has_shard = cli.has("shard");
     const bool has_merge = cli.getBool("merge", false);
