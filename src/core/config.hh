@@ -139,6 +139,18 @@ struct SystemConfig
     bool collectPerModule = false;
 
     /**
+     * Collect per-request latency distributions
+     * (Metrics::latencyWait / Metrics::latencyResidence): wait time
+     * (issue to service start) and residence time (issue to response
+     * delivery) in log-bucketed histograms. Purely passive accounting
+     * like collectPerModule - it consumes no RNG and changes no
+     * trajectory, so enabling it leaves every other metric (and every
+     * golden pin) bit-identical, and it does not fold into the config
+     * fingerprint.
+     */
+    bool collectLatency = false;
+
+    /**
      * Optional event tracing (categories: "proc", "bus", "mem").
      * Not owned; must outlive the system. nullptr disables tracing.
      */

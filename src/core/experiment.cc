@@ -22,6 +22,20 @@ runEbw(const SystemConfig &config)
     return runOnce(config).ebw;
 }
 
+PointSample
+runPointSample(const SystemConfig &config)
+{
+    const Metrics m = runOnce(config);
+    PointSample sample;
+    sample.ebw = m.ebw;
+    if (m.latencyWait && m.latencyResidence) {
+        sample.hasLatency = true;
+        sample.latency = summarizeLatency(*m.latencyWait,
+                                          *m.latencyResidence);
+    }
+    return sample;
+}
+
 Estimate
 replicate(const SystemConfig &config, unsigned replications,
           const std::function<double(const Metrics &)> &metric,

@@ -25,6 +25,21 @@ Metrics runOnce(const SystemConfig &config);
 double runEbw(const SystemConfig &config);
 
 /**
+ * The per-point payload of a sweep record: EBW plus, when the config
+ * collected latency histograms, their quantile summary. hasLatency
+ * mirrors config.collectLatency for the run that produced it.
+ */
+struct PointSample
+{
+    double ebw = 0.0;
+    bool hasLatency = false;
+    LatencySummary latency;
+};
+
+/** Run one system and return its EBW + optional latency summary. */
+PointSample runPointSample(const SystemConfig &config);
+
+/**
  * Run @p replications independent copies of @p config (seeds derived
  * deterministically from config.seed) and summarize the chosen metric
  * with a Student-t confidence interval.

@@ -78,6 +78,11 @@ FastStatSystem::FastStatSystem(const SystemConfig &config)
         perModDepthSince_.assign(m, 0);
         perModDepthMax_.assign(m, 0);
     }
+    if (cfg_.collectLatency) {
+        procServiceStart_.assign(n, 0);
+        latWaitHist_.emplace(makeLatencyHistogram());
+        latResidenceHist_.emplace(makeLatencyHistogram());
+    }
 }
 
 bool
@@ -267,6 +272,9 @@ FastStatSystem::maybeStartBufferedAccess(int module, Tick now)
     inputQueues_[idx].pop_front();
     modAccessing_[idx] = 1;
     modAccessStart_[idx] = now;
+    if (cfg_.collectLatency)
+        procServiceStart_[static_cast<std::size_t>(modServing_[idx])] =
+            now;
     if (cfg_.collectPerModule)
         noteQueueDepth(module, now, -1);
     if (cfg_.trace) {
@@ -381,6 +389,8 @@ FastStatSystem::grantRequest(int proc, Tick now)
             candProcSet_.eraseAll(waiterSets_[tgt]);
         modServing_[tgt] = proc;
         modAccessStart_[tgt] = arrive;
+        if (cfg_.collectLatency)
+            procServiceStart_[idx] = arrive;
         if (cfg_.trace) {
             cfg_.trace->record(arrive, "mem",
                                traceText("module ", target,
@@ -461,6 +471,13 @@ FastStatSystem::recordCompletion(int proc, Tick grant_tick)
         waitMax_ = wait;
     if (waitHist_)
         waitHist_->add(static_cast<double>(wait));
+    if (latWaitHist_) {
+        latWaitHist_->add(static_cast<double>(
+            procServiceStart_[static_cast<std::size_t>(proc)] -
+            procIssueTick_[static_cast<std::size_t>(proc)]));
+        latResidenceHist_->add(static_cast<double>(
+            delivery - procIssueTick_[static_cast<std::size_t>(proc)]));
+    }
 }
 
 void
@@ -626,6 +643,8 @@ FastStatSystem::run()
     out.waitStats = waitStats;
     out.perProcessorCompletions = perProcCompleted_;
     out.waitHistogram = waitHist_;
+    out.latencyWait = latWaitHist_;
+    out.latencyResidence = latResidenceHist_;
     if (cfg_.collectPerModule)
         finishPerModule(out);
     return out;

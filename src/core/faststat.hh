@@ -222,6 +222,17 @@ class FastStatSystem
     std::vector<std::uint64_t> perProcCompleted_;
     std::optional<Histogram> waitHist_;
 
+    /**
+     * Latency distributions (cfg_.collectLatency), mirroring the
+     * exact kernel: procServiceStart_[p] is the tick module service
+     * began for p's outstanding request; recordCompletion feeds wait
+     * and residence histograms. Passive - no RNG, no trajectory
+     * change.
+     */
+    std::vector<Tick> procServiceStart_;
+    std::optional<Histogram> latWaitHist_;
+    std::optional<Histogram> latResidenceHist_;
+
     /** Per-module accounting (cfg_.collectPerModule), mirroring the
      *  exact kernel's passive busy/queue-depth integration. */
     std::vector<std::uint64_t> perModBusy_;

@@ -16,6 +16,40 @@
 namespace sbn {
 
 /**
+ * Canonical bin layout for the per-request latency histograms
+ * (config.collectLatency). Every producer uses this exact layout so
+ * histograms from different runs/replications are always mergeable
+ * and flat-JSON renders are byte-comparable. Samples are integer bus
+ * cycles; a zero-cycle wait lands in underflow, anything at or above
+ * 2^20 cycles in overflow.
+ */
+inline Histogram
+makeLatencyHistogram()
+{
+    return Histogram::logScale(1.0, 1048576.0, 120);
+}
+
+/**
+ * Quantile summary extracted from a wait/residence histogram pair,
+ * as carried in sweep point records. Values are bin upper edges
+ * except max, which is the exact largest sample.
+ */
+struct LatencySummary
+{
+    std::uint64_t samples = 0; //!< completed requests measured
+
+    double waitP50 = 0.0;
+    double waitP90 = 0.0;
+    double waitP99 = 0.0;
+    double waitMax = 0.0;
+
+    double residenceP50 = 0.0;
+    double residenceP90 = 0.0;
+    double residenceP99 = 0.0;
+    double residenceMax = 0.0;
+};
+
+/**
  * Steady-state metrics over the measurement window. All "per
  * processor cycle" figures use the paper's (r+2)-bus-cycle processor
  * cycle as the unit.
@@ -86,7 +120,24 @@ struct Metrics
 
     /** Maximum queue depth held for a nonzero span of window time. */
     std::vector<std::uint64_t> perModuleQueueDepthMax;
+
+    // Per-request latency distributions (config.collectLatency), in
+    // the makeLatencyHistogram() layout. Passive like the per-module
+    // breakdowns: enabling them changes no other field.
+
+    /** Wait time, issue to service start, in bus cycles. */
+    std::optional<Histogram> latencyWait;
+
+    /** Residence time, issue to response delivery, in bus cycles. */
+    std::optional<Histogram> latencyResidence;
 };
+
+/**
+ * Condense a wait/residence histogram pair into the record-carried
+ * quantile summary (p50/p90/p99 at bin granularity, exact max).
+ */
+LatencySummary summarizeLatency(const Histogram &wait,
+                                const Histogram &residence);
 
 } // namespace sbn
 

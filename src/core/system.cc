@@ -81,6 +81,13 @@ SingleBusSystem::SingleBusSystem(const SystemConfig &config)
         perModDepthSince_.assign(m, 0);
         perModDepthMax_.assign(m, 0);
     }
+
+    if (cfg_.collectLatency) {
+        procServiceStart_.assign(
+            static_cast<std::size_t>(cfg_.numProcessors), 0);
+        latWaitHist_.emplace(makeLatencyHistogram());
+        latResidenceHist_.emplace(makeLatencyHistogram());
+    }
 }
 
 std::vector<std::size_t>
@@ -363,6 +370,9 @@ SingleBusSystem::maybeStartBufferedAccess(int module)
     mod.inputQueue.pop_front();
     mod.accessing = true;
     mod.accessStart = now;
+    if (cfg_.collectLatency)
+        procServiceStart_[static_cast<std::size_t>(mod.servingProc)] =
+            now;
     if (cfg_.collectPerModule)
         noteQueueDepth(module, now, -1);
     if (cfg_.trace) {
@@ -393,6 +403,9 @@ SingleBusSystem::transferDone()
             mod.state = ModState::Accessing;
             mod.servingProc = xfer.proc;
             mod.accessStart = now;
+            if (cfg_.collectLatency)
+                procServiceStart_[static_cast<std::size_t>(xfer.proc)] =
+                    now;
             if (cfg_.trace) {
                 cfg_.trace->record(now, "mem",
                                    traceText("module ", xfer.module,
@@ -614,6 +627,13 @@ SingleBusSystem::recordCompletion(int proc, Tick grant_tick)
     waitStats_.add(wait);
     if (waitHist_)
         waitHist_->add(wait);
+    if (latWaitHist_) {
+        latWaitHist_->add(static_cast<double>(
+            procServiceStart_[static_cast<std::size_t>(proc)] -
+            procs_[proc].issueTick));
+        latResidenceHist_->add(
+            static_cast<double>(delivery - procs_[proc].issueTick));
+    }
 }
 
 void
@@ -749,6 +769,8 @@ SingleBusSystem::run()
     out.waitStats = waitStats_;
     out.perProcessorCompletions = perProcCompleted_;
     out.waitHistogram = waitHist_;
+    out.latencyWait = latWaitHist_;
+    out.latencyResidence = latResidenceHist_;
     if (cfg_.collectPerModule)
         finishPerModule(out);
     return out;

@@ -277,6 +277,18 @@ class SingleBusSystem
     std::vector<std::uint64_t> perProcCompleted_;
     std::optional<Histogram> waitHist_;
 
+    /**
+     * Latency distributions (cfg_.collectLatency; otherwise the
+     * optionals stay empty and procServiceStart_ is untouched).
+     * procServiceStart_[p] is the tick module service began for p's
+     * outstanding request; recordCompletion folds wait (service start
+     * - issue) and residence (delivery - issue) into the histograms.
+     * Purely passive - no RNG, no trajectory change.
+     */
+    std::vector<Tick> procServiceStart_;
+    std::optional<Histogram> latWaitHist_;
+    std::optional<Histogram> latResidenceHist_;
+
     bool ran_ = false;
 };
 

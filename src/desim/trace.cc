@@ -49,7 +49,15 @@ void
 TraceSink::enableOnly(std::set<std::string> categories)
 {
     filterActive_ = true;
-    enabled_ = std::move(categories);
+    enabled_.clear();
+    enabledPrefixes_.clear();
+    for (const std::string &pattern : categories) {
+        if (!pattern.empty() && pattern.back() == '*')
+            enabledPrefixes_.push_back(
+                pattern.substr(0, pattern.size() - 1));
+        else
+            enabled_.insert(pattern);
+    }
 }
 
 void
@@ -57,12 +65,19 @@ TraceSink::enableAll()
 {
     filterActive_ = false;
     enabled_.clear();
+    enabledPrefixes_.clear();
 }
 
 bool
 TraceSink::wants(const std::string &category) const
 {
-    return !filterActive_ || enabled_.count(category) > 0;
+    if (!filterActive_ || enabled_.count(category) > 0)
+        return true;
+    for (const std::string &prefix : enabledPrefixes_) {
+        if (category.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    }
+    return false;
 }
 
 void

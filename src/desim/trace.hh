@@ -16,6 +16,7 @@
 #include <ostream>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "desim/event.hh"
 
@@ -58,7 +59,13 @@ class TraceSink
                        std::size_t capacity = 65536,
                        TraceFormat format = TraceFormat::Text);
 
-    /** Restrict tracing to the given categories. */
+    /**
+     * Restrict tracing to the given categories. A pattern ending in
+     * '*' enables every category with that prefix ("bus*" matches
+     * "bus" and "bus.arb"); a bare "*" enables everything while
+     * keeping the filter active. Other positions of '*' are not
+     * special - patterns are exact matches.
+     */
     void enableOnly(std::set<std::string> categories);
 
     /** Re-enable all categories. */
@@ -86,6 +93,7 @@ class TraceSink
     TraceFormat format_;
     bool filterActive_ = false;
     std::set<std::string> enabled_;
+    std::vector<std::string> enabledPrefixes_; //!< trailing-'*' stems
     std::deque<TraceRecord> records_;
     std::uint64_t emitted_ = 0;
 };

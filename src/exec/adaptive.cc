@@ -4,6 +4,7 @@
 
 #include "stats/replication.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/span.hh"
 #include "util/logging.hh"
 
 namespace sbn {
@@ -122,9 +123,11 @@ AdaptiveReplicator::runPoints(
         std::uint64_t seed;
     };
 
+    const TraceContext traceCtx = inheritedTraceContext();
     std::size_t emit_cursor = 0;
     std::size_t open_points = count;
     for (unsigned round = 0; open_points != 0; ++round) {
+        const std::uint64_t roundStartUs = traceNowMicros();
         const unsigned target = schedule_.targetAfterRound(round);
 
         std::vector<Item> items;
@@ -182,6 +185,16 @@ AdaptiveReplicator::runPoints(
                         results[emit_cursor]);
             ++emit_cursor;
         }
+
+        // One span per grown round: the timeline shows how the work
+        // tapers as points converge.
+        traceEmitSpan(traceCtx, "adaptive_round",
+                      "adaptive round " + std::to_string(round),
+                      traceCtx.spanId, roundStartUs, traceNowMicros(),
+                      {{"round", std::to_string(round)},
+                       {"replications", std::to_string(items.size())},
+                       {"open_points",
+                        std::to_string(open_points)}});
     }
     return results;
 }

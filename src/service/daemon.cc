@@ -36,6 +36,7 @@
 #include "shard/fault.hh"
 #include "shard/result_io.hh"
 #include "shard/supervisor.hh"
+#include "trace/span.hh"
 #include "util/exit_codes.hh"
 #include "util/logging.hh"
 
@@ -119,6 +120,18 @@ struct Job
     /** Wall-clock (unix) when the job went terminal under this
      *  daemon; 0 while live or for journal-recovered terminals. */
     double finishedUnix = 0;
+
+    // Span tracing (all zero when the daemon runs without
+    // SBN_TRACE_DIR): one trace per job, rooted at a "job" span that
+    // closes when the job goes terminal; queued/running/merging state
+    // intervals nest under it, and every runner launch inherits the
+    // job span as its parent context.
+    std::uint64_t traceId = 0;
+    std::uint64_t jobSpanId = 0;
+    std::uint64_t submitUs = 0;     //!< root span start
+    std::uint64_t queuedUs = 0;     //!< current queued-interval start
+    std::uint64_t runStartUs = 0;   //!< current running-interval start
+    std::uint64_t mergeStartUs = 0; //!< current merging-interval start
 };
 
 /** One connected client. */
@@ -214,8 +227,19 @@ Daemon::appendState(Job &job, JobState state, int exit_code,
     entry.reason = reason;
     journal_.append(entry); // durable (+ crash_after_journal window)
     job.entry = entry;
-    if (jobStateTerminal(state))
+    if (jobStateTerminal(state)) {
         job.finishedUnix = static_cast<double>(std::time(nullptr));
+        if (job.jobSpanId != 0) {
+            traceEmitSpanWithId(
+                {job.traceId, job.jobSpanId}, job.jobSpanId, "job",
+                "job " + std::to_string(entry.job), 0, job.submitUs,
+                traceNowMicros(),
+                {{"state", jobStateName(state)},
+                 {"exit", std::to_string(exit_code)},
+                 {"launches", std::to_string(job.launches)}});
+            job.jobSpanId = 0;
+        }
+    }
 }
 
 void
@@ -566,6 +590,13 @@ Daemon::handleSubmit(Client &client, const Request &request)
     job.entry.state = JobState::Submitted;
     job.entry.spec = request.spec;
     job.entry.timeoutSeconds = request.timeoutSeconds;
+    if (traceEnabled()) {
+        // The job's root span opens at submit; it closes (and is
+        // emitted) when the job goes terminal.
+        job.traceId = newTraceId();
+        job.jobSpanId = traceAllocSpanId();
+        job.submitUs = job.queuedUs = traceNowMicros();
+    }
 
     // Durability before acknowledgment: the submit line is fsync()ed
     // (and the crash_after_journal=submitted window passed) before
@@ -816,6 +847,16 @@ Daemon::startPendingJobs()
 void
 Daemon::launchRunner(Job &job)
 {
+    // Relaunch detection must look before startedUnix is stamped
+    // below: a nonzero launches count is a relaunch within this
+    // incarnation, and a journaled startedUnix on a job this
+    // incarnation has never launched means a previous daemon
+    // launched it - recovery is relaunching it now. Both count in
+    // runner_relaunches, so the metric reflects crash recoveries
+    // even across a daemon kill-and-restart.
+    const bool relaunch =
+        job.launches > 0 || job.entry.startedUnix > 0;
+
     // First launch ever (not per incarnation): stamp the wall-clock
     // start the timeout deadline is measured from. Recovered jobs
     // carry theirs in from the journal.
@@ -828,6 +869,25 @@ Daemon::launchRunner(Job &job)
     // idempotent; the reverse order could run a job the journal
     // never heard of.
     appendState(job, JobState::Running, 0, "");
+
+    // Trace: jobs recovered from the journal (or submitted before
+    // tracing was armed) get their trace lazily here; the queued
+    // interval that ends with this launch is emitted, and the running
+    // interval starts.
+    if (traceEnabled() && job.traceId == 0) {
+        job.traceId = newTraceId();
+        job.jobSpanId = traceAllocSpanId();
+        job.submitUs = job.queuedUs = traceNowMicros();
+    }
+    if (job.jobSpanId != 0) {
+        const std::uint64_t nowUs = traceNowMicros();
+        traceEmitSpan({job.traceId, job.jobSpanId}, "queued",
+                      "job " + std::to_string(job.entry.job) +
+                          " queued",
+                      job.jobSpanId, job.queuedUs, nowUs,
+                      {{"launch", std::to_string(job.launches)}});
+        job.runStartUs = nowUs;
+    }
 
     int pipeFds[2];
     if (::pipe(pipeFds) != 0)
@@ -863,13 +923,17 @@ Daemon::launchRunner(Job &job)
         for (const auto &pair : jobs_)
             if (pair.second.statusPipe >= 0)
                 ::close(pair.second.statusPipe);
+        // The runner (and everything it forks) parents its spans
+        // under this job's span - submit-to-merge becomes one tree.
+        if (job.jobSpanId != 0)
+            exportTraceContext({job.traceId, job.jobSpanId});
         runJobInRunner(job, pipeFds[1]);
         ::_exit(kExitFatal); // not reached
     }
     ::close(pipeFds[1]);
     job.runnerPid = pid;
     job.statusPipe = pipeFds[0];
-    if (job.launches > 0)
+    if (relaunch)
         ++runnerRelaunches_; // crash recovery, not steady state
     if (!job.hasDeadline && job.entry.timeoutSeconds > 0) {
         // The deadline is anchored at the journaled first-launch
@@ -906,6 +970,11 @@ Daemon::runJobInRunner(const Job &job, int status_write_fd)
                                    : config_.defaultShards;
     const std::string dir =
         daemonJobDir(config_.stateDir, job.entry.job);
+
+    // A spec carrying --trace arms tracing for this runner tree with
+    // the job directory as the shard dir; a daemon already running
+    // under SBN_TRACE_DIR wins (all shards in one place).
+    armSweepTracing(opt, dir);
 
     // Always resume: a first launch on an empty directory is a
     // no-op, and a relaunch (crash retry or daemon recovery) keeps
@@ -972,6 +1041,23 @@ Daemon::runnerExited(Job &job, int status)
 {
     job.runnerPid = -1;
     job.killPending = false;
+    if (job.jobSpanId != 0 && job.runStartUs != 0) {
+        const std::uint64_t nowUs = traceNowMicros();
+        traceEmitSpan({job.traceId, job.jobSpanId}, "running",
+                      "job " + std::to_string(job.entry.job) +
+                          " running",
+                      job.jobSpanId, job.runStartUs, nowUs,
+                      {{"launch", std::to_string(job.launches)},
+                       {"status", describeWaitStatus(status)}});
+        if (job.mergeStartUs != 0)
+            traceEmitSpan({job.traceId, job.jobSpanId}, "merging",
+                          "job " + std::to_string(job.entry.job) +
+                              " merging",
+                          job.jobSpanId, job.mergeStartUs, nowUs);
+        job.runStartUs = 0;
+        job.mergeStartUs = 0;
+        job.queuedUs = nowUs; // in case a relaunch re-queues it
+    }
     if (job.statusPipe >= 0)
         readStatusPipe(job); // drain a final "merging" report
     if (job.statusPipe >= 0) {
@@ -1074,8 +1160,10 @@ Daemon::readStatusPipe(Job &job)
     // job is terminal and the journal must stay that way.
     if (std::string(buffer, static_cast<std::size_t>(got))
                 .find("merging") != std::string::npos &&
-        job.entry.state == JobState::Running)
+        job.entry.state == JobState::Running) {
+        job.mergeStartUs = traceNowMicros();
         appendState(job, JobState::Merging, 0, "");
+    }
 }
 
 void

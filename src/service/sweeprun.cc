@@ -5,11 +5,13 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/experiment.hh"
 #include "exec/parallel_runner.hh"
 #include "shard/result_io.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/span.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 
@@ -69,6 +71,20 @@ parsePolicyList(const std::vector<std::string> &names)
     return policies;
 }
 
+/**
+ * The trace coordinates this process's spans live under: the
+ * inherited context when a parent exported one, else a fresh trace
+ * rooted here (a standalone --shard worker, a serial CLI run).
+ */
+TraceContext
+currentTraceContext()
+{
+    TraceContext ctx = inheritedTraceContext();
+    if (traceEnabled() && !ctx.valid())
+        ctx.traceId = newTraceId();
+    return ctx;
+}
+
 } // namespace
 
 const std::map<std::string, std::string> &
@@ -113,6 +129,14 @@ sweepFlagHelp()
                       "'-' = stderr). Shard workers also append "
                       "telemetry-shard-*.jsonl sidecars next to "
                       "their record files"},
+        {"latency", "collect per-request wait/residence latency "
+                    "histograms and carry their p50/p90/p99/max in "
+                    "plain-sweep point records (passive: EBW values "
+                    "are unchanged)"},
+        {"trace", "record cross-process sbn.trace.v1 span shards for "
+                  "this run; the optional value names the shard "
+                  "directory (default: the run's own directory). "
+                  "Merge with sbn_trace"},
     };
     return help;
 }
@@ -230,8 +254,47 @@ parseSweepRunOptions(const CommandLine &cli)
     if (opt.telemetry)
         setTelemetryEnabled(true);
 
+    // Folding into the base config makes every materialized point
+    // collect; collectLatency stays out of the config fingerprint, so
+    // latency-on and latency-off runs stay merge/resume compatible.
+    opt.latency = cli.getBool("latency", false);
+    spec.base.collectLatency = opt.latency;
+
+    if (cli.has("trace")) {
+        // Same grammar as --telemetry: bare/boolean spellings toggle,
+        // any other value names the shard directory.
+        const std::string value = cli.getString("trace", "");
+        if (value == "0" || value == "false") {
+            opt.trace = false;
+        } else {
+            opt.trace = true;
+            if (value != "true" && value != "1" && !value.empty())
+                opt.traceDir = value;
+        }
+    }
+
     spec.validate();
     return opt;
+}
+
+void
+armSweepTracing(const SweepRunOptions &opt,
+                const std::string &default_dir)
+{
+    if (!traceEnabled()) {
+        if (!opt.trace)
+            return;
+        const std::string dir =
+            opt.traceDir.empty() ? default_dir : opt.traceDir;
+        if (dir.empty())
+            return;
+        ::setenv(kTraceDirEnvVar, dir.c_str(), 1);
+    }
+    // Root context: without this, each traced component of one run
+    // (supervisor, merge, adaptive rounds) would invent its own
+    // trace id. An inherited context (the daemon's job span) wins.
+    if (!inheritedTraceContext().valid())
+        exportTraceContext({newTraceId(), 0});
 }
 
 std::vector<std::string>
@@ -299,6 +362,12 @@ evaluateSweepPoint(const SystemConfig &cfg)
     return runEbw(cfg);
 }
 
+PointSample
+evaluateSweepPointSample(const SystemConfig &cfg)
+{
+    return runPointSample(cfg);
+}
+
 double
 evaluateSweepReplication(const SystemConfig &cfg, std::uint64_t seed)
 {
@@ -321,6 +390,8 @@ runSweepShard(const SweepRunOptions &opt, const ShardSpec &shard,
               const std::string &dir, bool resume)
 {
     const std::string path = shardFilePath(dir, shard);
+    const TraceContext ctx = currentTraceContext();
+    const std::uint64_t startUs = traceNowMicros();
     ShardRunStats stats;
     if (opt.adaptive)
         stats = runShardAdaptive(opt.spec, shard, opt.layout,
@@ -328,9 +399,21 @@ runSweepShard(const SweepRunOptions &opt, const ShardSpec &shard,
                                  evaluateSweepReplication, path,
                                  resume, opt.threads);
     else
-        stats = runShardSweep(opt.spec, shard, opt.layout,
-                              evaluateSweepPoint, path, resume,
-                              opt.threads);
+        stats = runShardSweep(
+            opt.spec, shard, opt.layout,
+            std::function<PointSample(const SystemConfig &)>(
+                evaluateSweepPointSample),
+            path, resume, opt.threads);
+    // The worker's own view of the attempt: emitted from inside the
+    // (possibly forked) worker process, so a supervised run's merged
+    // timeline shows spans from every process of the fleet.
+    traceEmitSpan(ctx, "shard_run",
+                  "shard " + shard.toString() + " run", ctx.spanId,
+                  startUs, traceNowMicros(),
+                  {{"owned", std::to_string(stats.owned)},
+                   {"resumed", std::to_string(stats.skipped)},
+                   {"computed", std::to_string(stats.computed)},
+                   {"adaptive", opt.adaptive ? "1" : "0"}});
     std::fprintf(stderr,
                  "shard %s (%s): %zu point(s) owned, %zu resumed, "
                  "%zu computed -> %s\n",
@@ -355,15 +438,23 @@ makeSweepWorkerBody(const SweepRunOptions &opt,
     return [worker, &points, dir,
             resume_first_launch](const WorkerTask &task) {
         if (task.steal) {
+            const TraceContext ctx = currentTraceContext();
+            const std::uint64_t startUs = traceNowMicros();
             if (worker.adaptive)
                 runStolenPointsAdaptive(
                     points, task.points, worker.target,
                     worker.schedule, evaluateSweepReplication,
                     task.outPath, worker.threads);
             else
-                runStolenPointsSweep(points, task.points,
-                                     evaluateSweepPoint, task.outPath,
-                                     worker.threads);
+                runStolenPointsSweep(
+                    points, task.points,
+                    std::function<PointSample(const SystemConfig &)>(
+                        evaluateSweepPointSample),
+                    task.outPath, worker.threads);
+            traceEmitSpan(ctx, "steal_run", "steal slice run",
+                          ctx.spanId, startUs, traceNowMicros(),
+                          {{"points",
+                            std::to_string(task.points.size())}});
             appendTelemetrySidecar(task.outPath);
         } else {
             // A respawn must keep the dead worker's flushed records;
@@ -405,10 +496,19 @@ runSupervisedSweep(const SweepRunOptions &opt, std::size_t shard_count,
     outcome.check = check;
     // An interrupted fleet's output is not a result, partial or
     // otherwise; leave outcome.merged empty in that case.
-    if (outcome.report.interruptSignal == 0)
+    if (outcome.report.interruptSignal == 0) {
+        const TraceContext ctx = currentTraceContext();
+        const std::uint64_t startUs = traceNowMicros();
         outcome.merged =
             collectRecordFiles(outcome.report.recordFiles, check,
                                /*tolerate_partial_tail=*/true);
+        traceEmitSpan(
+            ctx, "merge", "collect shard records", ctx.spanId,
+            startUs, traceNowMicros(),
+            {{"files",
+              std::to_string(outcome.report.recordFiles.size())},
+             {"grid", std::to_string(check.gridSize)}});
+    }
     return outcome;
 }
 

@@ -65,6 +65,26 @@ struct SweepRunOptions
      */
     bool telemetry = false;
     std::string telemetryDump = "-";
+
+    /**
+     * --latency: collect per-request wait/residence histograms in
+     * every point run (config.collectLatency) and carry their
+     * p50/p90/p99/max summary in plain-sweep point records. Passive:
+     * EBW values and record fingerprints are unchanged. Adaptive
+     * records do not carry latency (their value is a replication
+     * aggregate, not one run).
+     */
+    bool latency = false;
+
+    /**
+     * --trace[=DIR]: cross-process span tracing (trace/span.hh).
+     * Every process of the run appends sbn.trace.v1 spans to its own
+     * shard under DIR; bare --trace lets the front end pick the
+     * directory (the sweep's --dir, or the daemon job's directory).
+     * Arm with armSweepTracing() once the directory is known.
+     */
+    bool trace = false;
+    std::string traceDir;
 };
 
 class CommandLine;
@@ -106,6 +126,17 @@ SweepRunOptions parseSweepSpecString(const std::string &spec);
  */
 bool specParsesCleanly(const std::string &spec);
 
+/**
+ * Arm span tracing for this process when @p opt asked for it: sets
+ * SBN_TRACE_DIR to opt.traceDir (or @p default_dir for a bare
+ * --trace) unless tracing is already armed - an inherited
+ * SBN_TRACE_DIR from a parent process always wins, so a supervised
+ * worker or daemon runner never re-points the shard directory. Call
+ * from single-threaded front-end context, like every setenv.
+ */
+void armSweepTracing(const SweepRunOptions &opt,
+                     const std::string &default_dir);
+
 /** The MergeCheck matching @p opt's mode - plain-sweep or adaptive
  *  fingerprints over @p points. */
 MergeCheck sweepRunMergeCheck(const SweepRunOptions &opt,
@@ -120,6 +151,10 @@ ShardRunStats runSweepShard(const SweepRunOptions &opt,
 
 /** The one-seeded-run-per-point evaluator (plain sweeps). */
 double evaluateSweepPoint(const SystemConfig &cfg);
+
+/** evaluateSweepPoint() returning the full PointSample (EBW +
+ *  latency summary when cfg.collectLatency). */
+PointSample evaluateSweepPointSample(const SystemConfig &cfg);
 
 /** The per-replication evaluator (adaptive sweeps). */
 double evaluateSweepReplication(const SystemConfig &cfg,

@@ -24,10 +24,11 @@ namespace sbn {
 
 namespace {
 
-// v2: records carry the workload serialization (the workload layer
-// also bumped the config-fingerprint version, so v1 records are
-// doubly stale).
-constexpr const char *kRecordType = "sbn.point.v2";
+// v3: plain-sweep records may carry the latency quantile summary
+// (config.collectLatency) as an optional lat_* key group. v2 added
+// the workload serialization (the workload layer also bumped the
+// config-fingerprint version, so v1 records are doubly stale).
+constexpr const char *kRecordType = "sbn.point.v3";
 
 // Shared with configFingerprint and the analytic disk cache so the
 // decimal+bits codecs can never drift (core/fingerprint.hh).
@@ -60,6 +61,22 @@ runModeName(RunMode mode)
 bool
 PointRecord::bitIdentical(const PointRecord &other) const
 {
+    if (hasLatency != other.hasLatency)
+        return false;
+    if (hasLatency) {
+        const LatencySummary &a = latency;
+        const LatencySummary &b = other.latency;
+        if (a.samples != b.samples ||
+            doubleBits(a.waitP50) != doubleBits(b.waitP50) ||
+            doubleBits(a.waitP90) != doubleBits(b.waitP90) ||
+            doubleBits(a.waitP99) != doubleBits(b.waitP99) ||
+            doubleBits(a.waitMax) != doubleBits(b.waitMax) ||
+            doubleBits(a.residenceP50) != doubleBits(b.residenceP50) ||
+            doubleBits(a.residenceP90) != doubleBits(b.residenceP90) ||
+            doubleBits(a.residenceP99) != doubleBits(b.residenceP99) ||
+            doubleBits(a.residenceMax) != doubleBits(b.residenceMax))
+            return false;
+    }
     return flatIndex == other.flatIndex &&
            configFp == other.configFp && runFp == other.runFp &&
            masterSeed == other.masterSeed && mode == other.mode &&
@@ -108,6 +125,17 @@ makeSweepRecord(std::size_t flat_index, const SystemConfig &config,
     record.converged = true;
     record.mean = value;
     record.halfWidth = 0.0;
+    return record;
+}
+
+PointRecord
+makeSweepRecord(std::size_t flat_index, const SystemConfig &config,
+                const PointSample &sample)
+{
+    PointRecord record = makeSweepRecord(flat_index, config, sample.ebw);
+    record.hasLatency = sample.hasLatency;
+    if (sample.hasLatency)
+        record.latency = sample.latency;
     return record;
 }
 
@@ -166,7 +194,31 @@ formatRecord(const PointRecord &record)
     out += formatDouble(record.halfWidth);
     out += ",\"hw_bits\":\"";
     out += formatFingerprint(doubleBits(record.halfWidth));
-    out += "\"}";
+    out += '"';
+    if (record.hasLatency) {
+        const auto pair = [&](const char *key, double value) {
+            out += ",\"";
+            out += key;
+            out += "\":";
+            out += formatDouble(value);
+            out += ",\"";
+            out += key;
+            out += "_bits\":\"";
+            out += formatFingerprint(doubleBits(value));
+            out += '"';
+        };
+        out += ",\"lat_n\":";
+        out += std::to_string(record.latency.samples);
+        pair("lw50", record.latency.waitP50);
+        pair("lw90", record.latency.waitP90);
+        pair("lw99", record.latency.waitP99);
+        pair("lwmax", record.latency.waitMax);
+        pair("lr50", record.latency.residenceP50);
+        pair("lr90", record.latency.residenceP90);
+        pair("lr99", record.latency.residenceP99);
+        pair("lrmax", record.latency.residenceMax);
+    }
+    out += '}';
     return out;
 }
 
@@ -469,6 +521,28 @@ parseRecord(const std::string &line, PointRecord &out,
         return false;
     if (!takeDoublePair("hw", "hw_bits", record.halfWidth))
         return false;
+
+    // Optional latency group: lat_n's presence commits the record to
+    // the full key set, so a partially written group still fails.
+    if (fields.count("lat_n") != 0) {
+        record.hasLatency = true;
+        if (!take("lat_n", RawValue::Kind::Number, text))
+            return false;
+        if (!parseUnsigned(text, record.latency.samples)) {
+            error = "'lat_n' is not an unsigned integer: " + text;
+            return false;
+        }
+        LatencySummary &lat = record.latency;
+        if (!takeDoublePair("lw50", "lw50_bits", lat.waitP50) ||
+            !takeDoublePair("lw90", "lw90_bits", lat.waitP90) ||
+            !takeDoublePair("lw99", "lw99_bits", lat.waitP99) ||
+            !takeDoublePair("lwmax", "lwmax_bits", lat.waitMax) ||
+            !takeDoublePair("lr50", "lr50_bits", lat.residenceP50) ||
+            !takeDoublePair("lr90", "lr90_bits", lat.residenceP90) ||
+            !takeDoublePair("lr99", "lr99_bits", lat.residenceP99) ||
+            !takeDoublePair("lrmax", "lrmax_bits", lat.residenceMax))
+            return false;
+    }
 
     if (!fields.empty()) {
         error = "unknown key '" + fields.begin()->first + "'";

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.hh"
 #include "exec/adaptive.hh"
 
 namespace sbn {
@@ -73,6 +74,16 @@ struct PointRecord
     double mean = 0.0;               //!< point value / estimate mean
     double halfWidth = 0.0;          //!< CI half-width (0 for sweep)
 
+    /**
+     * Latency quantile summary (sbn.point.v3): present on plain-sweep
+     * records produced with config.collectLatency. Optional in the
+     * record grammar - latency-off records omit the lat_* keys
+     * entirely, keeping their byte layout v2-shaped apart from the
+     * type tag.
+     */
+    bool hasLatency = false;
+    LatencySummary latency;
+
     /** Field-wise equality with doubles compared bit-for-bit. */
     bool bitIdentical(const PointRecord &other) const;
 };
@@ -89,6 +100,12 @@ std::uint64_t adaptiveRunFingerprint(std::uint64_t config_fp,
 PointRecord makeSweepRecord(std::size_t flat_index,
                             const SystemConfig &config, double value);
 
+/** The record of one plain-sweep point evaluated to a PointSample:
+ *  carries the latency summary when the sample collected one. */
+PointRecord makeSweepRecord(std::size_t flat_index,
+                            const SystemConfig &config,
+                            const PointSample &sample);
+
 /** The record of one adaptive-precision point. */
 PointRecord makeAdaptiveRecord(std::size_t flat_index,
                                const SystemConfig &config,
@@ -102,8 +119,10 @@ std::string formatRecord(const PointRecord &record);
 /**
  * Parse one record line. Strict: the line must be a flat JSON object
  * carrying exactly the expected keys (any order), with types, the
- * "sbn.point.v1" type tag, a known mode, and decimal/bit double pairs
- * that agree. On failure returns false and sets @p error.
+ * "sbn.point.v3" type tag, a known mode, and decimal/bit double pairs
+ * that agree. The lat_* latency keys are the one optional group: all
+ * present (and consistent) or all absent. On failure returns false
+ * and sets @p error.
  */
 bool parseRecord(const std::string &line, PointRecord &out,
                  std::string &error);

@@ -227,6 +227,46 @@ runShardSweep(
 }
 
 ShardRunStats
+runShardSweep(
+    const std::vector<SystemConfig> &points, const ShardSpec &shard,
+    ShardLayout layout,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume, unsigned threads)
+{
+    const auto expected = ownedFingerprints(
+        points, shard, layout,
+        [](std::uint64_t fp) { return sweepRunFingerprint(fp); });
+
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+
+    return runShardCommon(
+        points.size(), shard, layout, expected, out_path, resume,
+        [&](const std::vector<std::size_t> &missing,
+            RecordWriter &writer) {
+            runner.stream<PointSample>(
+                missing.size(),
+                [&](std::size_t k) {
+                    return evaluate(points[missing[k]]);
+                },
+                [&](std::size_t k, const PointSample &sample) {
+                    writer.add(makeSweepRecord(
+                        missing[k], points[missing[k]], sample));
+                });
+        });
+}
+
+ShardRunStats
+runShardSweep(
+    const SweepSpec &spec, const ShardSpec &shard, ShardLayout layout,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume, unsigned threads)
+{
+    return runShardSweep(spec.materialize(), shard, layout, evaluate,
+                         out_path, resume, threads);
+}
+
+ShardRunStats
 runShardAdaptive(
     const std::vector<SystemConfig> &points, const ShardSpec &shard,
     ShardLayout layout, const PrecisionTarget &target,
@@ -292,6 +332,33 @@ runStolenPointsSweep(
         [&](std::size_t index, const SystemConfig &cfg,
             double value) {
             writer.add(makeSweepRecord(index, cfg, value));
+        });
+
+    ShardRunStats stats;
+    stats.owned = stolen.size();
+    stats.computed = stolen.size();
+    return stats;
+}
+
+ShardRunStats
+runStolenPointsSweep(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
+    const std::string &out_path, unsigned threads)
+{
+    checkStolenIndices(stolen, points.size());
+
+    ParallelRunner &runner = sharedParallelRunner(
+        threads != 0 ? threads : defaultExecThreads());
+
+    RecordWriter writer(out_path, /*append=*/false);
+    runner.stream<PointSample>(
+        stolen.size(),
+        [&](std::size_t k) { return evaluate(points[stolen[k]]); },
+        [&](std::size_t k, const PointSample &sample) {
+            writer.add(
+                makeSweepRecord(stolen[k], points[stolen[k]], sample));
         });
 
     ShardRunStats stats;

@@ -72,6 +72,27 @@ ShardRunStats runShardSweep(
     unsigned threads = 0);
 
 /**
+ * PointSample-typed plain sweep shard: identical planning, resume
+ * and record order, but records carry the sample's latency summary
+ * when present (e.g. evaluate = runPointSample under
+ * config.collectLatency). EBW values are bit-identical to the
+ * double-typed path for the same points.
+ */
+ShardRunStats runShardSweep(
+    const std::vector<SystemConfig> &points, const ShardSpec &shard,
+    ShardLayout layout,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+/** PointSample-typed runShardSweep() over a SweepSpec. */
+ShardRunStats runShardSweep(
+    const SweepSpec &spec, const ShardSpec &shard, ShardLayout layout,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
+    const std::string &out_path, bool resume = false,
+    unsigned threads = 0);
+
+/**
  * Run shard @p shard of an adaptive-precision sweep: each owned point
  * replicates (seeds derived from its config.seed) until @p target or
  * the @p schedule cap, exactly as the single-process adaptive sweep
@@ -106,6 +127,13 @@ ShardRunStats runStolenPointsSweep(
     const std::vector<SystemConfig> &points,
     const std::vector<std::size_t> &stolen,
     const std::function<double(const SystemConfig &)> &evaluate,
+    const std::string &out_path, unsigned threads = 0);
+
+/** PointSample-typed stolen slice (see the shard overload above). */
+ShardRunStats runStolenPointsSweep(
+    const std::vector<SystemConfig> &points,
+    const std::vector<std::size_t> &stolen,
+    const std::function<PointSample(const SystemConfig &)> &evaluate,
     const std::string &out_path, unsigned threads = 0);
 
 /** Stolen-slice variant of runShardAdaptive(). */

@@ -130,6 +130,12 @@ struct ShardSupervisor::Task
     Clock::time_point wakeAt;       //!< backoff deadline
     long long lastSize = -1;        //!< liveness: last seen file size
     Clock::time_point lastProgress; //!< liveness: last growth time
+
+    // Span tracing (zero when off): the open attempt span and, while
+    // the task waits in Backoff, when that wait started.
+    std::uint64_t attemptSpanId = 0;
+    std::uint64_t attemptStartUs = 0;
+    std::uint64_t backoffStartUs = 0;
 };
 
 ShardSupervisor::ShardSupervisor(SupervisorConfig config,
@@ -164,6 +170,19 @@ ShardSupervisor::spawn(Task &task)
     const std::string what =
         task.work.steal ? "steal task"
                         : "shard " + task.work.shard.toString();
+    // Trace: the attempt span's id is allocated before the fork so
+    // the child can parent its own spans under it; the span itself is
+    // emitted parent-side when the worker is reaped. A pending
+    // backoff wait closes here - the respawn ends it.
+    task.attemptSpanId = traceAllocSpanId();
+    task.attemptStartUs = traceNowMicros();
+    if (task.backoffStartUs != 0) {
+        traceEmitSpan(trace_, "backoff", what + " backoff",
+                      runSpanId_, task.backoffStartUs,
+                      task.attemptStartUs,
+                      {{"attempt", std::to_string(task.launches)}});
+        task.backoffStartUs = 0;
+    }
     const pid_t supervisorPid = ::getpid();
     const pid_t pid = ::fork();
     if (pid < 0)
@@ -190,6 +209,8 @@ ShardSupervisor::spawn(Task &task)
         setFaultProcessScope(task.work.steal ? kFaultNoShard
                                              : task.work.shard.index,
                              task.work.attempt);
+        if (task.attemptSpanId != 0)
+            exportTraceContext({trace_.traceId, task.attemptSpanId});
         try {
             body_(task.work);
         } catch (...) {
@@ -205,8 +226,38 @@ ShardSupervisor::spawn(Task &task)
 }
 
 void
+ShardSupervisor::closeAttemptSpan(Task &task, const char *outcome,
+                                  int status, bool hung)
+{
+    if (task.attemptSpanId == 0)
+        return;
+    std::vector<TraceAttr> attrs = {
+        {"outcome", outcome},
+        {"attempt", std::to_string(task.work.attempt)},
+    };
+    if (task.work.steal)
+        attrs.emplace_back("steal_points",
+                           std::to_string(task.work.points.size()));
+    else
+        attrs.emplace_back("shard", task.work.shard.toString());
+    if (status != 0)
+        attrs.emplace_back("status", describeWaitStatus(status));
+    if (hung)
+        attrs.emplace_back("hung", "1");
+    traceEmitSpanWithId(
+        trace_, task.attemptSpanId, "attempt",
+        task.work.steal
+            ? "steal attempt"
+            : "shard " + task.work.shard.toString() + " attempt " +
+                  std::to_string(task.work.attempt),
+        runSpanId_, task.attemptStartUs, traceNowMicros(), attrs);
+    task.attemptSpanId = 0;
+}
+
+void
 ShardSupervisor::handleFailure(Task &task, int status, bool hung)
 {
+    closeAttemptSpan(task, "fail", status, hung);
     task.lastStatus = status;
     task.everHung = task.everHung || hung;
     task.pid = -1;
@@ -244,6 +295,7 @@ ShardSupervisor::handleFailure(Task &task, int status, bool hung)
     task.wakeAt = Clock::now() +
                   std::chrono::microseconds(
                       static_cast<long long>(seconds * 1e6));
+    task.backoffStartUs = traceNowMicros();
     ++report_.respawns;
     telemetryAdd(TelemetryCounter::SupervisorRespawns, 1);
     sbn_warn("supervisor: shard ", task.work.shard.toString(),
@@ -270,6 +322,7 @@ ShardSupervisor::reapExited()
             return;
         }
         if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            closeAttemptSpan(task, "ok", 0, false);
             task.state = ShardState::Done;
             task.pid = -1;
         } else {
@@ -312,6 +365,10 @@ ShardSupervisor::killHungWorkers()
                  config_.hangTimeoutSeconds,
                  "s; killing the hung worker (pid ", task.pid, ")");
         ::kill(task.pid, SIGKILL);
+        const std::uint64_t killUs = traceNowMicros();
+        traceEmitSpan(trace_, "hang_kill", what + " hang kill",
+                      task.attemptSpanId, killUs, killUs,
+                      {{"pid", std::to_string(task.pid)}});
         telemetryAdd(TelemetryCounter::SupervisorHangKills, 1);
         int status = 0;
         ::waitpid(task.pid, &status, 0);
@@ -507,6 +564,7 @@ ShardSupervisor::killAndReapAllWorkers()
         ::kill(task.pid, SIGKILL);
         int status = 0;
         ::waitpid(task.pid, &status, 0);
+        closeAttemptSpan(task, "interrupted", status, false);
         task.lastStatus = status;
         task.pid = -1;
         task.state = ShardState::Exhausted;
@@ -524,6 +582,17 @@ ShardSupervisor::run()
     // supervisor must not orphan its forked workers. Children reset
     // the handlers after fork (spawn()), so only this process defers.
     SignalGuard guard;
+
+    // Trace: the whole supervised run is one span, parented under
+    // whatever context launched this process (the daemon's job span,
+    // or nothing for a root CLI run).
+    if (traceEnabled()) {
+        trace_ = inheritedTraceContext();
+        if (!trace_.valid())
+            trace_.traceId = newTraceId();
+        runSpanId_ = traceAllocSpanId();
+        runStartUs_ = traceNowMicros();
+    }
 
     for (;;) {
         if (g_supervisorSignal != 0) {
@@ -582,6 +651,16 @@ ShardSupervisor::run()
         outcome.everHung = task.everHung;
         report_.shards.push_back(outcome);
     }
+
+    if (runSpanId_ != 0)
+        traceEmitSpanWithId(
+            trace_, runSpanId_, "supervise", "supervise fleet",
+            trace_.spanId, runStartUs_, traceNowMicros(),
+            {{"shards", std::to_string(config_.shardCount)},
+             {"respawns", std::to_string(report_.respawns)},
+             {"steal_launches",
+              std::to_string(report_.stealLaunches)},
+             {"complete", report_.complete ? "1" : "0"}});
     return report_;
 }
 

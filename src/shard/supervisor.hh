@@ -59,6 +59,7 @@
 
 #include "shard/merge.hh"
 #include "shard/plan.hh"
+#include "trace/span.hh"
 #include "util/exit_codes.hh" // kPartialResultExit lives there now
 
 namespace sbn {
@@ -242,6 +243,8 @@ class ShardSupervisor
                      std::size_t victim);
     std::size_t stealLaunches() const;
     void handleFailure(Task &task, int status, bool hung);
+    void closeAttemptSpan(Task &task, const char *outcome, int status,
+                          bool hung);
     std::vector<bool> satisfiedPoints() const;
     std::vector<std::string> existingRecordFiles() const;
     std::size_t runningCount() const;
@@ -255,6 +258,14 @@ class ShardSupervisor
     PeriodicGate stealScanGate_{std::chrono::milliseconds(250)};
     bool stealBroken_ = false; //!< a steal worker failed; stop stealing
     SupervisorReport report_;
+
+    // Span tracing (trace/span.hh); all zero when SBN_TRACE_DIR is
+    // unset. Each worker launch is one "attempt" span whose id is
+    // allocated before the fork and exported to the child, so worker
+    // processes parent their own spans under it.
+    TraceContext trace_;          //!< this fleet's trace coordinates
+    std::uint64_t runSpanId_ = 0; //!< the whole run's "supervise" span
+    std::uint64_t runStartUs_ = 0;
 };
 
 /** Canonical manifest path: dir/missing-points.json. */

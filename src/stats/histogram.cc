@@ -2,18 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "core/fingerprint.hh"
 #include "util/logging.hh"
 
 namespace sbn {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      bins_(bins, 0)
+    : Histogram(HistogramScale::Linear, lo, hi, bins)
+{
+}
+
+Histogram::Histogram(HistogramScale scale, double lo, double hi,
+                     std::size_t bins)
+    : scale_(scale), lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins)), bins_(bins, 0)
 {
     sbn_assert(hi > lo, "histogram range must be non-empty");
     sbn_assert(bins >= 1, "histogram needs at least one bin");
+    if (scale_ == HistogramScale::Log) {
+        sbn_assert(lo > 0.0, "log-scale histogram requires lo > 0");
+        logLo_ = std::log(lo_);
+        logStep_ = (std::log(hi_) - logLo_) / static_cast<double>(bins);
+    }
+}
+
+Histogram
+Histogram::logScale(double lo, double hi, std::size_t bins)
+{
+    return Histogram(HistogramScale::Log, lo, hi, bins);
 }
 
 void
@@ -21,10 +40,19 @@ Histogram::add(double sample)
 {
     ++count_;
     sum_ += sample;
+    if (count_ == 1 || sample > maxSample_)
+        maxSample_ = sample;
     if (sample < lo_) {
         ++underflow_;
     } else if (sample >= hi_) {
         ++overflow_;
+    } else if (scale_ == HistogramScale::Log) {
+        // Rounding in log() can push a sample fractionally across a
+        // bin edge but never outside [0, bins): clamp both ends.
+        const double t = (std::log(sample) - logLo_) / logStep_;
+        auto idx = static_cast<std::size_t>(std::max(t, 0.0));
+        idx = std::min(idx, bins_.size() - 1);
+        ++bins_[idx];
     } else {
         auto idx = static_cast<std::size_t>((sample - lo_) / width_);
         idx = std::min(idx, bins_.size() - 1);
@@ -41,7 +69,16 @@ Histogram::mean() const
 double
 Histogram::binLow(std::size_t i) const
 {
+    if (scale_ == HistogramScale::Log)
+        return std::exp(logLo_ + logStep_ * static_cast<double>(i));
     return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::maxSample() const
+{
+    return count_ ? maxSample_
+                  : std::numeric_limits<double>::quiet_NaN();
 }
 
 double
@@ -49,7 +86,7 @@ Histogram::quantile(double q) const
 {
     sbn_assert(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
     if (count_ == 0)
-        return lo_;
+        return std::numeric_limits<double>::quiet_NaN();
     const auto target = static_cast<std::uint64_t>(
         std::ceil(q * static_cast<double>(count_)));
     std::uint64_t seen = underflow_;
@@ -58,9 +95,41 @@ Histogram::quantile(double q) const
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         seen += bins_[i];
         if (seen >= target)
-            return binLow(i) + width_;
+            return binLow(i + 1);
     }
+    // Only overflow mass remains (including the all-overflow case).
     return hi_;
+}
+
+bool
+Histogram::compatibleWith(const Histogram &other) const
+{
+    return scale_ == other.scale_ && lo_ == other.lo_ &&
+           hi_ == other.hi_ && bins_.size() == other.bins_.size();
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (!compatibleWith(other)) {
+        sbn_fatal("histogram merge with incompatible bin layout: ",
+                  "[", lo_, ", ", hi_, ") x", bins_.size(),
+                  (scale_ == HistogramScale::Log ? " log" : " linear"),
+                  " vs [", other.lo_, ", ", other.hi_, ") x",
+                  other.bins_.size(),
+                  (other.scale_ == HistogramScale::Log ? " log"
+                                                       : " linear"));
+    }
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    if (other.count_ &&
+        (count_ == 0 || other.maxSample_ > maxSample_)) {
+        maxSample_ = other.maxSample_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 std::string
@@ -74,17 +143,46 @@ Histogram::render(std::size_t width) const
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         if (!bins_[i])
             continue;
-        const auto bar = static_cast<std::size_t>(
-            static_cast<double>(bins_[i]) / static_cast<double>(peak) *
-            static_cast<double>(width));
-        os << '[' << binLow(i) << ", " << binLow(i) + width_ << ") "
-           << std::string(std::max<std::size_t>(bar, 1), '#') << ' '
-           << bins_[i] << '\n';
+        os << '[' << binLow(i) << ", " << binLow(i + 1) << ") "
+           << std::string(
+                  std::max<std::size_t>(
+                      static_cast<std::size_t>(
+                          static_cast<double>(bins_[i]) /
+                          static_cast<double>(peak) *
+                          static_cast<double>(width)),
+                      1),
+                  '#')
+           << ' ' << bins_[i] << '\n';
     }
     if (underflow_)
         os << "underflow " << underflow_ << '\n';
     if (overflow_)
         os << "overflow " << overflow_ << '\n';
+    return os.str();
+}
+
+std::string
+Histogram::renderFlatJson() const
+{
+    std::ostringstream os;
+    os << "{\"type\":\"sbn.hist.v1\",\"scale\":\""
+       << (scale_ == HistogramScale::Log ? "log" : "linear")
+       << "\",\"lo\":" << formatExactDouble(lo_)
+       << ",\"hi\":" << formatExactDouble(hi_)
+       << ",\"bins\":" << bins_.size() << ",\"count\":" << count_
+       << ",\"underflow\":" << underflow_
+       << ",\"overflow\":" << overflow_
+       << ",\"sum\":" << formatExactDouble(sum_) << ",\"counts\":\"";
+    bool first = true;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        if (!bins_[i])
+            continue;
+        if (!first)
+            os << ' ';
+        os << i << ':' << bins_[i];
+        first = false;
+    }
+    os << "\"}";
     return os.str();
 }
 
@@ -94,6 +192,7 @@ Histogram::reset()
     std::fill(bins_.begin(), bins_.end(), 0);
     underflow_ = overflow_ = count_ = 0;
     sum_ = 0.0;
+    maxSample_ = 0.0;
 }
 
 } // namespace sbn

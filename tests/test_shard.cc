@@ -194,9 +194,9 @@ TEST(PointRecordIo, StrictParserRejectsTampering)
     PointRecord parsed;
     std::string error;
 
-    // Unknown type tag (v1 records predate the workload field).
+    // Unknown type tag (v2 records predate the latency group).
     std::string bad = good;
-    bad.replace(bad.find("sbn.point.v2"), 12, "sbn.point.v1");
+    bad.replace(bad.find("sbn.point.v3"), 12, "sbn.point.v2");
     EXPECT_FALSE(parseRecord(bad, parsed, error));
 
     // Empty workload name.

@@ -189,6 +189,140 @@ TEST(Histogram, ResetClears)
     EXPECT_EQ(h.binCount(0), 0u);
 }
 
+TEST(Histogram, LogScaleBinsArePowers)
+{
+    // logScale(1, 1024, 10) puts bin edges at exact powers of two.
+    Histogram h = Histogram::logScale(1.0, 1024.0, 10);
+    for (std::size_t i = 0; i <= 10; ++i)
+        EXPECT_NEAR(h.binLow(i), std::pow(2.0, static_cast<double>(i)),
+                    1e-9)
+            << "edge " << i;
+
+    h.add(1.0);    // first bin, inclusive lower edge
+    h.add(1.99);   // still [1, 2)
+    h.add(2.0);    // [2, 4)
+    h.add(3.0);    // [2, 4)
+    h.add(512.0);  // last bin [512, 1024)
+    h.add(1023.0); // last bin
+    h.add(0.5);    // below lo -> underflow
+    h.add(1024.0); // hi is exclusive -> overflow
+
+    EXPECT_EQ(h.count(), 8u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsNaN)
+{
+    const Histogram h(0.0, 1.0, 4);
+    EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+    EXPECT_TRUE(std::isnan(h.maxSample()));
+}
+
+TEST(Histogram, QuantileSaturatesAtRangeEnds)
+{
+    // All mass in overflow: every quantile resolves to hi (the
+    // histogram cannot see past its range). All mass in underflow
+    // resolves to lo symmetrically.
+    Histogram over(0.0, 10.0, 10);
+    over.add(50.0);
+    over.add(99.0);
+    EXPECT_DOUBLE_EQ(over.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(over.quantile(1.0), 10.0);
+
+    Histogram under(1.0, 10.0, 10);
+    under.add(0.25);
+    under.add(0.5);
+    EXPECT_DOUBLE_EQ(under.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(under.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, MergeMatchesSequentialFill)
+{
+    Histogram whole = Histogram::logScale(1.0, 4096.0, 24);
+    Histogram left = Histogram::logScale(1.0, 4096.0, 24);
+    Histogram right = Histogram::logScale(1.0, 4096.0, 24);
+
+    RandomGenerator rng(77);
+    for (int i = 0; i < 2000; ++i) {
+        // Integer-valued samples (cycle counts) are the production
+        // contract; their running sum is exact, making the merged
+        // flat JSON byte-identical to the sequential fill.
+        const double v = std::floor(rng.uniformReal() * 8192.0);
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_EQ(left.underflow(), whole.underflow());
+    EXPECT_EQ(left.overflow(), whole.overflow());
+    EXPECT_DOUBLE_EQ(left.maxSample(), whole.maxSample());
+    // Byte-identical flat JSON is the contract sharded runs rely on.
+    EXPECT_EQ(left.renderFlatJson(), whole.renderFlatJson());
+}
+
+TEST(Histogram, MergeWithEmptyKeepsStats)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(3.0);
+    h.add(7.0);
+    const std::string before = h.renderFlatJson();
+
+    const Histogram empty(0.0, 10.0, 5);
+    h.merge(empty);
+    EXPECT_EQ(h.renderFlatJson(), before);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 7.0);
+
+    Histogram fresh(0.0, 10.0, 5);
+    fresh.merge(h);
+    EXPECT_EQ(fresh.renderFlatJson(), before);
+    EXPECT_DOUBLE_EQ(fresh.maxSample(), 7.0);
+}
+
+TEST(Histogram, MergeIncompatibleLayoutDies)
+{
+    Histogram linear(0.0, 10.0, 10);
+    Histogram shifted(0.0, 20.0, 10);
+    EXPECT_DEATH(linear.merge(shifted), "incompatible bin layout");
+
+    Histogram log = Histogram::logScale(1.0, 10.0, 10);
+    Histogram sameEdgesLinear(1.0, 10.0, 10);
+    EXPECT_DEATH(sameEdgesLinear.merge(log), "incompatible bin layout");
+}
+
+TEST(Histogram, FlatJsonIsInsertionOrderInvariant)
+{
+    Histogram forward = Histogram::logScale(1.0, 1048576.0, 120);
+    Histogram backward = Histogram::logScale(1.0, 1048576.0, 120);
+    std::vector<double> samples;
+    RandomGenerator rng(5);
+    for (int i = 0; i < 500; ++i)
+        samples.push_back(std::floor(1.0 + rng.uniformReal() * 2e6));
+    for (double v : samples)
+        forward.add(v);
+    for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+        backward.add(*it);
+    EXPECT_EQ(forward.renderFlatJson(), backward.renderFlatJson());
+
+    // Sparse counts: empty bins are omitted, so a tiny histogram
+    // renders a short, predictable line.
+    Histogram tiny(0.0, 4.0, 4);
+    tiny.add(0.5);
+    tiny.add(2.5);
+    tiny.add(2.6);
+    EXPECT_EQ(tiny.renderFlatJson(),
+              "{\"type\":\"sbn.hist.v1\",\"scale\":\"linear\","
+              "\"lo\":0,\"hi\":4,\"bins\":4,\"count\":3,"
+              "\"underflow\":0,\"overflow\":0,\"sum\":5.5999999999999996,"
+              "\"counts\":\"0:1 2:2\"}");
+}
+
 TEST(Replication, DeterministicSeedDerivation)
 {
     std::vector<std::uint64_t> seen_a, seen_b;

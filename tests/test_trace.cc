@@ -179,6 +179,57 @@ TEST(TraceSink, CategoryToggleEdgeCases)
     EXPECT_EQ(sink.records()[0].message, "kept");
 }
 
+TEST(TraceSink, WildcardPrefixFilter)
+{
+    TraceSink sink;
+    // A trailing '*' enables every category with that prefix,
+    // including the bare stem itself.
+    sink.enableOnly({"bus*"});
+    EXPECT_TRUE(sink.wants("bus"));
+    EXPECT_TRUE(sink.wants("bus.arb"));
+    EXPECT_TRUE(sink.wants("busload"));
+    EXPECT_FALSE(sink.wants("mem"));
+    EXPECT_FALSE(sink.wants("bu"));
+
+    sink.record(0, "bus.arb", "grant");
+    sink.record(1, "mem", "dropped");
+    ASSERT_EQ(sink.records().size(), 1u);
+    EXPECT_EQ(sink.records()[0].category, "bus.arb");
+
+    // Exact patterns and wildcards mix; the exact one does not
+    // become a prefix.
+    sink.enableOnly({"mem", "proc*"});
+    EXPECT_TRUE(sink.wants("mem"));
+    EXPECT_FALSE(sink.wants("mem.ctl"));
+    EXPECT_TRUE(sink.wants("proc"));
+    EXPECT_TRUE(sink.wants("proc3"));
+
+    // '*' anywhere but the end is not special.
+    sink.enableOnly({"b*s"});
+    EXPECT_FALSE(sink.wants("bus"));
+    EXPECT_TRUE(sink.wants("b*s"));
+}
+
+TEST(TraceSink, WildcardStarAloneAndReset)
+{
+    TraceSink sink;
+    // A bare "*" matches everything (empty prefix) while keeping
+    // the filter active - distinct from enableAll only in intent.
+    sink.enableOnly({"*"});
+    EXPECT_TRUE(sink.wants("bus"));
+    EXPECT_TRUE(sink.wants("anything"));
+
+    // Re-narrowing replaces wildcards too, and enableAll clears
+    // remembered prefixes so a later enableOnly starts from scratch.
+    sink.enableOnly({"mem"});
+    EXPECT_FALSE(sink.wants("bus.arb"));
+    sink.enableOnly({"bus*"});
+    sink.enableAll();
+    sink.enableOnly({"mem"});
+    EXPECT_FALSE(sink.wants("bus.arb"));
+    EXPECT_TRUE(sink.wants("mem"));
+}
+
 TEST(TraceIntegration, UncontendedCycleSequence)
 {
     // n = 1, m = 1, r = 3: the first processor cycle is fully

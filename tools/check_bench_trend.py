@@ -36,11 +36,28 @@ Usage:
         [--json SUMMARY]
 
 --json SUMMARY additionally writes a machine-readable summary of the
-run to SUMMARY ('-' = stdout): one object with the judged tolerance,
-a per-row list (name, kernel, baseline/current cycles/s, changes,
-verdict) and the flat failure/warning message lists, so CI can
-annotate results without scraping the human output. The exit code is
-unchanged by --json.
+run to SUMMARY ('-' = stdout), so CI can annotate results without
+scraping the human output. The exit code is unchanged by --json.
+
+The summary schema is "sbn.bench_trend.v1" (one JSON object):
+
+    type       "sbn.bench_trend.v1" - consumers must check this tag
+               and reject unknown type values; schema changes bump it
+    baseline   path of the --baseline file as given
+    current    path of the --current file as given
+    tolerance  the judged fractional tolerance
+    normalized "classic", the --normalize-by value, or null
+    rows       one object per judged (name, kernel) pair: name,
+               kernel ("cycleskip"/"faststat"),
+               baseline_cycles_per_s, current_cycles_per_s,
+               abs_change, normalized_change or speedup_change,
+               judged ("absolute"/"normalized"/"speedup"),
+               verdict ("ok"/"abs-warn"/"REGRESSION"/"error"),
+               pass (bool); "error" rows carry a reason instead of
+               the numeric fields
+    failures   flat list of human-readable failure messages
+    warnings   flat list of human-readable warning messages
+    pass       overall verdict (true iff failures is empty)
 
 Samples that carry a "faststat" object in both files are additionally
 judged on the FastStat kernel. The yardstick there needs no flag:
@@ -65,9 +82,29 @@ import json
 import sys
 
 
-def load_samples(path):
-    with open(path) as handle:
-        doc = json.load(handle)
+def load_samples(path, role):
+    # A missing or unreadable file is an expected operational failure
+    # (a fresh checkout without the committed baseline, a bench run
+    # that never wrote its output), so it must exit with one clear
+    # message naming the file and its role, never a traceback.
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except FileNotFoundError:
+        hint = ("commit or restore the baseline (it is a checked-in "
+                "artifact)" if role == "baseline" else
+                "run bench_perf with SBN_BENCH_KERNEL_JSON set to "
+                "produce it")
+        sys.exit(f"error: {role} file {path} does not exist - {hint}")
+    except OSError as err:
+        sys.exit(f"error: cannot read {role} file {path}: "
+                 f"{err.strerror}")
+    except json.JSONDecodeError as err:
+        sys.exit(f"error: {role} file {path} is not valid JSON "
+                 f"(line {err.lineno}: {err.msg})")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {role} file {path} is not a JSON object - "
+                 "the bench output format changed")
     samples = doc.get("configs")
     if not isinstance(samples, list) or not samples:
         sys.exit(f"error: {path} carries no kernel-bench configs")
@@ -127,8 +164,8 @@ def main():
         sys.exit("error: --normalize and --normalize-by are "
                  "mutually exclusive")
 
-    baseline = load_samples(args.baseline)
-    current = load_samples(args.current)
+    baseline = load_samples(args.baseline, "baseline")
+    current = load_samples(args.current, "current")
     shared = sorted(set(baseline) & set(current))
     if not shared:
         sys.exit("error: no sample names shared between "

@@ -205,12 +205,14 @@ runSerial(const Options &opt)
                           << '\n';
             });
     } else {
-        runner.mapConfigsStreamed(
-            points, evaluateSweepPoint,
-            [&](std::size_t i, const SystemConfig &cfg,
-                double value) {
+        runner.stream<PointSample>(
+            points.size(),
+            [&](std::size_t i) {
+                return evaluateSweepPointSample(points[i]);
+            },
+            [&](std::size_t i, const PointSample &sample) {
                 std::cout << formatRecord(
-                                 makeSweepRecord(i, cfg, value))
+                                 makeSweepRecord(i, points[i], sample))
                           << '\n';
             });
     }
@@ -538,6 +540,11 @@ main(int argc, char **argv)
         g_telemetryDumpPath = opt.run.telemetryDump;
         std::atexit(dumpTelemetryAtExit);
     }
+
+    // A bare --trace shards spans into --dir; --trace=DIR overrides.
+    // An SBN_TRACE_DIR inherited from a parent (supervisor, daemon)
+    // always wins - armSweepTracing never re-points it.
+    armSweepTracing(opt.run, opt.dir);
 
     const bool has_shard = cli.has("shard");
     const bool has_merge = cli.getBool("merge", false);

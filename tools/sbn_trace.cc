@@ -1,0 +1,457 @@
+/**
+ * @file
+ * Trace-shard merger: turn the per-process sbn.trace.v1 span shards
+ * a traced run leaves behind (trace/span.hh) into one timeline.
+ *
+ *   sbn_trace --dir=DIR --merge [> trace.json]
+ *       Merge every trace-<pid>.jsonl shard under DIR into one
+ *       Chrome-trace-event JSON object ({"traceEvents":[...]}) that
+ *       Perfetto (ui.perfetto.dev) and chrome://tracing load
+ *       directly. Timestamps are rebased to the earliest span start,
+ *       events are sorted by start time, and every event carries its
+ *       trace/span/parent ids and attributes in "args".
+ *
+ *   sbn_trace --dir=DIR --summary
+ *       Human-readable digest: per-span-kind totals, the slowest
+ *       shard attempts, and each trace's critical path (the chain
+ *       from its root span following the latest-ending child).
+ *
+ *   sbn_trace --dir=DIR --check
+ *       Validation for CI: every shard line must parse as a complete
+ *       sbn.trace.v1 span, every span must close after it opens, and
+ *       every child must start no earlier than its parent (the spans
+ *       share one host's monotonic clock, so cross-process nesting
+ *       is checkable). Exits nonzero naming the first violation.
+ *
+ * The modes compose: --merge --check validates before emitting.
+ */
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace sbn;
+
+/** One parsed sbn.trace.v1 span. */
+struct TraceSpan
+{
+    std::uint64_t trace = 0;
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+    std::string kind;
+    std::string name;
+    long long pid = 0;
+    std::uint64_t startUs = 0;
+    std::uint64_t endUs = 0;
+    std::vector<std::pair<std::string, std::string>> attrs;
+    std::string file; //!< shard the span came from (diagnostics)
+    std::size_t line = 0;
+};
+
+bool
+parseHexId(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text.size() > 16 ||
+        text.find_first_not_of("0123456789abcdef") !=
+            std::string::npos)
+        return false;
+    out = std::strtoull(text.c_str(), nullptr, 16);
+    return true;
+}
+
+/** The trace-<pid>.jsonl shards under @p dir, sorted by name. */
+std::vector<std::string>
+findShards(const std::string &dir)
+{
+    DIR *handle = ::opendir(dir.c_str());
+    if (handle == nullptr)
+        sbn_fatal("cannot open trace directory '", dir, "'");
+    std::vector<std::string> shards;
+    while (dirent *entry = ::readdir(handle)) {
+        const std::string name = entry->d_name;
+        if (name.size() > 12 && name.compare(0, 6, "trace-") == 0 &&
+            name.compare(name.size() - 6, 6, ".jsonl") == 0)
+            shards.push_back(dir + "/" + name);
+    }
+    ::closedir(handle);
+    std::sort(shards.begin(), shards.end());
+    return shards;
+}
+
+/**
+ * Parse one shard line into @p span; on failure @p error says why.
+ * Unknown a_-prefixed keys become attributes; unknown bare keys are
+ * an error (the format is versioned precisely so drift is loud).
+ */
+bool
+parseSpanLine(const std::string &line, TraceSpan &span,
+              std::string &error)
+{
+    JsonObject fields;
+    if (!parseFlatJsonObject(line, fields, error))
+        return false;
+    const auto text = [&](const char *key, std::string &out) {
+        const auto it = fields.find(key);
+        if (it == fields.end() ||
+            it->second.kind != JsonScalar::Kind::String) {
+            error = std::string("missing string field '") + key + "'";
+            return false;
+        }
+        out = it->second.text;
+        fields.erase(it);
+        return true;
+    };
+    const auto number = [&](const char *key, std::uint64_t &out,
+                            bool &ok) {
+        const auto it = fields.find(key);
+        if (it == fields.end() ||
+            it->second.kind != JsonScalar::Kind::Number ||
+            it->second.number < 0) {
+            error = std::string("missing numeric field '") + key + "'";
+            ok = false;
+            return;
+        }
+        out = static_cast<std::uint64_t>(it->second.number);
+        fields.erase(it);
+    };
+
+    std::string type, traceHex, spanHex, parentHex;
+    if (!text("type", type) || !text("trace", traceHex) ||
+        !text("span", spanHex) || !text("parent", parentHex) ||
+        !text("kind", span.kind) || !text("name", span.name))
+        return false;
+    if (type != "sbn.trace.v1") {
+        error = "unknown record type '" + type + "'";
+        return false;
+    }
+    if (!parseHexId(traceHex, span.trace) ||
+        !parseHexId(spanHex, span.span) ||
+        !parseHexId(parentHex, span.parent)) {
+        error = "malformed trace/span/parent id";
+        return false;
+    }
+    if (span.span == 0) {
+        error = "span id must be nonzero";
+        return false;
+    }
+    bool ok = true;
+    std::uint64_t pid = 0;
+    number("pid", pid, ok);
+    number("start_us", span.startUs, ok);
+    number("end_us", span.endUs, ok);
+    if (!ok)
+        return false;
+    span.pid = static_cast<long long>(pid);
+
+    for (const auto &pair : fields) {
+        if (pair.first.compare(0, 2, "a_") != 0 ||
+            pair.second.kind != JsonScalar::Kind::String) {
+            error = "unexpected field '" + pair.first + "'";
+            return false;
+        }
+        span.attrs.emplace_back(pair.first.substr(2),
+                                pair.second.text);
+    }
+    return true;
+}
+
+/** Load every span from every shard; fatal on unreadable files. */
+std::vector<TraceSpan>
+loadSpans(const std::vector<std::string> &shards)
+{
+    std::vector<TraceSpan> spans;
+    for (const std::string &path : shards) {
+        std::ifstream in(path);
+        if (!in.is_open())
+            sbn_fatal("cannot open trace shard '", path, "'");
+        std::string line;
+        std::size_t lineNo = 0;
+        while (std::getline(in, line)) {
+            ++lineNo;
+            if (line.empty())
+                continue;
+            TraceSpan span;
+            std::string error;
+            if (!parseSpanLine(line, span, error))
+                sbn_fatal(path, ":", lineNo, ": bad span line: ",
+                          error);
+            span.file = path;
+            span.line = lineNo;
+            spans.push_back(std::move(span));
+        }
+    }
+    return spans;
+}
+
+/**
+ * Structural validation: intervals must close after they open, and a
+ * child must not start before its parent (all spans of one run share
+ * the host's monotonic clock). Prints the first violation and
+ * returns false.
+ */
+bool
+checkSpans(const std::vector<TraceSpan> &spans)
+{
+    std::map<std::uint64_t, const TraceSpan *> byId;
+    for (const TraceSpan &span : spans) {
+        if (span.endUs < span.startUs) {
+            std::fprintf(stderr,
+                         "sbn_trace: %s:%zu: span '%s' ends before "
+                         "it starts (%llu < %llu)\n",
+                         span.file.c_str(), span.line,
+                         span.name.c_str(),
+                         static_cast<unsigned long long>(span.endUs),
+                         static_cast<unsigned long long>(
+                             span.startUs));
+            return false;
+        }
+        byId[span.span] = &span;
+    }
+    for (const TraceSpan &span : spans) {
+        if (span.parent == 0)
+            continue;
+        const auto it = byId.find(span.parent);
+        if (it == byId.end())
+            continue; // parent's process died before emitting: fine
+        const TraceSpan &parent = *it->second;
+        if (span.trace == parent.trace &&
+            span.startUs < parent.startUs) {
+            std::fprintf(
+                stderr,
+                "sbn_trace: %s:%zu: span '%s' starts before its "
+                "parent '%s' (%llu < %llu)\n",
+                span.file.c_str(), span.line, span.name.c_str(),
+                parent.name.c_str(),
+                static_cast<unsigned long long>(span.startUs),
+                static_cast<unsigned long long>(parent.startUs));
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Chrome trace-event JSON on stdout (Perfetto-loadable). */
+void
+emitChromeTrace(std::vector<TraceSpan> spans)
+{
+    std::uint64_t base = ~0ull;
+    for (const TraceSpan &span : spans)
+        base = std::min(base, span.startUs);
+    if (spans.empty())
+        base = 0;
+    std::sort(spans.begin(), spans.end(),
+              [](const TraceSpan &a, const TraceSpan &b) {
+                  return a.startUs != b.startUs
+                             ? a.startUs < b.startUs
+                             : a.span < b.span;
+              });
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceSpan &span : spans) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":\"" + jsonEscape(span.name) +
+               "\",\"cat\":\"" + jsonEscape(span.kind) +
+               "\",\"ph\":\"X\",\"ts\":" +
+               std::to_string(span.startUs - base) +
+               ",\"dur\":" +
+               std::to_string(span.endUs - span.startUs) +
+               ",\"pid\":" + std::to_string(span.pid) +
+               ",\"tid\":" + std::to_string(span.pid) +
+               ",\"args\":{\"trace\":\"" + hex16(span.trace) +
+               "\",\"span\":\"" + hex16(span.span) +
+               "\",\"parent\":\"" + hex16(span.parent) + "\"";
+        for (const auto &attr : span.attrs)
+            out += ",\"" + jsonEscape(attr.first) + "\":\"" +
+                   jsonEscape(attr.second) + "\"";
+        out += "}}";
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stdout);
+}
+
+std::string
+seconds(std::uint64_t micros)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3fs",
+                  static_cast<double>(micros) / 1e6);
+    return buf;
+}
+
+/** Per-kind totals, slowest attempts, per-trace critical path. */
+void
+emitSummary(const std::vector<TraceSpan> &spans)
+{
+    std::set<long long> pids;
+    std::set<std::uint64_t> traces;
+    for (const TraceSpan &span : spans) {
+        pids.insert(span.pid);
+        traces.insert(span.trace);
+    }
+    std::printf("%zu span(s) from %zu process(es), %zu trace(s)\n",
+                spans.size(), pids.size(), traces.size());
+
+    struct KindStat
+    {
+        std::size_t count = 0;
+        std::uint64_t totalUs = 0;
+        std::uint64_t maxUs = 0;
+    };
+    std::map<std::string, KindStat> kinds;
+    for (const TraceSpan &span : spans) {
+        KindStat &stat = kinds[span.kind];
+        ++stat.count;
+        const std::uint64_t dur = span.endUs - span.startUs;
+        stat.totalUs += dur;
+        stat.maxUs = std::max(stat.maxUs, dur);
+    }
+    std::printf("by kind:\n");
+    for (const auto &pair : kinds)
+        std::printf("  %-15s %4zu span(s)  total %-10s max %s\n",
+                    pair.first.c_str(), pair.second.count,
+                    seconds(pair.second.totalUs).c_str(),
+                    seconds(pair.second.maxUs).c_str());
+
+    // Slowest shard attempts: where a fleet's wall clock went.
+    std::vector<const TraceSpan *> attempts;
+    for (const TraceSpan &span : spans)
+        if (span.kind == "attempt")
+            attempts.push_back(&span);
+    std::sort(attempts.begin(), attempts.end(),
+              [](const TraceSpan *a, const TraceSpan *b) {
+                  return a->endUs - a->startUs > b->endUs - b->startUs;
+              });
+    if (!attempts.empty()) {
+        std::printf("slowest attempts:\n");
+        for (std::size_t i = 0;
+             i < std::min<std::size_t>(5, attempts.size()); ++i) {
+            const TraceSpan &span = *attempts[i];
+            std::string outcome;
+            for (const auto &attr : span.attrs)
+                if (attr.first == "outcome")
+                    outcome = attr.second;
+            std::printf("  %-10s %s%s%s\n",
+                        seconds(span.endUs - span.startUs).c_str(),
+                        span.name.c_str(),
+                        outcome.empty() ? "" : " - ",
+                        outcome.c_str());
+        }
+    }
+
+    // Critical path per trace: from the root span, repeatedly follow
+    // the child whose interval ends latest - the chain that had to
+    // finish for the trace to finish.
+    std::map<std::uint64_t, std::vector<const TraceSpan *>> children;
+    for (const TraceSpan &span : spans)
+        if (span.parent != 0)
+            children[span.parent].push_back(&span);
+    for (const std::uint64_t trace : traces) {
+        const TraceSpan *root = nullptr;
+        std::set<std::uint64_t> ids;
+        for (const TraceSpan &span : spans)
+            if (span.trace == trace)
+                ids.insert(span.span);
+        for (const TraceSpan &span : spans) {
+            if (span.trace != trace)
+                continue;
+            if (span.parent != 0 && ids.count(span.parent) != 0)
+                continue; // has a present parent: not a root
+            if (root == nullptr ||
+                span.endUs - span.startUs >
+                    root->endUs - root->startUs)
+                root = &span;
+        }
+        if (root == nullptr)
+            continue;
+        std::printf("critical path (trace %s):\n",
+                    hex16(trace).c_str());
+        const TraceSpan *current = root;
+        std::set<std::uint64_t> visited;
+        while (current != nullptr &&
+               visited.insert(current->span).second) {
+            std::printf("  %s (%s)\n", current->name.c_str(),
+                        seconds(current->endUs - current->startUs)
+                            .c_str());
+            const TraceSpan *next = nullptr;
+            const auto it = children.find(current->span);
+            if (it != children.end())
+                for (const TraceSpan *child : it->second)
+                    if (child->trace == trace &&
+                        (next == nullptr ||
+                         child->endUs > next->endUs))
+                        next = child;
+            current = next;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::map<std::string, std::string> known{
+        {"dir", "trace shard directory (the traced run's "
+                "SBN_TRACE_DIR)"},
+        {"merge", "emit one Perfetto-loadable Chrome trace JSON "
+                  "object on stdout"},
+        {"summary", "per-kind totals, slowest attempts and critical "
+                    "paths on stdout"},
+        {"check", "validate span structure and cross-process "
+                  "monotone nesting; nonzero exit on violation"},
+    };
+    const CommandLine cli(argc, argv, known);
+
+    const std::string dir = cli.getString("dir", "");
+    if (dir.empty())
+        sbn_fatal("sbn_trace needs --dir=DIR (the traced run's "
+                  "SBN_TRACE_DIR)");
+    const bool merge = cli.getBool("merge", false);
+    const bool summary = cli.getBool("summary", false);
+    const bool check = cli.getBool("check", false);
+    if (!merge && !summary && !check)
+        sbn_fatal("pick at least one of --merge, --summary, --check");
+
+    const std::vector<std::string> shards = findShards(dir);
+    if (shards.empty())
+        sbn_fatal("no trace-*.jsonl shards under '", dir,
+                  "'; was the run traced (--trace / SBN_TRACE_DIR)?");
+    const std::vector<TraceSpan> spans = loadSpans(shards);
+    std::fprintf(stderr, "sbn_trace: %zu span(s) from %zu shard(s)\n",
+                 spans.size(), shards.size());
+
+    if (check && !checkSpans(spans))
+        return 1;
+    if (merge)
+        emitChromeTrace(spans);
+    if (summary)
+        emitSummary(spans);
+    return 0;
+}
